@@ -1,0 +1,38 @@
+//! Criterion benches for the mapper and dataflow analysis (the Timeloop
+//! substrate): mapping search and per-mapping action-count analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cimloop_macros::{base_macro, macro_a};
+use cimloop_map::{analyze, Mapper, Strategy};
+use cimloop_workload::models;
+
+fn canonical_mapping(c: &mut Criterion) {
+    let net = models::resnet18();
+    let mut group = c.benchmark_group("mapper");
+    for (name, m) in [("base_128x128", base_macro()), ("macro_a_768x768", macro_a())] {
+        let hierarchy = m.hierarchy().expect("hierarchy");
+        let rep = m.representation();
+        let layer = &net.layers()[6];
+        let shape = layer
+            .shape()
+            .with_slices(rep.input_slices(layer), rep.weight_slices(layer))
+            .expect("shape");
+        group.bench_with_input(BenchmarkId::new("map", name), &shape, |b, &shape| {
+            let mapper = Mapper::new(Strategy::WeightStationary);
+            b.iter(|| black_box(mapper.map(&hierarchy, black_box(shape)).expect("mapping")))
+        });
+        group.bench_with_input(BenchmarkId::new("analyze", name), &shape, |b, &shape| {
+            let mapping = Mapper::default().map(&hierarchy, shape).expect("mapping");
+            b.iter(|| {
+                let counts = analyze(&hierarchy, black_box(shape), &mapping).expect("analysis");
+                black_box(counts.padded_macs())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, canonical_mapping);
+criterion_main!(benches);

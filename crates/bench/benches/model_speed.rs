@@ -1,0 +1,100 @@
+//! Criterion benches behind Table II and the amortization ablation
+//! (DESIGN.md §4): per-mapping evaluation cost with and without amortizing
+//! the data-value-dependent per-action energies, and the value-exact
+//! simulator's per-activation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cimloop_macros::base_macro;
+use cimloop_map::Mapper;
+use cimloop_sim::{simulate_layer, ExactConfig};
+use cimloop_workload::models;
+
+fn statistical_model(c: &mut Criterion) {
+    let m = base_macro();
+    let evaluator = m.evaluator().expect("evaluator");
+    let rep = m.representation();
+    let net = models::resnet18();
+    let layer = &net.layers()[6];
+    let table = evaluator.action_energies(layer, &rep).expect("energies");
+    let mapping = evaluator.map_layer(layer, &rep).expect("mapping");
+
+    let mut group = c.benchmark_group("statistical");
+    // The fast inner loop of Algorithm 1 (amortized per-action energies).
+    group.bench_function("evaluate_mapping_amortized", |b| {
+        b.iter(|| {
+            let report = evaluator
+                .evaluate_mapping(layer, &rep, black_box(&table), black_box(&mapping))
+                .expect("eval");
+            black_box(report.energy_total())
+        })
+    });
+    // Ablation: recompute the data-value-dependent table per mapping (what
+    // a non-amortizing implementation would pay on every mapping).
+    group.bench_function("evaluate_mapping_unamortized", |b| {
+        b.iter(|| {
+            let table = evaluator.action_energies(layer, &rep).expect("energies");
+            let report = evaluator
+                .evaluate_mapping(layer, &rep, black_box(&table), black_box(&mapping))
+                .expect("eval");
+            black_box(report.energy_total())
+        })
+    });
+    // Full per-layer evaluation (table + mapper + dataflow).
+    group.bench_function("evaluate_layer_end_to_end", |b| {
+        b.iter(|| {
+            let report = evaluator.evaluate_layer(layer, &rep).expect("eval");
+            black_box(report.energy_total())
+        })
+    });
+    group.finish();
+}
+
+fn value_exact(c: &mut Criterion) {
+    let m = base_macro();
+    let net = models::resnet18();
+    let layer = &net.layers()[6];
+
+    let mut group = c.benchmark_group("value_exact");
+    group.sample_size(10);
+    for activations in [64u64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_activations", activations),
+            &activations,
+            |b, &acts| {
+                let cfg = ExactConfig {
+                    seed: 1,
+                    max_activations: acts,
+                    threads: 1,
+                };
+                b.iter(|| {
+                    let report = simulate_layer(&m, layer, &cfg).expect("sim");
+                    black_box(report.energy_total())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn mapping_enumeration(c: &mut Criterion) {
+    let m = base_macro();
+    let evaluator = m.evaluator().expect("evaluator");
+    let rep = m.representation();
+    let net = models::resnet18();
+    let layer = &net.layers()[6];
+    let shape = evaluator.shape_for(layer, &rep).expect("shape");
+
+    c.bench_function("enumerate_100_mappings", |b| {
+        b.iter(|| {
+            let mappings = Mapper::default()
+                .enumerate(evaluator.hierarchy(), black_box(shape), 100)
+                .expect("mappings");
+            black_box(mappings.len())
+        })
+    });
+}
+
+criterion_group!(benches, statistical_model, value_exact, mapping_enumeration);
+criterion_main!(benches);

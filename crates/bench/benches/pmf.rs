@@ -1,0 +1,51 @@
+//! Criterion benches for the PMF machinery and the pipeline-resolution
+//! ablation (DESIGN.md §4): support size vs runtime of the statistical
+//! distribution operations at the heart of the data-value-dependent model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cimloop_core::{Pipeline, Representation};
+use cimloop_macros::base_macro;
+use cimloop_stats::{BitStats, Pmf};
+use cimloop_workload::models;
+
+fn pmf_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf");
+    for support in [64usize, 256, 1024] {
+        let pmf = Pmf::uniform_ints(0, support as i64 - 1).expect("range");
+        group.bench_with_input(
+            BenchmarkId::new("convolve_n_128rows", support),
+            &pmf,
+            |b, pmf| {
+                b.iter(|| black_box(pmf.convolve_n(128, black_box(support))))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("coarsen_to_64", support), &pmf, |b, pmf| {
+            b.iter(|| black_box(pmf.coarsen(64)))
+        });
+    }
+    let bytes = Pmf::uniform_ints(0, 255).expect("range");
+    group.bench_function("bit_stats_8b", |b| {
+        b.iter(|| black_box(BitStats::from_pmf(black_box(&bytes), 8).expect("stats")))
+    });
+    group.finish();
+}
+
+fn pipeline_construction(c: &mut Criterion) {
+    let m = base_macro();
+    let hierarchy = m.hierarchy().expect("hierarchy");
+    let rep: Representation = m.representation();
+    let net = models::resnet18();
+    let layer = &net.layers()[6];
+
+    c.bench_function("pipeline_per_layer", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new(&hierarchy, black_box(layer), &rep).expect("pipeline");
+            black_box(pipeline.reduction_rows())
+        })
+    });
+}
+
+criterion_group!(benches, pmf_operations, pipeline_construction);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Fig 2a: optimizing for the lowest-energy *macro* while neglecting the
+//! system yields a higher-energy *system* overall.
+//!
+//! Sweeps CiM array sizes for a ReRAM macro running ResNet18 and reports
+//! full-DNN energy of the macro alone vs the full system (DRAM + global
+//! buffer + NoC + macro). The macro-optimal array is small (stays
+//! utilized); the system-optimal array is larger (fewer DRAM weight
+//! fetches).
+
+use cimloop_bench::{fmt, frozen, ExperimentTable};
+use cimloop_macros::macro_c;
+use cimloop_system::{CimSystem, StorageScenario};
+use cimloop_workload::models;
+
+fn main() {
+    let sizes = [64u64, 128, 256, 512, 1024];
+    let net = models::resnet18();
+
+    let mut macro_energy = Vec::new();
+    let mut system_energy = Vec::new();
+    let base = frozen(&macro_c());
+    for &n in &sizes {
+        let m = base.clone().with_array(n, n);
+        let rep = m.representation();
+
+        let macro_eval = m.evaluator().expect("macro evaluator");
+        let macro_report = macro_eval.evaluate(&net, &rep).expect("macro eval");
+        macro_energy.push(macro_report.energy_total());
+
+        let system = CimSystem::new(m).with_scenario(StorageScenario::AllTensorsFromDram);
+        let sys_eval = system.evaluator().expect("system evaluator");
+        let sys_report = sys_eval.evaluate(&net, &rep).expect("system eval");
+        system_energy.push(sys_report.energy_total());
+    }
+
+    let macro_max = macro_energy.iter().cloned().fold(0.0, f64::max);
+    let sys_max = system_energy.iter().cloned().fold(0.0, f64::max);
+
+    let mut table = ExperimentTable::new(
+        "fig02a",
+        "macro vs system energy across CiM array sizes (ResNet18, normalized)",
+        &[
+            "array",
+            "macro energy (norm)",
+            "system energy (norm)",
+            "macro J",
+            "system J",
+        ],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        table.row(vec![
+            format!("{n}x{n}"),
+            fmt(macro_energy[i] / macro_max),
+            fmt(system_energy[i] / sys_max),
+            format!("{:.3e}", macro_energy[i]),
+            format!("{:.3e}", system_energy[i]),
+        ]);
+    }
+    table.finish();
+
+    let macro_best = sizes[argmin(&macro_energy)];
+    let system_best = sizes[argmin(&system_energy)];
+    println!("  macro-optimal array:  {macro_best}x{macro_best}");
+    println!("  system-optimal array: {system_best}x{system_best}");
+    println!(
+        "  paper claim reproduced: {}",
+        if system_best > macro_best {
+            "YES (system prefers a larger array than the macro alone)"
+        } else {
+            "NO"
+        }
+    );
+}
+
+fn argmin(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -1,0 +1,156 @@
+//! Shared harness utilities for the experiment binaries in `src/bin`
+//! (one per table/figure of the paper) and the criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use cimloop_macros::ArrayMacro;
+
+/// Freezes a macro's calibration: computes the energy/latency scales at the
+/// *published default* configuration once and bakes them in, so design
+/// sweeps explore variations around the calibrated design instead of
+/// re-anchoring every variant to the same headline number (which would
+/// erase the differences under study).
+pub fn frozen(m: &ArrayMacro) -> ArrayMacro {
+    match m.calibration() {
+        Some(anchor) => {
+            let (e, l) = cimloop_macros::calibrate::calibrate(m, anchor)
+                .expect("calibration of the default configuration");
+            m.clone().uncalibrated().with_scales(e, l)
+        }
+        None => m.clone(),
+    }
+}
+
+/// A simple experiment table: prints aligned columns to stdout and writes a
+/// TSV copy into `results/` so EXPERIMENTS.md can reference stable outputs.
+pub struct ExperimentTable {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Starts a table for experiment `name` (e.g., `fig07`).
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        ExperimentTable {
+            name: name.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Prints the table and writes `results/<name>.tsv`.
+    pub fn finish(&self) {
+        println!("\n=== {} — {} ===", self.name, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        print_row(&self.headers);
+        for row in &self.rows {
+            print_row(row);
+        }
+
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let mut tsv = String::new();
+        tsv.push_str(&self.headers.join("\t"));
+        tsv.push('\n');
+        for row in &self.rows {
+            tsv.push_str(&row.join("\t"));
+            tsv.push('\n');
+        }
+        let path = dir.join(format!("{}.tsv", self.name));
+        if let Err(e) = fs::write(&path, tsv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("  [written {}]", path.display());
+        }
+    }
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Relative error `|model − reference| / reference`.
+pub fn rel_err(model: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return 0.0;
+    }
+    (model - reference).abs() / reference.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = ExperimentTable::new("test_table", "unit test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.finish();
+        let path = results_dir().join("test_table.tsv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("a\tb"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.4), "123");
+        assert_eq!(fmt(1.234), "1.23");
+        assert_eq!(fmt(0.1234), "0.1234");
+        assert_eq!(pct(0.123), "12.3%");
+        assert!((rel_err(11.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_err(1.0, 0.0), 0.0);
+    }
+}

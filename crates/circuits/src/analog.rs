@@ -1,0 +1,287 @@
+//! Analog computation components: the adder, accumulator, and C-2C MAC
+//! ladder used by the paper's Macros B, C, and D (Fig 3).
+//!
+//! These circuits move charge proportional to the analog values they
+//! process, so their energy is strongly data-value-dependent — the effect
+//! validated in the paper's Fig 11 (2.3× energy swing vs average MAC
+//! value).
+
+use cimloop_tech::{scaling, TechNode};
+
+use crate::{CircuitError, ComponentModel, ValueContext};
+
+/// Reference sampling capacitor at 45 nm, farads.
+const SAMPLE_CAP_45NM: f64 = 25e-15;
+
+/// A switched-capacitor analog adder summing `operands` analog values
+/// (Macro B's inter-column adder).
+///
+/// Energy tracks `E[(v/v_max)²]` of the summed output: charging the shared
+/// output node to larger analog values moves quadratically more charge.
+#[derive(Debug, Clone)]
+pub struct AnalogAdder {
+    operands: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl AnalogAdder {
+    /// Value-independent fraction (switch drivers, reset phase).
+    pub const FIXED_FRACTION: f64 = 0.25;
+
+    /// Creates an adder over `operands` analog inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `operands` is outside
+    /// `1..=64`.
+    pub fn new(operands: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if operands == 0 || operands > 64 {
+            return Err(CircuitError::param("operands", "must be in 1..=64"));
+        }
+        Ok(AnalogAdder {
+            operands,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    /// Number of analog operands summed per action.
+    pub fn operands(&self) -> u32 {
+        self.operands
+    }
+
+    fn full_scale_energy(&self) -> f64 {
+        let vdd = TechNode::N45.nominal_vdd();
+        self.operands as f64
+            * SAMPLE_CAP_45NM
+            * vdd
+            * vdd
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+}
+
+impl ComponentModel for AnalogAdder {
+    fn class(&self) -> &str {
+        "analog_adder"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        let v_sq = ctx.driven_sq_fraction_or(1.0 / 3.0);
+        self.full_scale_energy() * (Self::FIXED_FRACTION + (1.0 - Self::FIXED_FRACTION) * v_sq)
+    }
+
+    fn area(&self) -> f64 {
+        // Capacitors dominate; one sampling cap per operand plus switches.
+        self.operands as f64 * 9.0e-12 * scaling::area_scale(TechNode::N45, self.node)
+    }
+
+    fn latency(&self) -> f64 {
+        1e-9
+    }
+}
+
+/// A switched-capacitor analog accumulator (Macro C's across-cycle
+/// integrator): temporally accumulates analog outputs so the ADC reads
+/// once per several array activations.
+#[derive(Debug, Clone)]
+pub struct AnalogAccumulator {
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl AnalogAccumulator {
+    /// Value-independent fraction (op-amp bias, reset).
+    pub const FIXED_FRACTION: f64 = 0.35;
+
+    /// Creates an accumulator.
+    pub fn new(node: TechNode) -> Self {
+        AnalogAccumulator {
+            node,
+            supply_factor: 1.0,
+        }
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    fn full_scale_energy(&self) -> f64 {
+        let vdd = TechNode::N45.nominal_vdd();
+        // Integration cap is larger than a sampling cap plus op-amp energy.
+        3.0 * SAMPLE_CAP_45NM
+            * vdd
+            * vdd
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+}
+
+impl ComponentModel for AnalogAccumulator {
+    fn class(&self) -> &str {
+        "analog_accumulator"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        let v_sq = ctx.driven_sq_fraction_or(1.0 / 3.0);
+        self.full_scale_energy() * (Self::FIXED_FRACTION + (1.0 - Self::FIXED_FRACTION) * v_sq)
+    }
+
+    fn write_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        // Accumulating a new sample costs the same charge movement as a read.
+        self.read_energy(ctx)
+    }
+
+    fn area(&self) -> f64 {
+        40.0e-12 * scaling::area_scale(TechNode::N45, self.node)
+    }
+
+    fn latency(&self) -> f64 {
+        2e-9
+    }
+}
+
+/// A C-2C capacitor-ladder MAC unit (Macro D's 8-bit charge-domain MAC).
+///
+/// The ladder internally combines weight bits to produce one output using
+/// different weight bits (paper Fig 3, Macro D), trading extra capacitor
+/// area for fewer ADC reads.
+#[derive(Debug, Clone)]
+pub struct C2cLadder {
+    bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl C2cLadder {
+    /// Value-independent fraction.
+    pub const FIXED_FRACTION: f64 = 0.20;
+
+    /// Creates a ladder combining `bits` weight bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for `bits` outside
+    /// `1..=16`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if bits == 0 || bits > 16 {
+            return Err(CircuitError::param("bits", "must be in 1..=16"));
+        }
+        Ok(C2cLadder {
+            bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    /// Number of weight bits the ladder combines.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn full_scale_energy(&self) -> f64 {
+        let vdd = TechNode::N45.nominal_vdd();
+        // A C-2C ladder uses ~3 unit caps per bit (C + 2C).
+        3.0 * self.bits as f64
+            * (SAMPLE_CAP_45NM / 8.0)
+            * vdd
+            * vdd
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+}
+
+impl ComponentModel for C2cLadder {
+    fn class(&self) -> &str {
+        "c2c_mac"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        // Charge redistribution tracks the product of input activity and
+        // stored weight magnitude.
+        let input = ctx.driven_fraction_or(0.5);
+        let weight = ctx.stored_fraction_or(0.5);
+        self.full_scale_energy()
+            * (Self::FIXED_FRACTION + (1.0 - Self::FIXED_FRACTION) * input * (0.3 + 0.7 * weight))
+    }
+
+    fn area(&self) -> f64 {
+        3.0 * self.bits as f64 * 1.2e-12 * scaling::area_scale(TechNode::N45, self.node)
+    }
+
+    fn latency(&self) -> f64 {
+        1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_stats::Pmf;
+
+    #[test]
+    fn adder_energy_quadratic_in_output_value() {
+        let adder = AnalogAdder::new(4, TechNode::N7).unwrap();
+        let small = Pmf::delta(16.0).unwrap();
+        let large = Pmf::delta(255.0).unwrap();
+        let e_small = adder.read_energy(&ValueContext::driven(&small, 8));
+        let e_large = adder.read_energy(&ValueContext::driven(&large, 8));
+        // Large values cost far more; paper Fig 11 shows a 2.3x swing for
+        // realistic MAC distributions.
+        assert!(e_large / e_small > 2.3, "{}", e_large / e_small);
+    }
+
+    #[test]
+    fn adder_scales_with_operand_count() {
+        let ctx = ValueContext::none();
+        let a1 = AnalogAdder::new(1, TechNode::N7).unwrap();
+        let a8 = AnalogAdder::new(8, TechNode::N7).unwrap();
+        assert!((a8.read_energy(&ctx) / a1.read_energy(&ctx) - 8.0).abs() < 1e-9);
+        assert!(a8.area() > a1.area());
+    }
+
+    #[test]
+    fn accumulator_has_bias_floor() {
+        let acc = AnalogAccumulator::new(TechNode::N130);
+        let zero = Pmf::delta(0.0).unwrap();
+        let e = acc.read_energy(&ValueContext::driven(&zero, 8));
+        assert!(e > 0.0);
+        assert!(
+            (e / acc.full_scale_energy() - AnalogAccumulator::FIXED_FRACTION).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn ladder_depends_on_both_operands() {
+        let ladder = C2cLadder::new(8, TechNode::N22).unwrap();
+        let lo = Pmf::delta(0.0).unwrap();
+        let hi = Pmf::delta(255.0).unwrap();
+        let e_ll = ladder.read_energy(&ValueContext::cell(&lo, 8, &lo, 8));
+        let e_hh = ladder.read_energy(&ValueContext::cell(&hi, 8, &hi, 8));
+        let e_hl = ladder.read_energy(&ValueContext::cell(&hi, 8, &lo, 8));
+        assert!(e_hh > e_hl && e_hl > e_ll);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AnalogAdder::new(0, TechNode::N7).is_err());
+        assert!(AnalogAdder::new(65, TechNode::N7).is_err());
+        assert!(C2cLadder::new(0, TechNode::N22).is_err());
+        assert!(C2cLadder::new(17, TechNode::N22).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! CiM array components: memory cells computing analog MACs plus the
+//! row/column periphery (the NeuroSim plug-in substitute).
+
+use cimloop_tech::device::{ReramCell, SramBitcell};
+use cimloop_tech::{scaling, TechNode};
+
+use crate::{CircuitError, ComponentModel, ValueContext};
+
+/// An SRAM-based CiM cell computing one analog MAC per activation
+/// (Macros A, B, D store weights in SRAM bitcells).
+///
+/// MAC energy tracks the product of input activity and stored weight
+/// magnitude: the cell only draws charge when its input is active, scaled
+/// by the weight it multiplies.
+#[derive(Debug, Clone)]
+pub struct SramCimCell {
+    bitcell: SramBitcell,
+    supply: f64,
+    supply_factor: f64,
+}
+
+impl SramCimCell {
+    /// Fraction of MAC energy independent of values (wordline share,
+    /// junction capacitance).
+    pub const FIXED_FRACTION: f64 = 0.15;
+
+    /// Creates a cell at `node` with the node's nominal supply.
+    pub fn new(node: TechNode) -> Self {
+        SramCimCell {
+            bitcell: SramBitcell::new(node),
+            supply: node.nominal_vdd(),
+            supply_factor: 1.0,
+        }
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    fn mac_full_scale(&self) -> f64 {
+        // One MAC moves ~4x the charge of a plain bitcell read (compute
+        // transistors + bitline share).
+        4.0 * self.bitcell.read_energy(self.supply) * self.supply_factor
+    }
+}
+
+impl ComponentModel for SramCimCell {
+    fn class(&self) -> &str {
+        "sram_cim_cell"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        let input = ctx.driven_fraction_or(0.5);
+        let weight = ctx.stored_fraction_or(0.5);
+        self.mac_full_scale()
+            * (Self::FIXED_FRACTION
+                + (1.0 - Self::FIXED_FRACTION) * input * (0.2 + 0.8 * weight))
+    }
+
+    fn write_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.bitcell.write_energy(self.supply) * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        // CiM cells add compute transistors over a 6T bitcell.
+        1.6 * self.bitcell.area()
+    }
+
+    fn leakage(&self) -> f64 {
+        self.bitcell.leakage_power(self.supply)
+    }
+}
+
+/// A ReRAM CiM cell: analog MAC via Ohm's law, `E = G·V²·t_read`
+/// (the paper's Algorithm 1 worked example; Macro C).
+#[derive(Debug, Clone)]
+pub struct ReramCimCell {
+    device: ReramCell,
+    supply_factor: f64,
+}
+
+impl ReramCimCell {
+    /// Creates a cell from a device model.
+    pub fn new(device: ReramCell) -> Self {
+        ReramCimCell {
+            device,
+            supply_factor: 1.0,
+        }
+    }
+
+    /// A typical 130 nm-era device: 1–100 µS, 0.3 V reads, 10 ns pulses.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; mirrors device validation.
+    pub fn typical() -> Result<Self, CircuitError> {
+        ReramCell::new(1e-6, 100e-6, 0.3, 10e-9)
+            .map(Self::new)
+            .map_err(|e| CircuitError::param("device", e.to_string()))
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    /// The underlying device model.
+    pub fn device(&self) -> &ReramCell {
+        &self.device
+    }
+}
+
+impl ComponentModel for ReramCimCell {
+    fn class(&self) -> &str {
+        "reram_cim_cell"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        // Average conductance from the stored-weight distribution; average
+        // squared voltage from the driven-input distribution (Algorithm 1:
+        // E = G_avg · V²_avg · t_read).
+        let w = ctx.stored_fraction_or(0.5);
+        let g_avg = self.device.g_min() + w * (self.device.g_max() - self.device.g_min());
+        let v_sq_fraction = ctx.driven_sq_fraction_or(1.0 / 3.0);
+        let v_read = self.device.v_read();
+        g_avg * (v_read * v_read * v_sq_fraction) * self.device.t_read() * self.supply_factor
+    }
+
+    fn write_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.device.program_energy()
+    }
+
+    fn area(&self) -> f64 {
+        // 1T1R cell: access transistor dominates, ~30 F² at 130 nm-class
+        // nodes.
+        let f = 130e-9;
+        30.0 * f * f
+    }
+}
+
+/// A wordline/row driver charging the row wire across `cols` cells.
+#[derive(Debug, Clone)]
+pub struct RowDriver {
+    cols: u64,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl RowDriver {
+    /// Per-cell wordline capacitance at 45 nm, farads.
+    pub const PER_CELL_CAP_45NM: f64 = 0.15e-15;
+
+    /// Creates a driver for a row of `cols` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `cols` is zero.
+    pub fn new(cols: u64, node: TechNode) -> Result<Self, CircuitError> {
+        if cols == 0 {
+            return Err(CircuitError::param("cols", "must be positive"));
+        }
+        Ok(RowDriver {
+            cols,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for RowDriver {
+    fn class(&self) -> &str {
+        "row_driver"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        let vdd = TechNode::N45.nominal_vdd();
+        let activity = ctx.driven_fraction_or(0.5);
+        self.cols as f64
+            * Self::PER_CELL_CAP_45NM
+            * vdd
+            * vdd
+            * activity
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        300.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        0.3e-9 * (self.cols as f64 / 256.0).max(0.25)
+    }
+}
+
+/// A column multiplexer sharing one ADC across `inputs` columns.
+#[derive(Debug, Clone)]
+pub struct ColumnMux {
+    inputs: u64,
+    node: TechNode,
+}
+
+impl ColumnMux {
+    /// Creates a mux over `inputs` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `inputs` is zero.
+    pub fn new(inputs: u64, node: TechNode) -> Result<Self, CircuitError> {
+        if inputs == 0 {
+            return Err(CircuitError::param("inputs", "must be positive"));
+        }
+        Ok(ColumnMux { inputs, node })
+    }
+}
+
+impl ComponentModel for ColumnMux {
+    fn class(&self) -> &str {
+        "column_mux"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        let vdd = TechNode::N45.nominal_vdd();
+        // One switch toggles per select.
+        2.0e-15 * vdd * vdd * scaling::energy_scale(TechNode::N45, self.node)
+    }
+
+    fn area(&self) -> f64 {
+        self.inputs as f64 * 60.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+}
+
+/// A sense amplifier (digital CiM / SRAM readout).
+#[derive(Debug, Clone)]
+pub struct SenseAmp {
+    node: TechNode,
+}
+
+impl SenseAmp {
+    /// Creates a sense amp at `node`.
+    pub fn new(node: TechNode) -> Self {
+        SenseAmp { node }
+    }
+}
+
+impl ComponentModel for SenseAmp {
+    fn class(&self) -> &str {
+        "sense_amp"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        5.0e-15 * scaling::energy_scale(TechNode::N45, self.node)
+    }
+
+    fn area(&self) -> f64 {
+        800.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        0.2e-9
+    }
+}
+
+/// A row/column address decoder for `bits` address bits.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    bits: u32,
+    node: TechNode,
+}
+
+impl Decoder {
+    /// Creates a decoder with `bits` address bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for `bits` outside
+    /// `1..=20`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if bits == 0 || bits > 20 {
+            return Err(CircuitError::param("bits", "must be in 1..=20"));
+        }
+        Ok(Decoder { bits, node })
+    }
+}
+
+impl ComponentModel for Decoder {
+    fn class(&self) -> &str {
+        "decoder"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        // Energy grows with the decoded fanout.
+        0.4e-15 * (1u64 << self.bits) as f64 / 256.0 * 256.0_f64.ln()
+            * scaling::energy_scale(TechNode::N45, self.node)
+    }
+
+    fn area(&self) -> f64 {
+        (1u64 << self.bits) as f64 * 25.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_stats::Pmf;
+
+    #[test]
+    fn sram_cell_mac_tracks_input_and_weight() {
+        let cell = SramCimCell::new(TechNode::N7);
+        let lo = Pmf::delta(0.0).unwrap();
+        let hi = Pmf::delta(15.0).unwrap();
+        let e_sparse = cell.read_energy(&ValueContext::cell(&lo, 4, &hi, 4));
+        let e_dense = cell.read_energy(&ValueContext::cell(&hi, 4, &hi, 4));
+        assert!(e_dense > 2.0 * e_sparse);
+    }
+
+    #[test]
+    fn reram_cell_follows_algorithm_1() {
+        let cell = ReramCimCell::typical().unwrap();
+        let w_hi = Pmf::delta(255.0).unwrap();
+        let w_lo = Pmf::delta(0.0).unwrap();
+        let x = Pmf::delta(255.0).unwrap();
+        let e_hi = cell.read_energy(&ValueContext::cell(&x, 8, &w_hi, 8));
+        let e_lo = cell.read_energy(&ValueContext::cell(&x, 8, &w_lo, 8));
+        // G_max/G_min = 100: high-conductance weights cost ~100x.
+        assert!((e_hi / e_lo - 100.0).abs() < 1.0, "{}", e_hi / e_lo);
+        // Exact value check: G·V²·t at full scale.
+        let expected = 100e-6 * 0.3 * 0.3 * 10e-9;
+        assert!((e_hi - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn reram_program_energy_fixed() {
+        let cell = ReramCimCell::typical().unwrap();
+        assert!(cell.write_energy(&ValueContext::none()) > 0.0);
+    }
+
+    #[test]
+    fn row_driver_scales_with_width_and_activity() {
+        let d = RowDriver::new(512, TechNode::N22).unwrap();
+        let sparse = Pmf::from_weights(vec![(0.0, 0.9), (1.0, 0.1)]).unwrap();
+        let dense = Pmf::delta(1.0).unwrap();
+        let e_sparse = d.read_energy(&ValueContext::driven(&sparse, 1));
+        let e_dense = d.read_energy(&ValueContext::driven(&dense, 1));
+        assert!((e_dense / e_sparse - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn periphery_constructors_validate() {
+        assert!(RowDriver::new(0, TechNode::N22).is_err());
+        assert!(ColumnMux::new(0, TechNode::N22).is_err());
+        assert!(Decoder::new(0, TechNode::N22).is_err());
+        assert!(Decoder::new(21, TechNode::N22).is_err());
+    }
+
+    #[test]
+    fn all_areas_positive() {
+        assert!(SramCimCell::new(TechNode::N7).area() > 0.0);
+        assert!(ReramCimCell::typical().unwrap().area() > 0.0);
+        assert!(RowDriver::new(64, TechNode::N22).unwrap().area() > 0.0);
+        assert!(ColumnMux::new(8, TechNode::N22).unwrap().area() > 0.0);
+        assert!(SenseAmp::new(TechNode::N22).area() > 0.0);
+        assert!(Decoder::new(8, TechNode::N22).unwrap().area() > 0.0);
+    }
+}

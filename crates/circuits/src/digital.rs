@@ -1,0 +1,371 @@
+//! Digital logic components (the Aladdin plug-in substitute): adders,
+//! multipliers, MACs, shift-and-add accumulators, and registers.
+//!
+//! Energy scales with gate count and switching activity; the activity
+//! factor comes from the propagated value distribution when available
+//! (digital buses toggling mostly-zero data switch far less than random
+//! data).
+
+use cimloop_stats::BitStats;
+use cimloop_tech::{scaling, TechNode};
+
+use crate::{CircuitError, ComponentModel, ValueContext};
+
+/// Energy of one full-adder cell at 45 nm with 100% activity, joules.
+const FULL_ADDER_45NM: f64 = 3.0e-15;
+
+/// Energy of one flip-flop write at 45 nm, joules.
+const FLIPFLOP_45NM: f64 = 1.2e-15;
+
+/// Default switching activity when no distribution is known.
+const DEFAULT_ACTIVITY: f64 = 0.5;
+
+fn check_bits(bits: u32) -> Result<(), CircuitError> {
+    if bits == 0 || bits > 64 {
+        return Err(CircuitError::param("bits", "must be in 1..=64"));
+    }
+    Ok(())
+}
+
+/// Switching activity (average toggle probability per bit) from a value
+/// distribution, or the default 0.5.
+fn activity(ctx: &ValueContext<'_>) -> f64 {
+    match ctx.driven {
+        Some(pmf) if ctx.bits > 0 => BitStats::from_pmf(pmf, ctx.bits.min(53))
+            .map(|s| s.expected_switching() / ctx.bits as f64)
+            .unwrap_or(DEFAULT_ACTIVITY),
+        _ => DEFAULT_ACTIVITY,
+    }
+}
+
+/// A ripple/carry-select digital adder.
+#[derive(Debug, Clone)]
+pub struct DigitalAdder {
+    bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl DigitalAdder {
+    /// Creates a `bits`-wide adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for widths outside
+    /// `1..=64`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        check_bits(bits)?;
+        Ok(DigitalAdder {
+            bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    /// Operand width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl ComponentModel for DigitalAdder {
+    fn class(&self) -> &str {
+        "digital_adder"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.bits as f64
+            * FULL_ADDER_45NM
+            * (0.2 + 0.8 * activity(ctx) * 2.0)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        self.bits as f64 * 900.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        0.05e-9 * self.bits as f64 * scaling::delay_scale(TechNode::N45, self.node)
+    }
+}
+
+/// An array digital multiplier.
+#[derive(Debug, Clone)]
+pub struct DigitalMultiplier {
+    bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl DigitalMultiplier {
+    /// Creates a `bits × bits` multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for widths outside
+    /// `1..=64`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        check_bits(bits)?;
+        Ok(DigitalMultiplier {
+            bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for DigitalMultiplier {
+    fn class(&self) -> &str {
+        "digital_multiplier"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        // bits² partial-product cells.
+        (self.bits * self.bits) as f64
+            * FULL_ADDER_45NM
+            * (0.2 + 0.8 * activity(ctx) * 2.0)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        (self.bits * self.bits) as f64 * 900.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        0.1e-9 * self.bits as f64 * scaling::delay_scale(TechNode::N45, self.node)
+    }
+}
+
+/// A digital multiply-accumulate unit (multiplier + accumulating adder),
+/// the compute element of fully-digital CiM (paper Fig 3, Digital CiM).
+#[derive(Debug, Clone)]
+pub struct DigitalMac {
+    multiplier: DigitalMultiplier,
+    adder: DigitalAdder,
+}
+
+impl DigitalMac {
+    /// Creates a `bits`-wide MAC with a double-width accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for widths outside
+    /// `1..=32`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if bits > 32 {
+            return Err(CircuitError::param("bits", "must be in 1..=32"));
+        }
+        Ok(DigitalMac {
+            multiplier: DigitalMultiplier::new(bits, node)?,
+            adder: DigitalAdder::new(2 * bits, node)?,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.multiplier = self.multiplier.with_supply_factor(factor);
+        self.adder = self.adder.with_supply_factor(factor);
+        self
+    }
+}
+
+impl ComponentModel for DigitalMac {
+    fn class(&self) -> &str {
+        "digital_mac"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.multiplier.read_energy(ctx) + self.adder.read_energy(ctx)
+    }
+
+    fn area(&self) -> f64 {
+        self.multiplier.area() + self.adder.area()
+    }
+
+    fn latency(&self) -> f64 {
+        self.multiplier.latency() + self.adder.latency()
+    }
+}
+
+/// A shift-and-add accumulator combining bit-serial partial sums (the
+/// digital accumulation behind every bit-sliced macro).
+#[derive(Debug, Clone)]
+pub struct ShiftAdd {
+    bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl ShiftAdd {
+    /// Creates an accumulator with a `bits`-wide register and adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for widths outside
+    /// `1..=64`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        check_bits(bits)?;
+        Ok(ShiftAdd {
+            bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for ShiftAdd {
+    fn class(&self) -> &str {
+        "shift_add"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        // Adder plus register update per accumulation.
+        let scale = scaling::energy_scale(TechNode::N45, self.node) * self.supply_factor;
+        let adder = self.bits as f64 * FULL_ADDER_45NM * (0.2 + 0.8 * activity(ctx) * 2.0);
+        let register = self.bits as f64 * FLIPFLOP_45NM;
+        (adder + register) * scale
+    }
+
+    fn area(&self) -> f64 {
+        self.bits as f64 * 1600.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        0.05e-9 * self.bits as f64 * scaling::delay_scale(TechNode::N45, self.node)
+    }
+}
+
+/// A plain register (pipeline / staging storage).
+#[derive(Debug, Clone)]
+pub struct Register {
+    bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl Register {
+    /// Creates a `bits`-wide register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for widths outside
+    /// `1..=64`.
+    pub fn new(bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        check_bits(bits)?;
+        Ok(Register {
+            bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for Register {
+    fn class(&self) -> &str {
+        "register"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.bits as f64
+            * FLIPFLOP_45NM
+            * (0.3 + 0.7 * activity(ctx) * 2.0)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        self.bits as f64 * 600.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_stats::Pmf;
+
+    #[test]
+    fn adder_energy_linear_in_width() {
+        let ctx = ValueContext::none();
+        let a8 = DigitalAdder::new(8, TechNode::N22).unwrap();
+        let a32 = DigitalAdder::new(32, TechNode::N22).unwrap();
+        assert!((a32.read_energy(&ctx) / a8.read_energy(&ctx) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplier_energy_quadratic_in_width() {
+        let ctx = ValueContext::none();
+        let m4 = DigitalMultiplier::new(4, TechNode::N22).unwrap();
+        let m8 = DigitalMultiplier::new(8, TechNode::N22).unwrap();
+        assert!((m8.read_energy(&ctx) / m4.read_energy(&ctx) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_data_cuts_switching_energy() {
+        let adder = DigitalAdder::new(8, TechNode::N22).unwrap();
+        let sparse = Pmf::from_weights(vec![(0.0, 0.95), (255.0, 0.05)]).unwrap();
+        let dense = Pmf::uniform_ints(0, 255).unwrap();
+        let e_sparse = adder.read_energy(&ValueContext::driven(&sparse, 8));
+        let e_dense = adder.read_energy(&ValueContext::driven(&dense, 8));
+        assert!(e_sparse < 0.75 * e_dense);
+    }
+
+    #[test]
+    fn mac_combines_multiplier_and_adder() {
+        let mac = DigitalMac::new(8, TechNode::N22).unwrap();
+        let mult = DigitalMultiplier::new(8, TechNode::N22).unwrap();
+        let ctx = ValueContext::none();
+        assert!(mac.read_energy(&ctx) > mult.read_energy(&ctx));
+        assert!(mac.area() > mult.area());
+    }
+
+    #[test]
+    fn shift_add_has_register_floor() {
+        let sa = ShiftAdd::new(16, TechNode::N22).unwrap();
+        let zeros = Pmf::delta(0.0).unwrap();
+        // Even all-zero data pays the register clock energy.
+        assert!(sa.read_energy(&ValueContext::driven(&zeros, 16)) > 0.0);
+    }
+
+    #[test]
+    fn node_scaling_applies() {
+        let ctx = ValueContext::none();
+        let big = DigitalAdder::new(8, TechNode::N65).unwrap();
+        let small = DigitalAdder::new(8, TechNode::N7).unwrap();
+        assert!(small.read_energy(&ctx) < 0.2 * big.read_energy(&ctx));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DigitalAdder::new(0, TechNode::N22).is_err());
+        assert!(DigitalAdder::new(65, TechNode::N22).is_err());
+        assert!(DigitalMac::new(33, TechNode::N22).is_err());
+        assert!(Register::new(0, TechNode::N22).is_err());
+        assert!(ShiftAdd::new(65, TechNode::N22).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing circuit models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The component class is not in the library.
+    UnknownClass {
+        /// The requested class name.
+        class: String,
+    },
+    /// A model parameter was missing or out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownClass { class } => {
+                write!(f, "no component model for class `{class}`")
+            }
+            CircuitError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+impl CircuitError {
+    /// Convenience constructor for parameter errors.
+    pub fn param(name: &'static str, reason: impl Into<String>) -> Self {
+        CircuitError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}

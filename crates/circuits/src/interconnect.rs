@@ -1,0 +1,180 @@
+//! On-chip interconnect: wires and NoC routers (used by the full-system
+//! model of the paper's Fig 15).
+
+use cimloop_stats::BitStats;
+use cimloop_tech::{scaling, TechNode};
+
+use crate::{CircuitError, ComponentModel, ValueContext};
+
+/// A point-to-point on-chip wire bundle.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    length_mm: f64,
+    width_bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl Wire {
+    /// Wire energy per bit per millimeter at 45 nm with 100% activity,
+    /// joules.
+    pub const E_BIT_MM_45NM: f64 = 120e-15;
+
+    /// Creates a wire bundle of `width_bits` wires, `length_mm` long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] on non-positive lengths
+    /// or zero width.
+    pub fn new(length_mm: f64, width_bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if !(length_mm.is_finite() && length_mm > 0.0) {
+            return Err(CircuitError::param("length_mm", "must be positive"));
+        }
+        if width_bits == 0 {
+            return Err(CircuitError::param("width_bits", "must be positive"));
+        }
+        Ok(Wire {
+            length_mm,
+            width_bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    fn switching_fraction(ctx: &ValueContext<'_>) -> f64 {
+        match ctx.driven {
+            Some(pmf) if ctx.bits > 0 => BitStats::from_pmf(pmf, ctx.bits.min(53))
+                .map(|s| s.expected_switching() / ctx.bits as f64)
+                .unwrap_or(0.5),
+            _ => 0.5,
+        }
+    }
+}
+
+impl ComponentModel for Wire {
+    fn class(&self) -> &str {
+        "wire"
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.width_bits as f64
+            * self.length_mm
+            * Self::E_BIT_MM_45NM
+            * Self::switching_fraction(ctx)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        // Routed over logic; count driver/repeater area only.
+        self.width_bits as f64 * self.length_mm * 2.0e-12
+    }
+
+    fn latency(&self) -> f64 {
+        0.1e-9 * self.length_mm
+    }
+}
+
+/// A NoC router moving one word per action (ISAAC-style tiled CiM chips).
+#[derive(Debug, Clone)]
+pub struct Router {
+    width_bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl Router {
+    /// Per-bit router traversal energy at 45 nm, joules (buffering,
+    /// arbitration, crossbar).
+    pub const E_BIT_45NM: f64 = 60e-15;
+
+    /// Creates a router with `width_bits`-bit flits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `width_bits` is zero.
+    pub fn new(width_bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if width_bits == 0 {
+            return Err(CircuitError::param("width_bits", "must be positive"));
+        }
+        Ok(Router {
+            width_bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for Router {
+    fn class(&self) -> &str {
+        "router"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.width_bits as f64
+            * Self::E_BIT_45NM
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn area(&self) -> f64 {
+        self.width_bits as f64 * 5000.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+
+    fn latency(&self) -> f64 {
+        2e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_stats::Pmf;
+
+    #[test]
+    fn wire_energy_scales_with_length_and_width() {
+        let ctx = ValueContext::none();
+        let short = Wire::new(1.0, 32, TechNode::N22).unwrap();
+        let long = Wire::new(4.0, 32, TechNode::N22).unwrap();
+        let wide = Wire::new(1.0, 64, TechNode::N22).unwrap();
+        assert!((long.read_energy(&ctx) / short.read_energy(&ctx) - 4.0).abs() < 1e-9);
+        assert!((wide.read_energy(&ctx) / short.read_energy(&ctx) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_data_moves_cheaply() {
+        let wire = Wire::new(2.0, 8, TechNode::N22).unwrap();
+        let quiet = Pmf::delta(0.0).unwrap();
+        let noisy = Pmf::uniform_ints(0, 255).unwrap();
+        let e_quiet = wire.read_energy(&ValueContext::driven(&quiet, 8));
+        let e_noisy = wire.read_energy(&ValueContext::driven(&noisy, 8));
+        assert!(e_quiet < 0.1 * e_noisy);
+    }
+
+    #[test]
+    fn router_per_word_energy_positive() {
+        let r = Router::new(64, TechNode::N22).unwrap();
+        assert!(r.read_energy(&ValueContext::none()) > 0.0);
+        assert!(r.area() > 0.0);
+        assert!(r.latency() > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Wire::new(0.0, 32, TechNode::N22).is_err());
+        assert!(Wire::new(1.0, 0, TechNode::N22).is_err());
+        assert!(Router::new(0, TechNode::N22).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+use cimloop_spec::Attributes;
+use cimloop_tech::{TechNode, VoltageScale};
+
+use crate::adc::SarAdc;
+use crate::analog::{AnalogAccumulator, AnalogAdder, C2cLadder};
+use crate::array::{ColumnMux, Decoder, ReramCimCell, RowDriver, SenseAmp, SramCimCell};
+use crate::dac::{CapacitiveDac, CurrentDac, PulseDriver};
+use crate::digital::{DigitalAdder, DigitalMac, DigitalMultiplier, Register, ShiftAdd};
+use crate::interconnect::{Router, Wire};
+use crate::memory::{Dram, RegFile, SramBuffer};
+use crate::model::Calibrated;
+use crate::{BoxedModel, CircuitError, ComponentModel, ValueContext};
+use cimloop_tech::device::ReramCell;
+
+/// A component that consumes no energy and no area (for abstract nodes).
+#[derive(Debug, Clone, Default)]
+struct FreeModel;
+
+impl ComponentModel for FreeModel {
+    fn class(&self) -> &str {
+        "free"
+    }
+    fn read_energy(&self, _: &ValueContext<'_>) -> f64 {
+        0.0
+    }
+    fn area(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The component-model catalog: the paper's "Library plug-in".
+///
+/// Resolves a spec component's `class` and attributes to a boxed
+/// [`ComponentModel`]. Common attributes understood for every class:
+///
+/// | attribute | meaning | default |
+/// |---|---|---|
+/// | `technology` | node feature size, nm | 45 |
+/// | `supply_voltage` | supply, volts (scales energy by `V²` and latency by the alpha-power law) | node nominal |
+/// | `energy_scale` / `area_scale` / `latency_scale` | calibration multipliers | 1 |
+///
+/// Class-specific attributes: `resolution`/`bits`, `sample_rate`,
+/// `value_aware` (ADCs); `entries`, `width` (memories); `cols`, `rows`
+/// (drivers/muxes); `operands` (analog adder); `length_mm` (wire);
+/// `energy_per_bit` (DRAM); `g_min`, `g_max`, `v_read`, `t_read` (ReRAM).
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    _private: (),
+}
+
+impl Library {
+    /// Creates the default library.
+    pub fn new() -> Self {
+        Library::default()
+    }
+
+    /// All class names the library resolves.
+    pub fn classes(&self) -> &'static [&'static str] {
+        &[
+            "sar_adc",
+            "adc",
+            "capacitive_dac",
+            "dac",
+            "current_dac",
+            "pulse_driver",
+            "sram_cim_cell",
+            "reram_cim_cell",
+            "analog_adder",
+            "analog_accumulator",
+            "c2c_mac",
+            "digital_adder",
+            "digital_multiplier",
+            "digital_mac",
+            "shift_add",
+            "register",
+            "sram_buffer",
+            "dram",
+            "regfile",
+            "row_driver",
+            "column_mux",
+            "sense_amp",
+            "decoder",
+            "wire",
+            "router",
+            "free",
+        ]
+    }
+
+    /// Builds the model for `class` with the given attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownClass`] for unregistered classes, or
+    /// [`CircuitError::InvalidParameter`] when attributes are out of range.
+    pub fn build(&self, class: &str, attrs: &Attributes) -> Result<BoxedModel, CircuitError> {
+        let node = TechNode::from_nm(attrs.float_or("technology", 45.0))
+            .map_err(|e| CircuitError::param("technology", e.to_string()))?;
+
+        let mut energy_mult = attrs.float_or("energy_scale", 1.0);
+        let area_mult = attrs.float_or("area_scale", 1.0);
+        let mut latency_mult = attrs.float_or("latency_scale", 1.0);
+        if let Some(v) = attrs.float("supply_voltage") {
+            let vs = VoltageScale::for_node(node)
+                .map_err(|e| CircuitError::param("supply_voltage", e.to_string()))?;
+            energy_mult *= vs
+                .energy_factor(v)
+                .map_err(|e| CircuitError::param("supply_voltage", e.to_string()))?;
+            latency_mult *= vs
+                .delay_factor(v)
+                .map_err(|e| CircuitError::param("supply_voltage", e.to_string()))?;
+        }
+
+        let bits = attrs
+            .int("resolution")
+            .or_else(|| attrs.int("bits"))
+            .unwrap_or(8) as u32;
+
+        let inner: BoxedModel = match class {
+            "sar_adc" | "adc" => {
+                let rate = attrs.float_or("sample_rate", 100e6);
+                let value_aware = attrs.bool("value_aware").unwrap_or(false);
+                Box::new(SarAdc::new(bits, node, rate)?.with_value_aware(value_aware))
+            }
+            "capacitive_dac" | "dac" => Box::new(CapacitiveDac::new(bits, node)?),
+            "current_dac" => Box::new(CurrentDac::new(bits, node)?),
+            "pulse_driver" => {
+                let cols = attrs.int_or("cols", 256).max(1) as u64;
+                Box::new(PulseDriver::for_row(cols, node)?)
+            }
+            "sram_cim_cell" => Box::new(SramCimCell::new(node)),
+            "reram_cim_cell" => {
+                let g_min = attrs.float_or("g_min", 1e-6);
+                let g_max = attrs.float_or("g_max", 100e-6);
+                let v_read = attrs.float_or("v_read", 0.3);
+                let t_read = attrs.float_or("t_read", 10e-9);
+                let device = ReramCell::new(g_min, g_max, v_read, t_read)
+                    .map_err(|e| CircuitError::param("reram device", e.to_string()))?;
+                Box::new(ReramCimCell::new(device))
+            }
+            "analog_adder" => {
+                let operands = attrs.int_or("operands", 2).max(1) as u32;
+                Box::new(AnalogAdder::new(operands, node)?)
+            }
+            "analog_accumulator" => Box::new(AnalogAccumulator::new(node)),
+            "c2c_mac" => Box::new(C2cLadder::new(bits, node)?),
+            "digital_adder" => Box::new(DigitalAdder::new(bits, node)?),
+            "digital_multiplier" => Box::new(DigitalMultiplier::new(bits, node)?),
+            "digital_mac" => Box::new(DigitalMac::new(bits, node)?),
+            "shift_add" => Box::new(ShiftAdd::new(bits, node)?),
+            "register" => Box::new(Register::new(bits, node)?),
+            "sram_buffer" => {
+                let entries = attrs.int_or("entries", 8192).max(1) as u64;
+                let width = attrs.int_or("width", 64).max(1) as u32;
+                Box::new(SramBuffer::new(entries, width, node)?)
+            }
+            "dram" => {
+                let width = attrs.int_or("width", 64).max(1) as u32;
+                match attrs.float("energy_per_bit") {
+                    Some(epb) => Box::new(Dram::with_energy_per_bit(width, epb)?),
+                    None => Box::new(Dram::new(width)?),
+                }
+            }
+            "regfile" => {
+                let entries = attrs.int_or("entries", 64).max(1) as u64;
+                let width = attrs.int_or("width", 64).max(1) as u32;
+                Box::new(RegFile::new(entries, width, node)?)
+            }
+            "row_driver" => {
+                let cols = attrs.int_or("cols", 256).max(1) as u64;
+                Box::new(RowDriver::new(cols, node)?)
+            }
+            "column_mux" => {
+                let inputs = attrs.int_or("inputs", 8).max(1) as u64;
+                Box::new(ColumnMux::new(inputs, node)?)
+            }
+            "sense_amp" => Box::new(SenseAmp::new(node)),
+            "decoder" => {
+                let addr_bits = attrs.int_or("address_bits", 8).max(1) as u32;
+                Box::new(Decoder::new(addr_bits, node)?)
+            }
+            "wire" => {
+                let length = attrs.float_or("length_mm", 1.0);
+                let width = attrs.int_or("width", 64).max(1) as u32;
+                Box::new(Wire::new(length, width, node)?)
+            }
+            "router" => {
+                let width = attrs.int_or("width", 64).max(1) as u32;
+                Box::new(Router::new(width, node)?)
+            }
+            "free" | "" => Box::new(FreeModel),
+            other => {
+                return Err(CircuitError::UnknownClass {
+                    class: other.to_owned(),
+                })
+            }
+        };
+
+        if energy_mult == 1.0 && area_mult == 1.0 && latency_mult == 1.0 {
+            Ok(inner)
+        } else {
+            Ok(Box::new(Calibrated::new(
+                inner,
+                energy_mult,
+                area_mult,
+                latency_mult,
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, f64)]) -> Attributes {
+        pairs.iter().map(|&(k, v)| (k, v)).collect()
+    }
+
+    #[test]
+    fn every_listed_class_builds() {
+        let lib = Library::new();
+        for &class in lib.classes() {
+            let model = lib.build(class, &Attributes::new());
+            assert!(model.is_ok(), "class `{class}` failed: {:?}", model.err());
+        }
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let lib = Library::new();
+        assert!(matches!(
+            lib.build("quantum_alu", &Attributes::new()),
+            Err(CircuitError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn technology_attribute_scales_energy() {
+        let lib = Library::new();
+        let at65 = lib.build("digital_adder", &attrs(&[("technology", 65.0)])).unwrap();
+        let at7 = lib.build("digital_adder", &attrs(&[("technology", 7.0)])).unwrap();
+        let ctx = ValueContext::none();
+        assert!(at7.read_energy(&ctx) < at65.read_energy(&ctx));
+    }
+
+    #[test]
+    fn bad_technology_rejected() {
+        let lib = Library::new();
+        assert!(lib
+            .build("digital_adder", &attrs(&[("technology", 33.0)]))
+            .is_err());
+    }
+
+    #[test]
+    fn supply_voltage_scales_energy_and_latency() {
+        let lib = Library::new();
+        let nominal = lib
+            .build("sar_adc", &attrs(&[("technology", 22.0)]))
+            .unwrap();
+        let low_v = lib
+            .build(
+                "sar_adc",
+                &attrs(&[("technology", 22.0), ("supply_voltage", 0.6)]),
+            )
+            .unwrap();
+        let ctx = ValueContext::none();
+        // 22 nm nominal is 0.8 V: energy should scale by (0.6/0.8)^2.
+        let ratio = low_v.read_energy(&ctx) / nominal.read_energy(&ctx);
+        assert!((ratio - 0.5625).abs() < 1e-6, "ratio {ratio}");
+        assert!(low_v.latency() > nominal.latency());
+    }
+
+    #[test]
+    fn calibration_attributes_apply() {
+        let lib = Library::new();
+        let base = lib.build("sense_amp", &Attributes::new()).unwrap();
+        let scaled = lib
+            .build(
+                "sense_amp",
+                &attrs(&[("energy_scale", 2.5), ("area_scale", 0.5)]),
+            )
+            .unwrap();
+        let ctx = ValueContext::none();
+        assert!((scaled.read_energy(&ctx) / base.read_energy(&ctx) - 2.5).abs() < 1e-9);
+        assert!((scaled.area() / base.area() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_attribute_reaches_model() {
+        let lib = Library::new();
+        let mut a = Attributes::new();
+        a.set("resolution", 4i64);
+        let adc4 = lib.build("sar_adc", &a).unwrap();
+        a.set("resolution", 8i64);
+        let adc8 = lib.build("sar_adc", &a).unwrap();
+        let ctx = ValueContext::none();
+        assert!(adc8.read_energy(&ctx) > 4.0 * adc4.read_energy(&ctx));
+    }
+
+    #[test]
+    fn free_class_is_free() {
+        let lib = Library::new();
+        let free = lib.build("free", &Attributes::new()).unwrap();
+        assert_eq!(free.read_energy(&ValueContext::none()), 0.0);
+        assert_eq!(free.area(), 0.0);
+        // Empty class resolves to free too (containers, virtual nodes).
+        assert!(lib.build("", &Attributes::new()).is_ok());
+    }
+}

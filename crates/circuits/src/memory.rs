@@ -1,0 +1,307 @@
+//! Memory models: SRAM buffers, DRAM, and register files (the CACTI
+//! plug-in substitute).
+
+use cimloop_tech::device::SramBitcell;
+use cimloop_tech::{scaling, TechNode};
+
+use crate::{CircuitError, ComponentModel, ValueContext};
+
+/// An on-chip SRAM buffer (scratchpad / global buffer).
+///
+/// Access energy follows the CACTI-established square-root law: the wordline
+/// and bitline lengths grow with the square root of capacity, so per-bit
+/// access energy is `e₀ + e₁·√(capacity)`.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_circuits::memory::SramBuffer;
+/// use cimloop_circuits::{ComponentModel, ValueContext};
+/// use cimloop_tech::TechNode;
+///
+/// # fn main() -> Result<(), cimloop_circuits::CircuitError> {
+/// let small = SramBuffer::new(1024, 64, TechNode::N22)?;    // 8 KiB
+/// let large = SramBuffer::new(262144, 64, TechNode::N22)?;  // 2 MiB
+/// let ctx = ValueContext::none();
+/// assert!(large.read_energy(&ctx) > small.read_energy(&ctx));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramBuffer {
+    entries: u64,
+    width_bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl SramBuffer {
+    /// Fixed per-bit access energy at 45 nm, joules (sense amps, drivers).
+    pub const E_BIT_FIXED_45NM: f64 = 15e-15;
+
+    /// Capacity-dependent per-bit energy coefficient at 45 nm, joules per
+    /// √bit.
+    pub const E_BIT_SQRT_45NM: f64 = 0.9e-15;
+
+    /// Creates a buffer of `entries` words of `width_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `entries` or
+    /// `width_bits` is zero.
+    pub fn new(entries: u64, width_bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if entries == 0 {
+            return Err(CircuitError::param("entries", "must be positive"));
+        }
+        if width_bits == 0 {
+            return Err(CircuitError::param("width_bits", "must be positive"));
+        }
+        Ok(SramBuffer {
+            entries,
+            width_bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+
+    /// Capacity in words.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.entries * self.width_bits as u64
+    }
+
+    fn per_bit_energy(&self) -> f64 {
+        let sqrt_bits = (self.capacity_bits() as f64).sqrt();
+        (Self::E_BIT_FIXED_45NM + Self::E_BIT_SQRT_45NM * sqrt_bits)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+}
+
+impl ComponentModel for SramBuffer {
+    fn class(&self) -> &str {
+        "sram_buffer"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.width_bits as f64 * self.per_bit_energy()
+    }
+
+    fn write_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        1.1 * self.width_bits as f64 * self.per_bit_energy()
+    }
+
+    fn area(&self) -> f64 {
+        // Bitcells plus 40% periphery overhead.
+        let cell = SramBitcell::new(self.node);
+        1.4 * self.capacity_bits() as f64 * cell.area()
+    }
+
+    fn latency(&self) -> f64 {
+        // ~1 ns for small arrays, growing with sqrt capacity.
+        1e-9 * (self.capacity_bits() as f64 / 65536.0).sqrt().max(0.5)
+            * scaling::delay_scale(TechNode::N45, self.node)
+    }
+
+    fn leakage(&self) -> f64 {
+        let cell = SramBitcell::new(self.node);
+        self.capacity_bits() as f64 * cell.leakage_power(self.node.nominal_vdd())
+    }
+}
+
+/// Off-chip DRAM, modeled by a flat per-bit interface energy (CACTI-IO
+/// style).
+#[derive(Debug, Clone)]
+pub struct Dram {
+    width_bits: u32,
+    energy_per_bit: f64,
+}
+
+impl Dram {
+    /// Typical LPDDR-class interface + array energy per bit, joules.
+    pub const DEFAULT_ENERGY_PER_BIT: f64 = 12e-12;
+
+    /// Creates a DRAM channel delivering `width_bits`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `width_bits` is zero.
+    pub fn new(width_bits: u32) -> Result<Self, CircuitError> {
+        Self::with_energy_per_bit(width_bits, Self::DEFAULT_ENERGY_PER_BIT)
+    }
+
+    /// Creates a DRAM channel with an explicit per-bit energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] on non-positive values.
+    pub fn with_energy_per_bit(width_bits: u32, energy_per_bit: f64) -> Result<Self, CircuitError> {
+        if width_bits == 0 {
+            return Err(CircuitError::param("width_bits", "must be positive"));
+        }
+        if !(energy_per_bit.is_finite() && energy_per_bit > 0.0) {
+            return Err(CircuitError::param("energy_per_bit", "must be positive"));
+        }
+        Ok(Dram {
+            width_bits,
+            energy_per_bit,
+        })
+    }
+}
+
+impl ComponentModel for Dram {
+    fn class(&self) -> &str {
+        "dram"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.width_bits as f64 * self.energy_per_bit
+    }
+
+    fn area(&self) -> f64 {
+        0.0 // off-chip
+    }
+
+    fn latency(&self) -> f64 {
+        30e-9
+    }
+}
+
+/// A small multi-ported register file.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    entries: u64,
+    width_bits: u32,
+    node: TechNode,
+    supply_factor: f64,
+}
+
+impl RegFile {
+    /// Per-bit access energy at 45 nm, joules.
+    pub const E_BIT_45NM: f64 = 8e-15;
+
+    /// Creates a register file of `entries` words of `width_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if either is zero.
+    pub fn new(entries: u64, width_bits: u32, node: TechNode) -> Result<Self, CircuitError> {
+        if entries == 0 {
+            return Err(CircuitError::param("entries", "must be positive"));
+        }
+        if width_bits == 0 {
+            return Err(CircuitError::param("width_bits", "must be positive"));
+        }
+        Ok(RegFile {
+            entries,
+            width_bits,
+            node,
+            supply_factor: 1.0,
+        })
+    }
+
+    /// Scales energy by `(v/v_nominal)²`.
+    pub fn with_supply_factor(mut self, factor: f64) -> Self {
+        self.supply_factor = factor;
+        self
+    }
+}
+
+impl ComponentModel for RegFile {
+    fn class(&self) -> &str {
+        "regfile"
+    }
+
+    fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
+        self.width_bits as f64
+            * Self::E_BIT_45NM
+            * (1.0 + (self.entries as f64 / 64.0).sqrt() * 0.2)
+            * scaling::energy_scale(TechNode::N45, self.node)
+            * self.supply_factor
+    }
+
+    fn write_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.read_energy(ctx)
+    }
+
+    fn area(&self) -> f64 {
+        self.entries as f64 * self.width_bits as f64 * 1200.0 * (self.node.nm() * 1e-9).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_energy_grows_sublinearly_with_capacity() {
+        let ctx = ValueContext::none();
+        let kb64 = SramBuffer::new(8192, 64, TechNode::N45).unwrap();
+        let kb256 = SramBuffer::new(32768, 64, TechNode::N45).unwrap();
+        let ratio = kb256.read_energy(&ctx) / kb64.read_energy(&ctx);
+        assert!(ratio > 1.2 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn buffer_64kb_access_in_picojoule_range() {
+        // Sanity-check absolute calibration: a 64 KiB, 64-bit buffer read
+        // should cost ~10-60 pJ at 45 nm (CACTI ballpark).
+        let buf = SramBuffer::new(8192, 64, TechNode::N45).unwrap();
+        let e = buf.read_energy(&ValueContext::none());
+        assert!((5e-12..80e-12).contains(&e), "e = {e}");
+    }
+
+    #[test]
+    fn dram_dwarfs_sram() {
+        let ctx = ValueContext::none();
+        let dram = Dram::new(64).unwrap();
+        let sram = SramBuffer::new(8192, 64, TechNode::N45).unwrap();
+        assert!(dram.read_energy(&ctx) > 10.0 * sram.read_energy(&ctx));
+    }
+
+    #[test]
+    fn writes_cost_slightly_more_than_reads() {
+        let buf = SramBuffer::new(1024, 32, TechNode::N22).unwrap();
+        let ctx = ValueContext::none();
+        assert!(buf.write_energy(&ctx) > buf.read_energy(&ctx));
+    }
+
+    #[test]
+    fn buffer_area_tracks_capacity() {
+        let small = SramBuffer::new(1024, 64, TechNode::N22).unwrap();
+        let large = SramBuffer::new(4096, 64, TechNode::N22).unwrap();
+        assert!((large.area() / small.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regfile_cheaper_than_buffer() {
+        let ctx = ValueContext::none();
+        let rf = RegFile::new(64, 64, TechNode::N22).unwrap();
+        let buf = SramBuffer::new(8192, 64, TechNode::N22).unwrap();
+        assert!(rf.read_energy(&ctx) < buf.read_energy(&ctx));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SramBuffer::new(0, 64, TechNode::N22).is_err());
+        assert!(SramBuffer::new(64, 0, TechNode::N22).is_err());
+        assert!(Dram::new(0).is_err());
+        assert!(Dram::with_energy_per_bit(64, 0.0).is_err());
+        assert!(RegFile::new(0, 64, TechNode::N22).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+use cimloop_stats::Pmf;
+
+/// The value distributions a component sees when performing one action.
+///
+/// Distributions are over **unsigned integer levels**: encoded, sliced
+/// values in `[0, 2^bits − 1]` (encodings in the core pipeline turn signed
+/// operands into unsigned level streams before they reach circuits).
+///
+/// `driven` describes values arriving at / propagated by the component
+/// (e.g., the code a DAC converts, the analog level an ADC reads).
+/// `stored` describes values resident in the component (e.g., the weight
+/// level programmed into a CiM cell); cell MAC energy depends on both.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueContext<'a> {
+    /// Distribution of driven/propagated values.
+    pub driven: Option<&'a Pmf>,
+    /// Width of driven values in bits.
+    pub bits: u32,
+    /// Distribution of stored values (for cells).
+    pub stored: Option<&'a Pmf>,
+    /// Width of stored values in bits.
+    pub stored_bits: u32,
+}
+
+impl<'a> ValueContext<'a> {
+    /// No distribution information: models use average-case defaults.
+    pub fn none() -> Self {
+        ValueContext::default()
+    }
+
+    /// Context with a driven-value distribution of the given width.
+    pub fn driven(pmf: &'a Pmf, bits: u32) -> Self {
+        ValueContext {
+            driven: Some(pmf),
+            bits,
+            stored: None,
+            stored_bits: 0,
+        }
+    }
+
+    /// Context with both driven and stored distributions (CiM cells).
+    pub fn cell(driven: &'a Pmf, bits: u32, stored: &'a Pmf, stored_bits: u32) -> Self {
+        ValueContext {
+            driven: Some(driven),
+            bits,
+            stored: Some(stored),
+            stored_bits,
+        }
+    }
+
+    /// Mean driven value as a fraction of full scale, or `default` if no
+    /// distribution is present.
+    pub fn driven_fraction_or(&self, default: f64) -> f64 {
+        match self.driven {
+            Some(pmf) if self.bits > 0 => {
+                let max = ((1u64 << self.bits) - 1) as f64;
+                if max == 0.0 {
+                    0.0
+                } else {
+                    (pmf.mean() / max).clamp(0.0, 1.0)
+                }
+            }
+            _ => default,
+        }
+    }
+
+    /// Mean squared driven value as a fraction of full scale squared
+    /// (`E[(v/v_max)²]`), or `default` if unavailable.
+    pub fn driven_sq_fraction_or(&self, default: f64) -> f64 {
+        match self.driven {
+            Some(pmf) if self.bits > 0 => {
+                let max = ((1u64 << self.bits) - 1) as f64;
+                if max == 0.0 {
+                    0.0
+                } else {
+                    (pmf.second_moment() / (max * max)).clamp(0.0, 1.0)
+                }
+            }
+            _ => default,
+        }
+    }
+
+    /// Mean stored value as a fraction of full scale, or `default`.
+    pub fn stored_fraction_or(&self, default: f64) -> f64 {
+        match self.stored {
+            Some(pmf) if self.stored_bits > 0 => {
+                let max = ((1u64 << self.stored_bits) - 1) as f64;
+                if max == 0.0 {
+                    0.0
+                } else {
+                    (pmf.mean() / max).clamp(0.0, 1.0)
+                }
+            }
+            _ => default,
+        }
+    }
+}
+
+/// A component area/energy/latency model (one Accelergy plug-in entry).
+///
+/// Energies are joules per action; area is m²; latency is seconds per
+/// action. `read` covers the component's primary action (a buffer read, an
+/// ADC/DAC convert, an adder addition, a cell MAC); `write` covers fills,
+/// updates, and emissions.
+pub trait ComponentModel: Send + Sync {
+    /// Model name (for breakdowns and debugging).
+    fn class(&self) -> &str;
+
+    /// Energy of one read-like action under the given value context.
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64;
+
+    /// Energy of one write-like action under the given value context.
+    ///
+    /// Defaults to the read energy.
+    fn write_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.read_energy(ctx)
+    }
+
+    /// Area of one instance, m².
+    fn area(&self) -> f64;
+
+    /// Latency of one action, seconds. Components off the cycle-critical
+    /// path may return 0.
+    fn latency(&self) -> f64 {
+        0.0
+    }
+
+    /// Static leakage power of one instance, watts.
+    fn leakage(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A boxed, shareable component model.
+pub type BoxedModel = Box<dyn ComponentModel>;
+
+/// Wraps a model with calibration multipliers (the paper calibrates each
+/// component's area/energy to match published silicon values).
+pub struct Calibrated {
+    inner: BoxedModel,
+    energy_scale: f64,
+    area_scale: f64,
+    latency_scale: f64,
+}
+
+impl Calibrated {
+    /// Wraps `inner`, scaling its energies, area, and latency.
+    pub fn new(inner: BoxedModel, energy_scale: f64, area_scale: f64, latency_scale: f64) -> Self {
+        Calibrated {
+            inner,
+            energy_scale,
+            area_scale,
+            latency_scale,
+        }
+    }
+}
+
+impl ComponentModel for Calibrated {
+    fn class(&self) -> &str {
+        self.inner.class()
+    }
+
+    fn read_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.inner.read_energy(ctx) * self.energy_scale
+    }
+
+    fn write_energy(&self, ctx: &ValueContext<'_>) -> f64 {
+        self.inner.write_energy(ctx) * self.energy_scale
+    }
+
+    fn area(&self) -> f64 {
+        self.inner.area() * self.area_scale
+    }
+
+    fn latency(&self) -> f64 {
+        self.inner.latency() * self.latency_scale
+    }
+
+    fn leakage(&self) -> f64 {
+        self.inner.leakage() * self.energy_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl ComponentModel for Fixed {
+        fn class(&self) -> &str {
+            "fixed"
+        }
+        fn read_energy(&self, _: &ValueContext<'_>) -> f64 {
+            2.0
+        }
+        fn area(&self) -> f64 {
+            3.0
+        }
+        fn latency(&self) -> f64 {
+            5.0
+        }
+    }
+
+    #[test]
+    fn default_write_equals_read() {
+        let m = Fixed;
+        assert_eq!(m.write_energy(&ValueContext::none()), 2.0);
+    }
+
+    #[test]
+    fn calibration_scales_everything() {
+        let c = Calibrated::new(Box::new(Fixed), 0.5, 2.0, 3.0);
+        assert_eq!(c.read_energy(&ValueContext::none()), 1.0);
+        assert_eq!(c.area(), 6.0);
+        assert_eq!(c.latency(), 15.0);
+        assert_eq!(c.class(), "fixed");
+    }
+
+    #[test]
+    fn driven_fractions() {
+        let pmf = Pmf::uniform_ints(0, 255).unwrap();
+        let ctx = ValueContext::driven(&pmf, 8);
+        assert!((ctx.driven_fraction_or(9.9) - 0.5).abs() < 0.01);
+        // E[v^2] of uniform [0,255] is ~max^2/3.
+        assert!((ctx.driven_sq_fraction_or(9.9) - 1.0 / 3.0).abs() < 0.01);
+        // Default used when absent.
+        assert_eq!(ValueContext::none().driven_fraction_or(0.25), 0.25);
+    }
+
+    #[test]
+    fn cell_context_carries_both() {
+        let x = Pmf::delta(15.0).unwrap();
+        let w = Pmf::delta(0.0).unwrap();
+        let ctx = ValueContext::cell(&x, 4, &w, 4);
+        assert!((ctx.driven_fraction_or(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(ctx.stored_fraction_or(1.0), 0.0);
+    }
+}

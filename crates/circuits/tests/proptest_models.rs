@@ -1,0 +1,81 @@
+//! Property tests over the whole component-model library: energies and
+//! areas are non-negative and finite for every class under arbitrary value
+//! distributions, and calibration attributes scale linearly.
+
+use cimloop_circuits::{Library, ValueContext};
+use cimloop_spec::Attributes;
+use cimloop_stats::Pmf;
+use proptest::prelude::*;
+
+fn arb_level_pmf(bits: u32) -> impl Strategy<Value = Pmf> {
+    let max = (1u64 << bits) - 1;
+    prop::collection::vec((0..=max, 1u32..50), 1..10).prop_map(|pairs| {
+        Pmf::from_weights(pairs.into_iter().map(|(v, w)| (v as f64, w as f64)))
+            .expect("valid weights")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_classes_yield_finite_nonnegative_energy(
+        pmf in arb_level_pmf(8),
+        stored in arb_level_pmf(4),
+        class_idx in 0usize..26,
+    ) {
+        let lib = Library::new();
+        let class = lib.classes()[class_idx % lib.classes().len()];
+        let model = lib.build(class, &Attributes::new()).expect("default attrs build");
+        let ctx = ValueContext::cell(&pmf, 8, &stored, 4);
+        for e in [
+            model.read_energy(&ctx),
+            model.write_energy(&ctx),
+            model.read_energy(&ValueContext::none()),
+        ] {
+            prop_assert!(e.is_finite() && e >= 0.0, "{class}: energy {e}");
+        }
+        prop_assert!(model.area().is_finite() && model.area() >= 0.0, "{class}");
+        prop_assert!(model.latency().is_finite() && model.latency() >= 0.0, "{class}");
+        prop_assert!(model.leakage().is_finite() && model.leakage() >= 0.0, "{class}");
+    }
+
+    #[test]
+    fn energy_scale_attribute_is_linear(
+        pmf in arb_level_pmf(8),
+        scale in 0.1f64..20.0,
+        class_idx in 0usize..26,
+    ) {
+        let lib = Library::new();
+        let class = lib.classes()[class_idx % lib.classes().len()];
+        let base = lib.build(class, &Attributes::new()).expect("build");
+        let mut attrs = Attributes::new();
+        attrs.set("energy_scale", scale);
+        let scaled = lib.build(class, &attrs).expect("build scaled");
+        let ctx = ValueContext::driven(&pmf, 8);
+        let e0 = base.read_energy(&ctx);
+        let e1 = scaled.read_energy(&ctx);
+        if e0 > 0.0 {
+            prop_assert!((e1 / e0 - scale).abs() < 1e-9, "{class}: {e1}/{e0} vs {scale}");
+        } else {
+            prop_assert_eq!(e1, 0.0);
+        }
+    }
+
+    #[test]
+    fn value_dependent_models_are_monotone_in_mean_level(
+        lo in 0u64..64, width in 1u64..64,
+    ) {
+        // Shifting a distribution upward never reduces energy for the
+        // value-proportional converter models.
+        let lib = Library::new();
+        let small = Pmf::uniform_ints(lo as i64, (lo + width) as i64).unwrap();
+        let large = small.shift(64.0).clamp(0.0, 255.0);
+        for class in ["dac", "current_dac", "pulse_driver", "analog_adder"] {
+            let model = lib.build(class, &Attributes::new()).expect("build");
+            let e_small = model.read_energy(&ValueContext::driven(&small, 8));
+            let e_large = model.read_energy(&ValueContext::driven(&large, 8));
+            prop_assert!(e_large >= e_small - 1e-24, "{class}");
+        }
+    }
+}

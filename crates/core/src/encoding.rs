@@ -1,0 +1,423 @@
+//! Operand encodings: how operand values are represented as unsigned
+//! hardware levels (paper §III-C1b).
+//!
+//! An encoding turns a (possibly signed) operand distribution into one or
+//! more **unsigned level streams** — the values circuits actually propagate
+//! (DAC codes, cell conductance levels, wire patterns). Different encodings
+//! trade value-dependence differently (paper Fig 4: the best encoding
+//! changes per layer and per circuit).
+
+use cimloop_stats::Pmf;
+
+use crate::CoreError;
+
+/// An operand-to-level encoding scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Reinterpret the two's-complement bit pattern as unsigned
+    /// (`v mod 2^B`): free, but small negatives become large levels.
+    TwosComplement,
+    /// Add `2^(B−1)` to signed operands so all levels are non-negative
+    /// (ISAAC-style); a digital correction term is applied after the sum.
+    Offset,
+    /// Split each operand into a positive and a negative device/wire
+    /// (`v = v⁺ − v⁻`, with `v⁺·v⁻ = 0`): preserves sparsity and small
+    /// levels for near-zero operands, at the cost of doubling devices
+    /// (RAELLA-style).
+    Differential,
+    /// Magnitude-only levels with the sign handled digitally
+    /// (FORMS-style): one stream of `B−1` bits for signed operands.
+    SignMagnitude,
+    /// XNOR/bipolar encoding for binary (±1) operands: a level and its
+    /// complement on two devices.
+    Xnor,
+}
+
+impl Encoding {
+    /// All encodings.
+    pub const ALL: [Encoding; 5] = [
+        Encoding::TwosComplement,
+        Encoding::Offset,
+        Encoding::Differential,
+        Encoding::SignMagnitude,
+        Encoding::Xnor,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::TwosComplement => "twos_complement",
+            Encoding::Offset => "offset",
+            Encoding::Differential => "differential",
+            Encoding::SignMagnitude => "sign_magnitude",
+            Encoding::Xnor => "xnor",
+        }
+    }
+
+    /// How many hardware devices/wires represent one operand.
+    pub fn devices_per_operand(self) -> u64 {
+        match self {
+            Encoding::Differential | Encoding::Xnor => 2,
+            _ => 1,
+        }
+    }
+
+    /// Encodes an operand distribution into unsigned level streams.
+    ///
+    /// `bits` is the operand precision; `signed` whether the operand domain
+    /// is two's-complement signed. The returned streams carry their own
+    /// widths (e.g., differential streams are `B−1` bits wide).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Representation`] if the encoding cannot
+    /// represent the operand (e.g., XNOR with `bits != 1`, or a 1-bit
+    /// signed sign-magnitude).
+    pub fn encode(self, pmf: &Pmf, bits: u32, signed: bool) -> Result<EncodedOperand, CoreError> {
+        if bits == 0 || bits > 32 {
+            return Err(CoreError::Representation {
+                message: "operand bits must be in 1..=32".to_owned(),
+            });
+        }
+        let full = (1i64 << bits) as f64;
+        let half = (1i64 << (bits - 1)) as f64;
+        let streams = match self {
+            Encoding::TwosComplement => {
+                let stream = pmf.map(|v| if v < 0.0 { v + full } else { v });
+                vec![EncodedStream::new(stream, bits)]
+            }
+            Encoding::Offset => {
+                let stream = if signed { pmf.shift(half) } else { pmf.clone() };
+                vec![EncodedStream::new(stream.clamp(0.0, full - 1.0), bits)]
+            }
+            Encoding::Differential => {
+                if !signed {
+                    // Unsigned operands: the negative stream is always 0.
+                    let pos = pmf.clamp(0.0, full - 1.0);
+                    let neg = Pmf::delta(0.0).expect("0 is finite");
+                    vec![EncodedStream::new(pos, bits), EncodedStream::new(neg, bits)]
+                } else {
+                    let mag_bits = bits; // each stream can hold |min| = 2^(B-1)
+                    let pos = pmf.map(|v| v.max(0.0));
+                    let neg = pmf.map(|v| (-v).max(0.0));
+                    vec![
+                        EncodedStream::new(pos, mag_bits),
+                        EncodedStream::new(neg, mag_bits),
+                    ]
+                }
+            }
+            Encoding::SignMagnitude => {
+                if signed && bits < 2 {
+                    return Err(CoreError::Representation {
+                        message: "sign-magnitude needs at least 2 bits for signed operands"
+                            .to_owned(),
+                    });
+                }
+                let mag_bits = if signed { bits - 1 } else { bits };
+                let mag_max = (1i64 << mag_bits) as f64 - 1.0;
+                let stream = pmf.map(|v| v.abs().min(mag_max));
+                vec![EncodedStream::new(stream, mag_bits)]
+            }
+            Encoding::Xnor => {
+                if bits != 1 {
+                    return Err(CoreError::Representation {
+                        message: "XNOR encoding requires 1-bit (±1) operands".to_owned(),
+                    });
+                }
+                // Interpret the operand as negative ⇒ 0, non-negative ⇒ 1.
+                let level = pmf.map(|v| if v < 0.0 { 0.0 } else { 1.0 });
+                let complement = level.map(|v| 1.0 - v);
+                vec![EncodedStream::new(level, 1), EncodedStream::new(complement, 1)]
+            }
+        };
+        Ok(EncodedOperand { streams })
+    }
+}
+
+impl Encoding {
+    /// Encodes a single operand value into its unsigned level(s) — the
+    /// value-level counterpart of [`Self::encode`], used by the value-exact
+    /// simulator. The returned vector has one entry per device/wire (see
+    /// [`Self::devices_per_operand`]).
+    ///
+    /// Values outside the operand domain are clamped. The distribution of
+    /// `encode_value` outputs over a PMF equals the PMF-level encoding
+    /// (verified by property tests).
+    pub fn encode_value(self, v: i64, bits: u32, signed: bool) -> Vec<u64> {
+        let bits = bits.clamp(1, 32);
+        let (lo, hi) = if signed {
+            (-(1i64 << (bits - 1)), (1i64 << (bits - 1)) - 1)
+        } else {
+            (0, (1i64 << bits) - 1)
+        };
+        let v = v.clamp(lo, hi);
+        let full = 1i64 << bits;
+        let half = 1i64 << (bits - 1);
+        match self {
+            Encoding::TwosComplement => {
+                vec![if v < 0 { (v + full) as u64 } else { v as u64 }]
+            }
+            Encoding::Offset => {
+                let shifted = if signed { v + half } else { v };
+                vec![shifted.clamp(0, full - 1) as u64]
+            }
+            Encoding::Differential => {
+                if signed {
+                    vec![v.max(0) as u64, (-v).max(0) as u64]
+                } else {
+                    vec![v as u64, 0]
+                }
+            }
+            Encoding::SignMagnitude => {
+                let mag_bits = if signed { bits.saturating_sub(1).max(1) } else { bits };
+                let mag_max = (1i64 << mag_bits) - 1;
+                vec![v.abs().min(mag_max) as u64]
+            }
+            Encoding::Xnor => {
+                let level = u64::from(v >= 0);
+                vec![level, 1 - level]
+            }
+        }
+    }
+
+    /// Extracts slice `index` (LSB-first, `slice_bits` wide) from a level —
+    /// the value-level counterpart of [`EncodedStream::slice`].
+    pub fn slice_value(level: u64, slice_bits: u32, index: u32) -> u64 {
+        let slice_bits = slice_bits.max(1);
+        let mask = (1u64 << slice_bits) - 1;
+        (level >> (index * slice_bits)) & mask
+    }
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unsigned level stream produced by an encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedStream {
+    pmf: Pmf,
+    bits: u32,
+}
+
+impl EncodedStream {
+    /// Wraps a level distribution of the given width.
+    pub fn new(pmf: Pmf, bits: u32) -> Self {
+        EncodedStream { pmf, bits }
+    }
+
+    /// The level distribution (unsigned integers).
+    pub fn pmf(&self) -> &Pmf {
+        &self.pmf
+    }
+
+    /// Stream width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Splits the stream into `ceil(bits / slice_bits)` slices of
+    /// `slice_bits` bits, LSB-first. Slice distributions are exact marginal
+    /// distributions of the bit groups (no bit-independence assumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_bits` is zero.
+    pub fn slice(&self, slice_bits: u32) -> Vec<EncodedStream> {
+        assert!(slice_bits > 0, "slice width must be positive");
+        let count = self.bits.div_ceil(slice_bits).max(1);
+        let mask = (1u64 << slice_bits) - 1;
+        (0..count)
+            .map(|i| {
+                let shift = i * slice_bits;
+                let pmf = self.pmf.map(|v| {
+                    let level = v.max(0.0) as u64;
+                    ((level >> shift) & mask) as f64
+                });
+                EncodedStream::new(pmf, slice_bits)
+            })
+            .collect()
+    }
+
+    /// The average slice distribution: the mixture over all slices, i.e.,
+    /// what a device that processes every slice in turn sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_bits` is zero.
+    pub fn average_slice(&self, slice_bits: u32) -> EncodedStream {
+        let slices = self.slice(slice_bits);
+        let weighted: Vec<(f64, &Pmf)> = slices.iter().map(|s| (1.0, s.pmf())).collect();
+        let pmf = Pmf::mixture(&weighted).expect("non-empty slice list");
+        EncodedStream::new(pmf, slice_bits)
+    }
+}
+
+/// The full encoded form of an operand: one or more level streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedOperand {
+    streams: Vec<EncodedStream>,
+}
+
+impl EncodedOperand {
+    /// The level streams (1 for most encodings, 2 for differential/XNOR).
+    pub fn streams(&self) -> &[EncodedStream] {
+        &self.streams
+    }
+
+    /// The mixture of all streams: what a device bank that alternates
+    /// between streams (or a pair of devices considered together) sees.
+    pub fn mixed(&self) -> EncodedStream {
+        let bits = self.streams.iter().map(EncodedStream::bits).max().unwrap_or(1);
+        let weighted: Vec<(f64, &Pmf)> =
+            self.streams.iter().map(|s| (1.0, s.pmf())).collect();
+        let pmf = Pmf::mixture(&weighted).expect("at least one stream");
+        EncodedStream::new(pmf, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_stats::Pmf;
+
+    fn signed_pmf() -> Pmf {
+        // Mostly small values, both signs.
+        Pmf::from_weights(vec![
+            (-100.0, 0.1),
+            (-2.0, 0.2),
+            (0.0, 0.4),
+            (3.0, 0.2),
+            (90.0, 0.1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn twos_complement_wraps_negatives() {
+        let enc = Encoding::TwosComplement
+            .encode(&signed_pmf(), 8, true)
+            .unwrap();
+        let stream = &enc.streams()[0];
+        assert_eq!(stream.bits(), 8);
+        // -2 becomes 254: small negatives are LARGE levels.
+        assert!((stream.pmf().prob_of(254.0) - 0.2).abs() < 1e-12);
+        assert!(stream.pmf().min() >= 0.0);
+    }
+
+    #[test]
+    fn offset_shifts_by_half_scale() {
+        let enc = Encoding::Offset.encode(&signed_pmf(), 8, true).unwrap();
+        let stream = &enc.streams()[0];
+        // Mean moves by exactly 128.
+        assert!((stream.pmf().mean() - (signed_pmf().mean() + 128.0)).abs() < 1e-9);
+        // Zero operands become mid-scale levels (offset kills sparsity).
+        assert!((stream.pmf().prob_of(128.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_is_identity_for_unsigned() {
+        let unsigned = Pmf::uniform_ints(0, 255).unwrap();
+        let enc = Encoding::Offset.encode(&unsigned, 8, false).unwrap();
+        assert!(enc.streams()[0].pmf().total_variation(&unsigned) < 1e-12);
+    }
+
+    #[test]
+    fn differential_splits_signs_and_keeps_sparsity() {
+        let enc = Encoding::Differential
+            .encode(&signed_pmf(), 8, true)
+            .unwrap();
+        assert_eq!(enc.streams().len(), 2);
+        let pos = enc.streams()[0].pmf();
+        let neg = enc.streams()[1].pmf();
+        // v = pos − neg in expectation.
+        assert!((pos.mean() - neg.mean() - signed_pmf().mean()).abs() < 1e-9);
+        // Zeros stay zeros on both streams: sparsity preserved.
+        assert!(pos.prob_of(0.0) >= 0.4 + 0.3 - 1e-12); // zeros + negatives
+        assert!(neg.prob_of(0.0) >= 0.4 + 0.3 - 1e-12); // zeros + positives
+    }
+
+    #[test]
+    fn differential_mean_level_below_offset() {
+        // The headline benefit: for near-zero signed data, differential
+        // levels stay small while offset levels sit at mid-scale.
+        let diff = Encoding::Differential
+            .encode(&signed_pmf(), 8, true)
+            .unwrap();
+        let off = Encoding::Offset.encode(&signed_pmf(), 8, true).unwrap();
+        assert!(diff.mixed().pmf().mean() < 0.2 * off.streams()[0].pmf().mean());
+    }
+
+    #[test]
+    fn sign_magnitude_takes_abs() {
+        let enc = Encoding::SignMagnitude
+            .encode(&signed_pmf(), 8, true)
+            .unwrap();
+        let stream = &enc.streams()[0];
+        assert_eq!(stream.bits(), 7);
+        assert!((stream.pmf().prob_of(2.0) - 0.2).abs() < 1e-12);
+        assert!(stream.pmf().min() >= 0.0);
+        assert!(Encoding::SignMagnitude.encode(&signed_pmf(), 1, true).is_err());
+    }
+
+    #[test]
+    fn xnor_needs_binary() {
+        let bin = Pmf::from_weights(vec![(-1.0, 0.3), (1.0, 0.7)]).unwrap();
+        let enc = Encoding::Xnor.encode(&bin, 1, true).unwrap();
+        assert_eq!(enc.streams().len(), 2);
+        assert!((enc.streams()[0].pmf().mean() - 0.7).abs() < 1e-12);
+        assert!((enc.streams()[1].pmf().mean() - 0.3).abs() < 1e-12);
+        assert!(Encoding::Xnor.encode(&bin, 8, true).is_err());
+    }
+
+    #[test]
+    fn slicing_reassembles_exactly() {
+        let pmf = Pmf::uniform_ints(0, 255).unwrap();
+        let stream = EncodedStream::new(pmf, 8);
+        let slices = stream.slice(4);
+        assert_eq!(slices.len(), 2);
+        // E[v] = E[lo] + 16·E[hi].
+        let reconstructed = slices[0].pmf().mean() + 16.0 * slices[1].pmf().mean();
+        assert!((reconstructed - stream.pmf().mean()).abs() < 1e-9);
+        for s in &slices {
+            assert!(s.pmf().max() <= 15.0);
+        }
+    }
+
+    #[test]
+    fn slicing_is_exact_for_correlated_bits() {
+        // Value 0b1111 only: both slices are always 0b11 — a
+        // bit-independence assumption would get this wrong.
+        let pmf = Pmf::from_weights(vec![(15.0, 0.5), (0.0, 0.5)]).unwrap();
+        let slices = EncodedStream::new(pmf, 4).slice(2);
+        for s in &slices {
+            assert!((s.pmf().prob_of(3.0) - 0.5).abs() < 1e-12);
+            assert!((s.pmf().prob_of(0.0) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uneven_slicing_pads_top_slice() {
+        let pmf = Pmf::uniform_ints(0, 255).unwrap();
+        let slices = EncodedStream::new(pmf, 8).slice(3);
+        assert_eq!(slices.len(), 3); // 3+3+2 bits
+        assert!(slices[2].pmf().max() <= 3.0); // top slice holds 2 bits
+    }
+
+    #[test]
+    fn average_slice_mixes_uniformly() {
+        let pmf = Pmf::delta(0x0F as f64).unwrap(); // low slice 15, high slice 0
+        let avg = EncodedStream::new(pmf, 8).average_slice(4);
+        assert!((avg.pmf().prob_of(15.0) - 0.5).abs() < 1e-12);
+        assert!((avg.pmf().prob_of(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_rejects_bad_bits() {
+        let pmf = Pmf::delta(1.0).unwrap();
+        assert!(Encoding::Offset.encode(&pmf, 0, false).is_err());
+        assert!(Encoding::Offset.encode(&pmf, 33, false).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The data-value-dependent pipeline (paper §III-C): derives, for every
+//! component, the distribution of values it propagates.
+//!
+//! Steps (per layer):
+//!
+//! 1. Workload operand distributions (from the workload substrate).
+//! 2. Encoding and slicing (via [`crate::Encoding`] /
+//!    [`crate::Representation`]): word-level level streams and per-slice
+//!    distributions.
+//! 3. Analog column sums: the distribution of the value an ADC / analog
+//!    adder / accumulator reads is the `rows`-fold convolution of the
+//!    slice-product distribution, where `rows` is the in-network reduction
+//!    width of the architecture (mapping-invariant, paper §III-D3).
+//!
+//! The per-tensor independence assumption (paper §III-D1) is what the
+//! value-exact simulator quantifies in Fig 6.
+
+use std::collections::BTreeMap;
+
+use cimloop_circuits::ValueContext;
+use cimloop_spec::{Component, Hierarchy, Reuse, Tensor};
+use cimloop_stats::Pmf;
+use cimloop_workload::Layer;
+
+use crate::{CoreError, EncodedStream, Representation};
+
+/// Support cap for intermediate convolution results.
+const SUM_SUPPORT: usize = 512;
+
+/// Component classes that compute MACs against a stored operand.
+const CELL_CLASSES: [&str; 3] = ["sram_cim_cell", "reram_cim_cell", "c2c_mac"];
+
+/// Per-layer value distributions for every component of a hierarchy.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    input_word: EncodedStream,
+    weight_word: EncodedStream,
+    input_slice: EncodedStream,
+    weight_slice: EncodedStream,
+    /// Normalized column-sum distribution per output-component width.
+    sums_by_bits: BTreeMap<u32, Pmf>,
+    reduction_rows: u64,
+}
+
+impl Pipeline {
+    /// Builds the pipeline for `layer` represented per `rep` on `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution and encoding errors.
+    pub fn new(
+        hierarchy: &Hierarchy,
+        layer: &Layer,
+        rep: &Representation,
+    ) -> Result<Self, CoreError> {
+        let input_encoded = rep.input_encoding().encode(
+            &layer.input_pmf()?,
+            layer.input_bits(),
+            layer.input_signed(),
+        )?;
+        let weight_encoded = rep.weight_encoding().encode(
+            &layer.weight_pmf()?,
+            layer.weight_bits(),
+            layer.weight_signed(),
+        )?;
+        let input_word = input_encoded.mixed();
+        let weight_word = weight_encoded.mixed();
+        let input_slice = input_word.average_slice(rep.dac_bits());
+        let weight_slice = weight_word.average_slice(rep.cell_bits());
+
+        // The in-network reduction width: product of mesh fanouts of nodes
+        // that spatially reduce outputs (typically the array rows). This is
+        // an architectural constant, keeping per-action energy
+        // mapping-invariant.
+        let reduction_rows = hierarchy
+            .nodes()
+            .iter()
+            .filter(|n| n.spatial_reuse(Tensor::Outputs))
+            .map(|n| n.spatial().fanout())
+            .product::<u64>()
+            .max(1);
+
+        // Distribution of one slice-granular analog MAC product, then of
+        // the column sum over the reduction rows.
+        let product = input_slice
+            .pmf()
+            .product(weight_slice.pmf())
+            .coarsen(SUM_SUPPORT);
+        let sum = product.convolve_n(reduction_rows, SUM_SUPPORT);
+        let sum_max = (slice_max(rep.dac_bits()) * slice_max(rep.cell_bits()))
+            * reduction_rows as f64;
+
+        // Pre-normalize the sum for every output-side resolution present in
+        // the hierarchy.
+        let mut sums_by_bits = BTreeMap::new();
+        for component in hierarchy.components() {
+            if component.reuse(Tensor::Outputs).is_active() {
+                let bits = output_bits(component);
+                sums_by_bits.entry(bits).or_insert_with(|| {
+                    normalize_sum(&sum, sum_max, bits)
+                });
+            }
+        }
+        // Always provide an 8-bit view for callers outside the hierarchy.
+        sums_by_bits
+            .entry(8)
+            .or_insert_with(|| normalize_sum(&sum, sum_max, 8));
+
+        Ok(Pipeline {
+            input_word,
+            weight_word,
+            input_slice,
+            weight_slice,
+            sums_by_bits,
+            reduction_rows,
+        })
+    }
+
+    /// The in-network output-reduction width used for column sums.
+    pub fn reduction_rows(&self) -> u64 {
+        self.reduction_rows
+    }
+
+    /// Word-level encoded input stream.
+    pub fn input_word(&self) -> &EncodedStream {
+        &self.input_word
+    }
+
+    /// Word-level encoded weight stream.
+    pub fn weight_word(&self) -> &EncodedStream {
+        &self.weight_word
+    }
+
+    /// Average input slice stream (what a DAC sees).
+    pub fn input_slice(&self) -> &EncodedStream {
+        &self.input_slice
+    }
+
+    /// Average weight slice stream (what a cell stores).
+    pub fn weight_slice(&self) -> &EncodedStream {
+        &self.weight_slice
+    }
+
+    /// The column-sum distribution normalized to `bits` (what an ADC of
+    /// that resolution reads). Falls back to the 8-bit view for widths not
+    /// present in the hierarchy.
+    pub fn column_sum(&self, bits: u32) -> &Pmf {
+        self.sums_by_bits
+            .get(&bits)
+            .or_else(|| self.sums_by_bits.get(&8))
+            .expect("8-bit view always present")
+    }
+
+    /// The value context `component` sees when acting on `tensor`
+    /// (paper §III-C1c: each component uses the distributions differently).
+    pub fn context_for(&self, component: &Component, tensor: Tensor) -> ValueContext<'_> {
+        match tensor {
+            Tensor::Inputs => {
+                if is_word_storage(component) {
+                    ValueContext::driven(self.input_word.pmf(), self.input_word.bits())
+                } else {
+                    ValueContext::driven(self.input_slice.pmf(), self.input_slice.bits())
+                }
+            }
+            Tensor::Weights => {
+                if CELL_CLASSES.contains(&component.class()) {
+                    ValueContext::cell(
+                        self.input_slice.pmf(),
+                        self.input_slice.bits(),
+                        self.weight_slice.pmf(),
+                        self.weight_slice.bits(),
+                    )
+                } else if is_word_storage(component) {
+                    ValueContext::driven(self.weight_word.pmf(), self.weight_word.bits())
+                } else {
+                    ValueContext::driven(self.weight_slice.pmf(), self.weight_slice.bits())
+                }
+            }
+            Tensor::Outputs => {
+                let bits = output_bits(component);
+                ValueContext::driven(self.column_sum(bits), bits)
+            }
+        }
+    }
+}
+
+fn slice_max(bits: u32) -> f64 {
+    ((1u64 << bits) - 1) as f64
+}
+
+fn output_bits(component: &Component) -> u32 {
+    component
+        .attributes()
+        .int("resolution")
+        .or_else(|| component.attributes().int("bits"))
+        .unwrap_or(8)
+        .clamp(1, 16) as u32
+}
+
+fn is_word_storage(component: &Component) -> bool {
+    let temporal = Tensor::ALL
+        .iter()
+        .any(|&t| component.reuse(t) == Reuse::Temporal);
+    temporal && !component.attributes().bool("slice_storage").unwrap_or(false)
+}
+
+fn normalize_sum(sum: &Pmf, sum_max: f64, bits: u32) -> Pmf {
+    let target_max = slice_max(bits);
+    if sum_max <= 0.0 {
+        return Pmf::delta(0.0).expect("0 is finite");
+    }
+    sum.map(|v| (v / sum_max * target_max).round().clamp(0.0, target_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_spec::{Component, Container, Hierarchy, Spatial};
+    use cimloop_workload::{LayerKind, Shape, ValueProfile};
+    use crate::Encoding;
+
+    fn hierarchy(rows: u64) -> Hierarchy {
+        Hierarchy::builder()
+            .component(
+                Component::new("buffer")
+                    .with_class("sram_buffer")
+                    .with_reuse(Tensor::Inputs, Reuse::Temporal)
+                    .with_reuse(Tensor::Outputs, Reuse::Temporal),
+            )
+            .container(Container::new("macro"))
+            .component(
+                Component::new("DAC")
+                    .with_class("dac")
+                    .with_reuse(Tensor::Inputs, Reuse::NoCoalesce),
+            )
+            .container(
+                Container::new("column")
+                    .with_spatial(Spatial::new(4, 1))
+                    .with_spatial_reuse(Tensor::Inputs),
+            )
+            .component(
+                Component::new("ADC")
+                    .with_class("sar_adc")
+                    .with_attr("resolution", 6i64)
+                    .with_reuse(Tensor::Outputs, Reuse::NoCoalesce),
+            )
+            .component(
+                Component::new("cell")
+                    .with_class("sram_cim_cell")
+                    .with_attr("slice_storage", true)
+                    .with_spatial(Spatial::new(1, rows))
+                    .with_reuse(Tensor::Weights, Reuse::Temporal)
+                    .with_spatial_reuse(Tensor::Outputs),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn layer() -> Layer {
+        Layer::new("l", LayerKind::Linear, Shape::linear(4, 16, 16).unwrap())
+            .with_input_profile(ValueProfile::ReluActivations {
+                sparsity: 0.5,
+                sigma: 0.2,
+            })
+            .with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.15 })
+    }
+
+    fn rep() -> Representation {
+        Representation::new(Encoding::TwosComplement, Encoding::Offset, 1, 4).unwrap()
+    }
+
+    #[test]
+    fn reduction_rows_from_architecture() {
+        let p = Pipeline::new(&hierarchy(16), &layer(), &rep()).unwrap();
+        assert_eq!(p.reduction_rows(), 16);
+    }
+
+    #[test]
+    fn slice_streams_have_requested_widths() {
+        let p = Pipeline::new(&hierarchy(16), &layer(), &rep()).unwrap();
+        assert_eq!(p.input_slice().bits(), 1);
+        assert_eq!(p.weight_slice().bits(), 4);
+        assert!(p.input_slice().pmf().max() <= 1.0);
+        assert!(p.weight_slice().pmf().max() <= 15.0);
+    }
+
+    #[test]
+    fn column_sum_normalized_to_component_resolution() {
+        let p = Pipeline::new(&hierarchy(16), &layer(), &rep()).unwrap();
+        let sum6 = p.column_sum(6);
+        assert!(sum6.max() <= 63.0);
+        assert!(sum6.min() >= 0.0);
+    }
+
+    #[test]
+    fn sparse_inputs_yield_small_sums() {
+        let sparse_layer = layer().with_input_profile(ValueProfile::ReluActivations {
+            sparsity: 0.9,
+            sigma: 0.1,
+        });
+        let dense_layer = layer().with_input_profile(ValueProfile::UniformUnsigned);
+        let p_sparse = Pipeline::new(&hierarchy(16), &sparse_layer, &rep()).unwrap();
+        let p_dense = Pipeline::new(&hierarchy(16), &dense_layer, &rep()).unwrap();
+        assert!(p_sparse.column_sum(8).mean() < p_dense.column_sum(8).mean());
+    }
+
+    #[test]
+    fn contexts_route_the_right_distributions() {
+        let h = hierarchy(16);
+        let p = Pipeline::new(&h, &layer(), &rep()).unwrap();
+
+        // The DAC sees input slices (1-bit here).
+        let dac_ctx = p.context_for(h.component("DAC").unwrap(), Tensor::Inputs);
+        assert_eq!(dac_ctx.bits, 1);
+
+        // The buffer sees whole words.
+        let buf_ctx = p.context_for(h.component("buffer").unwrap(), Tensor::Inputs);
+        assert_eq!(buf_ctx.bits, 8);
+
+        // The cell sees both operands.
+        let cell_ctx = p.context_for(h.component("cell").unwrap(), Tensor::Weights);
+        assert!(cell_ctx.driven.is_some());
+        assert!(cell_ctx.stored.is_some());
+        assert_eq!(cell_ctx.stored_bits, 4);
+
+        // The ADC sees the 6-bit-normalized column sum.
+        let adc_ctx = p.context_for(h.component("ADC").unwrap(), Tensor::Outputs);
+        assert_eq!(adc_ctx.bits, 6);
+        assert!(adc_ctx.driven.unwrap().max() <= 63.0);
+    }
+
+    #[test]
+    fn wider_reduction_shifts_sum_distribution() {
+        let few = Pipeline::new(&hierarchy(4), &layer(), &rep()).unwrap();
+        let many = Pipeline::new(&hierarchy(256), &layer(), &rep()).unwrap();
+        // Relative to full scale, more rows concentrate the normalized sum
+        // (averaging effect) — the distributions must differ.
+        let d = few.column_sum(8).total_variation(many.column_sum(8));
+        assert!(d > 0.05, "distributions too similar: {d}");
+    }
+}

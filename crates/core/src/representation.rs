@@ -1,0 +1,195 @@
+use cimloop_workload::Layer;
+
+use crate::{CoreError, Encoding};
+
+/// How a macro represents operands in hardware: the encodings plus the
+/// bits-per-device slicing (paper §III-C1b).
+///
+/// `dac_bits` is the input bits converted per DAC use (1 = bit-serial);
+/// `cell_bits` is the weight bits stored per memory cell. The implied slice
+/// counts become the extended-Einsum `Is`/`Ws` bounds the mapper schedules.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_core::{Encoding, Representation};
+///
+/// # fn main() -> Result<(), cimloop_core::CoreError> {
+/// // Bit-serial inputs into 4-bit cells, RAELLA-style differential weights.
+/// let rep = Representation::new(Encoding::TwosComplement, Encoding::Differential, 1, 4)?;
+/// assert_eq!(rep.dac_bits(), 1);
+/// assert_eq!(rep.cell_bits(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Representation {
+    input_encoding: Encoding,
+    weight_encoding: Encoding,
+    dac_bits: u32,
+    cell_bits: u32,
+}
+
+impl Representation {
+    /// Creates a representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Representation`] if either slice width is zero
+    /// or above 16.
+    pub fn new(
+        input_encoding: Encoding,
+        weight_encoding: Encoding,
+        dac_bits: u32,
+        cell_bits: u32,
+    ) -> Result<Self, CoreError> {
+        for (name, bits) in [("dac_bits", dac_bits), ("cell_bits", cell_bits)] {
+            if bits == 0 || bits > 16 {
+                return Err(CoreError::Representation {
+                    message: format!("{name} must be in 1..=16, got {bits}"),
+                });
+            }
+        }
+        Ok(Representation {
+            input_encoding,
+            weight_encoding,
+            dac_bits,
+            cell_bits,
+        })
+    }
+
+    /// A common default: unsigned inputs pass through, signed weights use
+    /// offset encoding, 1-bit DACs, `cell_bits`-bit cells.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn bit_serial(cell_bits: u32) -> Result<Self, CoreError> {
+        Self::new(Encoding::TwosComplement, Encoding::Offset, 1, cell_bits)
+    }
+
+    /// The input encoding.
+    pub fn input_encoding(&self) -> Encoding {
+        self.input_encoding
+    }
+
+    /// The weight encoding.
+    pub fn weight_encoding(&self) -> Encoding {
+        self.weight_encoding
+    }
+
+    /// Input bits per DAC conversion.
+    pub fn dac_bits(&self) -> u32 {
+        self.dac_bits
+    }
+
+    /// Weight bits per memory cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Returns a copy with different slice widths.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_slicing(&self, dac_bits: u32, cell_bits: u32) -> Result<Self, CoreError> {
+        Self::new(self.input_encoding, self.weight_encoding, dac_bits, cell_bits)
+    }
+
+    /// Number of temporal input slices for `layer` (the `Is` bound):
+    /// `ceil(input_bits / dac_bits) × devices(input encoding)`.
+    pub fn input_slices(&self, layer: &Layer) -> u64 {
+        let encoded_bits = self.encoded_input_bits(layer);
+        encoded_bits.div_ceil(self.dac_bits) as u64
+            * self.input_encoding.devices_per_operand()
+    }
+
+    /// Number of weight slices for `layer` (the `Ws` bound):
+    /// `ceil(weight_bits / cell_bits) × devices(weight encoding)`.
+    pub fn weight_slices(&self, layer: &Layer) -> u64 {
+        let encoded_bits = self.encoded_weight_bits(layer);
+        encoded_bits.div_ceil(self.cell_bits) as u64
+            * self.weight_encoding.devices_per_operand()
+    }
+
+    /// Width of the encoded input stream for `layer`.
+    pub fn encoded_input_bits(&self, layer: &Layer) -> u32 {
+        encoded_bits(self.input_encoding, layer.input_bits(), layer.input_signed())
+    }
+
+    /// Width of the encoded weight stream for `layer`.
+    pub fn encoded_weight_bits(&self, layer: &Layer) -> u32 {
+        encoded_bits(self.weight_encoding, layer.weight_bits(), layer.weight_signed())
+    }
+}
+
+fn encoded_bits(encoding: Encoding, bits: u32, signed: bool) -> u32 {
+    match encoding {
+        Encoding::SignMagnitude if signed => bits.saturating_sub(1).max(1),
+        Encoding::Xnor => 1,
+        _ => bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_workload::{Layer, LayerKind, Shape};
+
+    fn layer(in_bits: u32, w_bits: u32) -> Layer {
+        Layer::new("l", LayerKind::Linear, Shape::linear(1, 8, 8).unwrap())
+            .with_input_bits(in_bits)
+            .with_weight_bits(w_bits)
+    }
+
+    #[test]
+    fn slice_counts() {
+        let rep = Representation::new(Encoding::TwosComplement, Encoding::Offset, 1, 4).unwrap();
+        let l = layer(8, 8);
+        assert_eq!(rep.input_slices(&l), 8); // bit-serial
+        assert_eq!(rep.weight_slices(&l), 2); // 8b into 4b cells
+    }
+
+    #[test]
+    fn differential_doubles_devices() {
+        let rep = Representation::new(Encoding::Differential, Encoding::Differential, 4, 8)
+            .unwrap();
+        let l = layer(8, 8);
+        assert_eq!(rep.input_slices(&l), 4); // 2 slices × 2 wires
+        assert_eq!(rep.weight_slices(&l), 2); // 1 slice × 2 cells
+    }
+
+    #[test]
+    fn sign_magnitude_sheds_the_sign_bit() {
+        let rep =
+            Representation::new(Encoding::TwosComplement, Encoding::SignMagnitude, 1, 7).unwrap();
+        let l = layer(8, 8);
+        assert_eq!(rep.encoded_weight_bits(&l), 7);
+        assert_eq!(rep.weight_slices(&l), 1);
+    }
+
+    #[test]
+    fn xnor_is_one_bit() {
+        let rep = Representation::new(Encoding::TwosComplement, Encoding::Xnor, 1, 1).unwrap();
+        let l = layer(8, 1);
+        assert_eq!(rep.encoded_weight_bits(&l), 1);
+        assert_eq!(rep.weight_slices(&l), 2); // complement pair
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Representation::new(Encoding::Offset, Encoding::Offset, 0, 4).is_err());
+        assert!(Representation::new(Encoding::Offset, Encoding::Offset, 4, 17).is_err());
+        assert!(Representation::bit_serial(4).is_ok());
+    }
+
+    #[test]
+    fn with_slicing_changes_widths() {
+        let rep = Representation::bit_serial(4).unwrap();
+        let wider = rep.with_slicing(2, 8).unwrap();
+        assert_eq!(wider.dac_bits(), 2);
+        assert_eq!(wider.cell_bits(), 8);
+        assert_eq!(wider.input_encoding(), rep.input_encoding());
+    }
+}

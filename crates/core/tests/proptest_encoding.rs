@@ -1,0 +1,89 @@
+//! Property tests: the encoding invariants of DESIGN.md §5, including
+//! consistency between PMF-level and value-level encoding.
+
+use cimloop_core::Encoding;
+use cimloop_stats::Pmf;
+use proptest::prelude::*;
+
+fn arb_signed_pmf(bits: u32) -> impl Strategy<Value = Pmf> {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    prop::collection::vec((lo..=hi, 1u32..50), 1..12).prop_map(|pairs| {
+        Pmf::from_weights(pairs.into_iter().map(|(v, w)| (v as f64, w as f64)))
+            .expect("valid weights")
+    })
+}
+
+proptest! {
+    #[test]
+    fn pmf_and_value_level_encodings_agree(pmf in arb_signed_pmf(8), enc_idx in 0usize..4) {
+        // XNOR excluded (needs 1-bit operands); tested separately.
+        let enc = [
+            Encoding::TwosComplement,
+            Encoding::Offset,
+            Encoding::Differential,
+            Encoding::SignMagnitude,
+        ][enc_idx];
+        let encoded = enc.encode(&pmf, 8, true).unwrap();
+        // Push every support value through encode_value; the resulting
+        // distribution per stream must equal the PMF-level encoding.
+        for (stream_idx, stream) in encoded.streams().iter().enumerate() {
+            let mapped = pmf.map(|v| enc.encode_value(v as i64, 8, true)[stream_idx] as f64);
+            prop_assert!(
+                mapped.total_variation(stream.pmf()) < 1e-9,
+                "{enc}: stream {stream_idx} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_reconstructs_value(v in -128i64..=127) {
+        let parts = Encoding::Differential.encode_value(v, 8, true);
+        prop_assert_eq!(parts[0] as i64 - parts[1] as i64, v);
+        // One side is always zero.
+        prop_assert!(parts[0] == 0 || parts[1] == 0);
+    }
+
+    #[test]
+    fn offset_round_trips(v in -128i64..=127) {
+        let level = Encoding::Offset.encode_value(v, 8, true)[0];
+        prop_assert_eq!(level as i64 - 128, v);
+    }
+
+    #[test]
+    fn twos_complement_matches_bit_pattern(v in -128i64..=127) {
+        let level = Encoding::TwosComplement.encode_value(v, 8, true)[0];
+        prop_assert_eq!(level, (v as u8) as u64);
+    }
+
+    #[test]
+    fn slices_reassemble_level(level in 0u64..=255, slice_bits in 1u32..=8) {
+        let count = 8u32.div_ceil(slice_bits);
+        let mut rebuilt = 0u64;
+        for i in 0..count {
+            rebuilt |= Encoding::slice_value(level, slice_bits, i) << (i * slice_bits);
+        }
+        prop_assert_eq!(rebuilt, level);
+    }
+
+    #[test]
+    fn all_levels_fit_their_width(v in -128i64..=127, enc_idx in 0usize..4) {
+        let enc = [
+            Encoding::TwosComplement,
+            Encoding::Offset,
+            Encoding::Differential,
+            Encoding::SignMagnitude,
+        ][enc_idx];
+        let encoded = enc.encode(&Pmf::delta(v as f64).unwrap(), 8, true).unwrap();
+        for (i, level) in enc.encode_value(v, 8, true).iter().enumerate() {
+            let bits = encoded.streams()[i].bits();
+            prop_assert!(*level < (1u64 << bits.max(1)), "{enc}: level {level} exceeds {bits} bits");
+        }
+    }
+
+    #[test]
+    fn xnor_levels_complement(v in -1i64..=1) {
+        let parts = Encoding::Xnor.encode_value(v, 1, true);
+        prop_assert_eq!(parts[0] + parts[1], 1);
+    }
+}

@@ -1,0 +1,588 @@
+use cimloop_core::{CoreError, Encoding, Evaluator, Representation};
+use cimloop_spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
+
+use crate::calibrate;
+use crate::reference::Anchor;
+
+/// How a macro combines analog outputs beyond the in-array row sum
+/// (the ADC-energy-reduction strategies of the paper's Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputCombine {
+    /// Rows sum on the bitline; one ADC per column (the base macro and
+    /// Macro D).
+    None,
+    /// Outputs of `columns_per_group` adjacent columns (holding bits of
+    /// *different* weights) sum on wires before one shared ADC (Macro A).
+    WireSum {
+        /// Columns sharing one output/ADC.
+        columns_per_group: u64,
+    },
+    /// An analog adder sums `operands` adjacent columns holding different
+    /// bits of the *same* weight before one shared ADC (Macro B).
+    AnalogAdder {
+        /// Analog operands per adder.
+        operands: u32,
+    },
+    /// An analog accumulator integrates column outputs across input-bit
+    /// cycles; the ADC converts once per accumulated group (Macro C).
+    AnalogAccumulator,
+}
+
+/// A configurable CiM macro: array geometry, converters, data
+/// representation, and output-combining strategy.
+///
+/// Builders return `self` so configurations chain; see the crate-level
+/// constructors ([`crate::macro_a`] …) for the published configurations.
+#[derive(Debug, Clone)]
+pub struct ArrayMacro {
+    name: String,
+    node_nm: f64,
+    rows: u64,
+    cols: u64,
+    adc_bits: u32,
+    adc_rate: f64,
+    dac_class: String,
+    cell_class: String,
+    dac_bits: u32,
+    cell_bits: u32,
+    input_encoding: Encoding,
+    weight_encoding: Encoding,
+    combine: OutputCombine,
+    digital_readout: bool,
+    storage_banks: u64,
+    supply_voltage: Option<f64>,
+    buffer_entries: u64,
+    energy_scale: f64,
+    latency_scale: f64,
+    component_energy: Vec<(String, f64)>,
+    component_area: Vec<(String, f64)>,
+    calibration: Option<Anchor>,
+}
+
+impl ArrayMacro {
+    /// Creates an uncalibrated macro with sensible defaults.
+    pub fn new(name: impl Into<String>, node_nm: f64, rows: u64, cols: u64) -> Self {
+        ArrayMacro {
+            name: name.into(),
+            node_nm,
+            rows: rows.max(1),
+            cols: cols.max(1),
+            adc_bits: 8,
+            adc_rate: 100e6,
+            dac_class: "pulse_driver".to_owned(),
+            cell_class: "sram_cim_cell".to_owned(),
+            dac_bits: 1,
+            cell_bits: 1,
+            input_encoding: Encoding::TwosComplement,
+            weight_encoding: Encoding::Offset,
+            combine: OutputCombine::None,
+            digital_readout: false,
+            storage_banks: 1,
+            supply_voltage: None,
+            buffer_entries: 65536,
+            energy_scale: 1.0,
+            latency_scale: 1.0,
+            component_energy: Vec::new(),
+            component_area: Vec::new(),
+            calibration: None,
+        }
+    }
+
+    /// Applies a per-component energy multiplier (the paper's component
+    /// calibration: each component's energy is matched to published
+    /// values).
+    pub fn with_component_energy(mut self, component: &str, scale: f64) -> Self {
+        self.component_energy.push((component.to_owned(), scale));
+        self
+    }
+
+    /// Applies a per-component area multiplier.
+    pub fn with_component_area(mut self, component: &str, scale: f64) -> Self {
+        self.component_area.push((component.to_owned(), scale));
+        self
+    }
+
+    /// Sets the memory-cell component class.
+    pub fn with_cell_class(mut self, class: &str) -> Self {
+        self.cell_class = class.to_owned();
+        self
+    }
+
+    /// Sets the input-converter component class.
+    pub fn with_dac_class(mut self, class: &str) -> Self {
+        self.dac_class = class.to_owned();
+        self
+    }
+
+    /// Sets ADC resolution and conversion rate.
+    pub fn with_adc(mut self, bits: u32, rate: f64) -> Self {
+        self.adc_bits = bits;
+        self.adc_rate = rate;
+        self
+    }
+
+    /// Sets only the ADC resolution (architecture sweeps).
+    pub fn with_adc_bits(mut self, bits: u32) -> Self {
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Sets the input/weight slice widths (DAC bits and cell bits).
+    pub fn with_slicing(mut self, dac_bits: u32, cell_bits: u32) -> Self {
+        self.dac_bits = dac_bits;
+        self.cell_bits = cell_bits;
+        self
+    }
+
+    /// Sets the operand encodings.
+    pub fn with_encodings(mut self, input: Encoding, weight: Encoding) -> Self {
+        self.input_encoding = input;
+        self.weight_encoding = weight;
+        self
+    }
+
+    /// Sets the output-combining strategy.
+    pub fn with_output_combine(mut self, combine: OutputCombine) -> Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Replaces ADC readout with a digital adder tree (digital CiM).
+    pub fn with_digital_readout(mut self) -> Self {
+        self.digital_readout = true;
+        self
+    }
+
+    /// Extra weight-storage banks counted as array area but not compute
+    /// parallelism (Macro D's 512-row array with a 64-row active subset).
+    pub fn with_storage_banks(mut self, banks: u64) -> Self {
+        self.storage_banks = banks.max(1);
+        self
+    }
+
+    /// Overrides the supply voltage (energy ∝ V², alpha-power-law delay).
+    pub fn with_supply_voltage(mut self, volts: f64) -> Self {
+        self.supply_voltage = Some(volts);
+        self
+    }
+
+    /// Clears any supply override (back to the node nominal).
+    pub fn at_nominal_voltage(mut self) -> Self {
+        self.supply_voltage = None;
+        self
+    }
+
+    /// Resizes the array.
+    pub fn with_array(mut self, rows: u64, cols: u64) -> Self {
+        self.rows = rows.max(1);
+        self.cols = cols.max(1);
+        self
+    }
+
+    /// Moves the macro to a different process node (cross-macro studies).
+    pub fn with_node(mut self, node_nm: f64) -> Self {
+        self.node_nm = node_nm;
+        self
+    }
+
+    /// Sets the I/O buffer capacity in words.
+    pub fn with_buffer_entries(mut self, entries: u64) -> Self {
+        self.buffer_entries = entries.max(1);
+        self
+    }
+
+    /// Attaches a calibration anchor: the evaluator scales component
+    /// energy/latency so the macro reproduces the anchor's published
+    /// TOPS/W and GOPS at the anchor operating point.
+    pub fn with_calibration(mut self, anchor: Anchor) -> Self {
+        self.calibration = Some(anchor);
+        self
+    }
+
+    /// Removes calibration (raw analytical models).
+    pub fn uncalibrated(mut self) -> Self {
+        self.calibration = None;
+        self
+    }
+
+    /// Applies explicit energy/latency multipliers (used internally by
+    /// calibration; exposed for manual tuning).
+    pub fn with_scales(mut self, energy: f64, latency: f64) -> Self {
+        self.energy_scale = energy;
+        self.latency_scale = latency;
+        self
+    }
+
+    /// The macro's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Active array rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Process node in nanometers.
+    pub fn node_nm(&self) -> f64 {
+        self.node_nm
+    }
+
+    /// ADC resolution in bits.
+    pub fn adc_bits(&self) -> u32 {
+        self.adc_bits
+    }
+
+    /// Input bits per DAC conversion.
+    pub fn dac_bits(&self) -> u32 {
+        self.dac_bits
+    }
+
+    /// Weight bits per cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Storage-bank multiplier (area only).
+    pub fn storage_banks(&self) -> u64 {
+        self.storage_banks
+    }
+
+    /// The output-combining strategy.
+    pub fn output_combine(&self) -> OutputCombine {
+        self.combine
+    }
+
+    /// The calibration anchor, if any.
+    pub fn calibration(&self) -> Option<Anchor> {
+        self.calibration
+    }
+
+    /// The macro's data representation.
+    pub fn representation(&self) -> Representation {
+        Representation::new(
+            self.input_encoding,
+            self.weight_encoding,
+            self.dac_bits,
+            self.cell_bits,
+        )
+        .expect("macro slice widths validated at construction sites")
+    }
+
+    /// Builds the container-hierarchy for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation errors (e.g., inconsistent grouping).
+    pub fn hierarchy(&self) -> Result<Hierarchy, CoreError> {
+        let mut b = Hierarchy::builder();
+
+        // I/O staging at the macro edge: published macro-level numbers
+        // exclude the big system SRAM (modeled by `cimloop-system`), so the
+        // macro itself carries cheap register-file staging.
+        let mut buffer = Component::new("buffer")
+            .with_class("regfile")
+            .with_reuse(Tensor::Inputs, Reuse::Temporal)
+            .with_reuse(Tensor::Outputs, Reuse::Temporal)
+            .with_attr("entries", (self.rows.max(self.cols) * 2) as i64)
+            .with_attr("width", 16i64);
+        if self.digital_readout {
+            buffer = buffer.with_attr("temporal_dims", "Is");
+        }
+        b = b.component(self.common(buffer));
+        b = b.container(Container::new(format!("{}_macro", self.name)));
+
+        if self.digital_readout {
+            b = self.digital_inner(b);
+        } else {
+            b = self.analog_inner(b);
+        }
+        Ok(b.build()?)
+    }
+
+    /// Builds a calibrated evaluator for this macro.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hierarchy, model-building, and calibration errors.
+    pub fn evaluator(&self) -> Result<Evaluator, CoreError> {
+        let configured = match self.calibration {
+            Some(anchor) => {
+                let (e, l) = calibrate::calibrate(self, anchor)?;
+                self.clone().with_scales(self.energy_scale * e, self.latency_scale * l)
+            }
+            None => self.clone(),
+        };
+        Evaluator::new(configured.hierarchy()?)
+    }
+
+    /// Builds an uncalibrated evaluator (raw analytical models).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hierarchy and model-building errors.
+    pub fn raw_evaluator(&self) -> Result<Evaluator, CoreError> {
+        Evaluator::new(self.hierarchy()?)
+    }
+
+    /// Shared attributes every component carries. Per-component
+    /// calibration multiplies into the macro-wide scales and any scale the
+    /// component already set.
+    fn common(&self, component: Component) -> Component {
+        let e_cal = self.component_scale(&self.component_energy, component.name());
+        let a_cal = self.component_scale(&self.component_area, component.name());
+        let e_prior = component.attributes().float_or("energy_scale", 1.0);
+        let a_prior = component.attributes().float_or("area_scale", 1.0);
+        let mut c = component
+            .with_attr("technology", self.node_nm)
+            .with_attr("energy_scale", self.energy_scale * e_cal * e_prior)
+            .with_attr("area_scale", a_cal * a_prior)
+            .with_attr("latency_scale", self.latency_scale);
+        if let Some(v) = self.supply_voltage {
+            c = c.with_attr("supply_voltage", v);
+        }
+        c
+    }
+
+    fn component_scale(&self, table: &[(String, f64)], name: &str) -> f64 {
+        table
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .product()
+    }
+
+    /// The analog readout chain: accumulator → DAC → (grouping) → ADC →
+    /// cells, per the configured combine strategy.
+    fn analog_inner(&self, mut b: cimloop_spec::HierarchyBuilder) -> cimloop_spec::HierarchyBuilder {
+        // Digital shift-add accumulator merging slice partials across
+        // cycles; owns the input-bit-serial loop unless Macro C's analog
+        // accumulator takes it.
+        let mut accumulator = Component::new("accumulator")
+            .with_class("shift_add")
+            .with_attr("bits", 24i64)
+            .with_reuse(Tensor::Outputs, Reuse::Temporal);
+        if self.combine != OutputCombine::AnalogAccumulator {
+            accumulator = accumulator.with_attr("temporal_dims", "Is");
+        }
+        b = b.component(self.common(accumulator));
+
+        // Row control (decoders, pulse sequencing): one action per input
+        // delivery; area for all rows.
+        let control = Component::new("control")
+            .with_class("decoder")
+            .with_attr("address_bits", 8i64)
+            .with_attr("area_scale", self.rows as f64)
+            .with_reuse(Tensor::Inputs, Reuse::NoCoalesce);
+        b = b.component(self.common(control));
+
+        // Input converters: one per row, outside the column fanout so
+        // inputs multicast across columns.
+        let dac = Component::new("dac")
+            .with_class(self.dac_class.as_str())
+            .with_attr("resolution", self.dac_bits as i64)
+            .with_attr("cols", self.cols as i64)
+            .with_attr("area_scale", self.rows as f64)
+            .with_reuse(Tensor::Inputs, Reuse::NoCoalesce);
+        b = b.component(self.common(dac));
+
+        match self.combine {
+            OutputCombine::None | OutputCombine::AnalogAccumulator => {
+                let column = Container::new("column")
+                    .with_spatial(Spatial::new(self.cols, 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_attr("spatial_dims", "K, Ws");
+                b = b.container(column);
+                b = b.component(self.common(self.adc()));
+                if self.combine == OutputCombine::AnalogAccumulator {
+                    let accum = Component::new("analog_accumulator")
+                        .with_class("analog_accumulator")
+                        .with_reuse(Tensor::Outputs, Reuse::Temporal)
+                        .with_attr("temporal_dims", "Is")
+                        .with_attr("resolution", self.adc_bits as i64);
+                    b = b.component(self.common(accum));
+                }
+                b.component(self.common(self.cell()))
+            }
+            OutputCombine::WireSum { columns_per_group } => {
+                let g = columns_per_group.clamp(1, self.cols);
+                let groups = Container::new("column_group")
+                    .with_spatial(Spatial::new(self.cols / g.max(1), 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_attr("spatial_dims", "K, Ws");
+                b = b.container(groups);
+                b = b.component(self.common(self.adc()));
+                // Outputs sum on wires between the group's columns. Grouped
+                // columns are adjacent along the filter window first (the
+                // fabricated chip maps one output's R/S taps to a group), so
+                // kernels smaller than the group underutilize it (Fig 12).
+                let column = Container::new("column")
+                    .with_spatial(Spatial::new(g, 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_spatial_reuse(Tensor::Outputs)
+                    .with_attr("spatial_dims", "R, S, C");
+                b = b.container(column);
+                b.component(self.common(self.cell()))
+            }
+            OutputCombine::AnalogAdder { operands } => {
+                let ops = u64::from(operands.max(1)).min(self.cols);
+                let groups = Container::new("column_group")
+                    .with_spatial(Spatial::new(self.cols / ops, 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_attr("spatial_dims", "K");
+                b = b.container(groups);
+                b = b.component(self.common(self.adc()));
+                let adder = Component::new("analog_adder")
+                    .with_class("analog_adder")
+                    .with_attr("operands", operands.max(1) as i64)
+                    .with_attr("resolution", self.adc_bits as i64)
+                    .with_reuse(Tensor::Outputs, Reuse::Coalesce);
+                b = b.component(self.common(adder));
+                // Adjacent columns hold different bits of the same weight.
+                let column = Container::new("column")
+                    .with_spatial(Spatial::new(ops, 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_attr("spatial_dims", "Ws");
+                b = b.container(column);
+                b.component(self.common(self.cell()))
+            }
+        }
+    }
+
+    /// Digital CiM readout: a per-column adder tree instead of an ADC.
+    fn digital_inner(&self, mut b: cimloop_spec::HierarchyBuilder) -> cimloop_spec::HierarchyBuilder {
+        let accumulator = Component::new("accumulator")
+            .with_class("shift_add")
+            .with_attr("bits", 24i64)
+            .with_reuse(Tensor::Outputs, Reuse::Temporal);
+        b = b.component(self.common(accumulator));
+
+        let dac = Component::new("dac")
+            .with_class(self.dac_class.as_str())
+            .with_attr("resolution", 1i64)
+            .with_attr("cols", self.cols as i64)
+            .with_attr("area_scale", self.rows as f64)
+            .with_reuse(Tensor::Inputs, Reuse::NoCoalesce);
+        b = b.component(self.common(dac));
+
+        let column = Container::new("column")
+            .with_spatial(Spatial::new(self.cols, 1))
+            .with_spatial_reuse(Tensor::Inputs)
+            .with_attr("spatial_dims", "K, Ws");
+        b = b.container(column);
+
+        // The adder tree sums the column's rows digitally: billed once per
+        // column output, sized (energy/area) as rows-1 adders.
+        let tree = Component::new("adder_tree")
+            .with_class("digital_adder")
+            .with_attr("bits", 16i64)
+            .with_attr("energy_scale", (self.rows as f64 - 1.0).max(1.0))
+            .with_attr("area_scale", (self.rows as f64 - 1.0).max(1.0))
+            .with_reuse(Tensor::Outputs, Reuse::NoCoalesce);
+        b = b.component(self.common(tree));
+
+        b.component(self.common(self.cell()))
+    }
+
+    fn adc(&self) -> Component {
+        Component::new("adc")
+            .with_class("sar_adc")
+            .with_attr("resolution", self.adc_bits as i64)
+            .with_attr("sample_rate", self.adc_rate)
+            .with_reuse(Tensor::Outputs, Reuse::NoCoalesce)
+    }
+
+    fn cell(&self) -> Component {
+        Component::new("cell")
+            .with_class(self.cell_class.as_str())
+            .with_attr("bits", self.cell_bits as i64)
+            .with_attr("slice_storage", true)
+            .with_attr("area_scale", self.storage_banks as f64)
+            .with_spatial(Spatial::new(1, self.rows))
+            .with_reuse(Tensor::Weights, Reuse::Temporal)
+            .with_spatial_reuse(Tensor::Outputs)
+            .with_attr("spatial_dims", "C, R, S")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_structure_base() {
+        let m = ArrayMacro::new("t", 45.0, 128, 64);
+        let h = m.hierarchy().unwrap();
+        assert!(h.component("buffer").is_some());
+        assert!(h.component("dac").is_some());
+        assert!(h.component("adc").is_some());
+        let cell = h.component("cell").unwrap();
+        assert_eq!(cell.spatial().fanout(), 128);
+        let column = h.node("column").unwrap();
+        assert_eq!(column.spatial().fanout(), 64);
+        // 128×64 cells in total.
+        assert_eq!(h.total_fanout(), 128 * 64);
+    }
+
+    #[test]
+    fn wire_sum_grouping() {
+        let m = ArrayMacro::new("t", 65.0, 16, 12).with_output_combine(OutputCombine::WireSum {
+            columns_per_group: 3,
+        });
+        let h = m.hierarchy().unwrap();
+        assert_eq!(h.node("column_group").unwrap().spatial().fanout(), 4);
+        assert_eq!(h.node("column").unwrap().spatial().fanout(), 3);
+        // Outputs are wire-summed within the group.
+        assert!(h.node("column").unwrap().spatial_reuse(Tensor::Outputs));
+    }
+
+    #[test]
+    fn analog_adder_macro_has_coalescing_adder() {
+        let m = ArrayMacro::new("t", 7.0, 8, 8)
+            .with_output_combine(OutputCombine::AnalogAdder { operands: 2 });
+        let h = m.hierarchy().unwrap();
+        let adder = h.component("analog_adder").unwrap();
+        assert_eq!(adder.reuse(Tensor::Outputs), Reuse::Coalesce);
+        assert_eq!(h.node("column").unwrap().spatial().fanout(), 2);
+    }
+
+    #[test]
+    fn accumulator_owns_input_slice_loop() {
+        let plain = ArrayMacro::new("t", 45.0, 8, 8);
+        let h = plain.hierarchy().unwrap();
+        assert_eq!(
+            h.component("accumulator").unwrap().attributes().str("temporal_dims"),
+            Some("Is")
+        );
+        let c_style = plain.with_output_combine(OutputCombine::AnalogAccumulator);
+        let h = c_style.hierarchy().unwrap();
+        assert_eq!(
+            h.component("analog_accumulator").unwrap().attributes().str("temporal_dims"),
+            Some("Is")
+        );
+        assert!(h.component("accumulator").unwrap().attributes().str("temporal_dims").is_none());
+    }
+
+    #[test]
+    fn supply_voltage_propagates_to_all_components() {
+        let m = ArrayMacro::new("t", 22.0, 8, 8).with_supply_voltage(0.7);
+        let h = m.hierarchy().unwrap();
+        for c in h.components() {
+            assert_eq!(c.attributes().float("supply_voltage"), Some(0.7), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn storage_banks_scale_cell_area_only() {
+        let m = ArrayMacro::new("t", 22.0, 64, 128).with_storage_banks(8);
+        let h = m.hierarchy().unwrap();
+        assert_eq!(h.component("cell").unwrap().attributes().float("area_scale"), Some(8.0));
+        // Active compute stays 64 rows.
+        assert_eq!(h.component("cell").unwrap().spatial().fanout(), 64);
+    }
+}

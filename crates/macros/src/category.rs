@@ -1,0 +1,127 @@
+//! Component-to-category grouping for energy/area breakdowns
+//! (paper Figs 9, 10, 12, 14, 15 group components into ADC+Accumulate,
+//! DAC, Control, Array, …).
+
+use cimloop_core::LayerReport;
+
+/// Breakdown categories used by the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// ADCs plus analog/digital accumulation.
+    AdcAccumulate,
+    /// Input converters and row drivers.
+    Dac,
+    /// Control and sequencing.
+    Control,
+    /// The CiM array (cells and in-array MAC circuits).
+    Array,
+    /// On-chip buffers.
+    Buffer,
+    /// Everything else.
+    Misc,
+}
+
+impl Category {
+    /// All categories, display order.
+    pub const ALL: [Category; 6] = [
+        Category::AdcAccumulate,
+        Category::Dac,
+        Category::Control,
+        Category::Array,
+        Category::Buffer,
+        Category::Misc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::AdcAccumulate => "ADC+Accumulate",
+            Category::Dac => "DAC",
+            Category::Control => "Control",
+            Category::Array => "Array",
+            Category::Buffer => "Buffer",
+            Category::Misc => "Misc",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps a component name (per the [`crate::ArrayMacro`] naming convention)
+/// to its breakdown category.
+pub fn categorize(component: &str) -> Category {
+    match component {
+        "adc" | "accumulator" | "analog_accumulator" | "analog_adder" | "adder_tree" => {
+            Category::AdcAccumulate
+        }
+        "dac" => Category::Dac,
+        "control" => Category::Control,
+        "cell" => Category::Array,
+        "buffer" => Category::Buffer,
+        _ => Category::Misc,
+    }
+}
+
+/// Sums a layer report's energy by category, returning `(category, joules)`
+/// for every category (zeros included).
+pub fn energy_by_category(report: &LayerReport) -> Vec<(Category, f64)> {
+    let mut totals: Vec<(Category, f64)> = Category::ALL.iter().map(|&c| (c, 0.0)).collect();
+    for c in report.components() {
+        let cat = categorize(&c.name);
+        let slot = totals
+            .iter_mut()
+            .find(|(k, _)| *k == cat)
+            .expect("all categories present");
+        slot.1 += c.total_energy();
+    }
+    totals
+}
+
+/// Sums a layer report's area by category.
+pub fn area_by_category(report: &LayerReport) -> Vec<(Category, f64)> {
+    let mut totals: Vec<(Category, f64)> = Category::ALL.iter().map(|&c| (c, 0.0)).collect();
+    for c in report.components() {
+        let cat = categorize(&c.name);
+        let slot = totals
+            .iter_mut()
+            .find(|(k, _)| *k == cat)
+            .expect("all categories present");
+        slot.1 += c.area;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_components_categorized() {
+        assert_eq!(categorize("adc"), Category::AdcAccumulate);
+        assert_eq!(categorize("analog_adder"), Category::AdcAccumulate);
+        assert_eq!(categorize("dac"), Category::Dac);
+        assert_eq!(categorize("cell"), Category::Array);
+        assert_eq!(categorize("buffer"), Category::Buffer);
+        assert_eq!(categorize("router"), Category::Misc);
+    }
+
+    #[test]
+    fn breakdown_covers_total_energy() {
+        let m = crate::base_macro().uncalibrated();
+        let e = m.raw_evaluator().unwrap();
+        let mvm = cimloop_workload::models::mvm(m.rows(), m.cols());
+        let report = e
+            .evaluate_layer(&mvm.layers()[0], &m.representation())
+            .unwrap();
+        let by_cat = energy_by_category(&report);
+        let sum: f64 = by_cat.iter().map(|&(_, e)| e).sum();
+        assert!((sum - report.energy_total()).abs() / report.energy_total() < 1e-9);
+        let area = area_by_category(&report);
+        let area_sum: f64 = area.iter().map(|&(_, a)| a).sum();
+        assert!(area_sum > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when validating mappings or running dataflow analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The mapping does not have one entry per hierarchy node.
+    LengthMismatch {
+        /// Nodes in the hierarchy.
+        hierarchy: usize,
+        /// Entries in the mapping.
+        mapping: usize,
+    },
+    /// A mapping entry names a different node than the hierarchy position.
+    NameMismatch {
+        /// Position in the hierarchy.
+        index: usize,
+        /// Name expected from the hierarchy.
+        expected: String,
+        /// Name found in the mapping.
+        found: String,
+    },
+    /// A node's spatial factors exceed its mesh fanout.
+    SpatialOverflow {
+        /// The offending node.
+        node: String,
+        /// Product of spatial factors requested.
+        used: u64,
+        /// Available mesh fanout.
+        mesh: u64,
+    },
+    /// The product of all factors of a dimension is below the workload bound.
+    Uncovered {
+        /// The dimension's name.
+        dim: &'static str,
+        /// Product of mapped factors.
+        mapped: u64,
+        /// Workload bound.
+        required: u64,
+    },
+    /// A loop bound of zero was supplied.
+    ZeroFactor {
+        /// The offending node.
+        node: String,
+    },
+    /// The mapper could not produce any valid mapping.
+    NoMappingFound {
+        /// Why the search failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::LengthMismatch { hierarchy, mapping } => write!(
+                f,
+                "mapping has {mapping} entries but the hierarchy has {hierarchy} nodes"
+            ),
+            MapError::NameMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mapping entry {index} names `{found}` but the hierarchy has `{expected}`"
+            ),
+            MapError::SpatialOverflow { node, used, mesh } => write!(
+                f,
+                "node `{node}` maps {used} spatial iterations onto a mesh of {mesh}"
+            ),
+            MapError::Uncovered {
+                dim,
+                mapped,
+                required,
+            } => write!(
+                f,
+                "dimension {dim} maps {mapped} iterations but the workload needs {required}"
+            ),
+            MapError::ZeroFactor { node } => {
+                write!(f, "node `{node}` has a zero loop bound")
+            }
+            MapError::NoMappingFound { reason } => {
+                write!(f, "mapper found no valid mapping: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}

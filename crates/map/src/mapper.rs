@@ -1,0 +1,463 @@
+use cimloop_spec::{Hierarchy, LevelKind, Node};
+use cimloop_workload::{Dim, Shape};
+
+use crate::{MapError, Mapping};
+
+/// Which dataflow the canonical mapper targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Weight-relevant loops outermost: weights stay resident while
+    /// input/output loops iterate (the standard CiM dataflow — weights are
+    /// pre-loaded into the array and reused across activations).
+    #[default]
+    WeightStationary,
+    /// Output-relevant loops outermost: partial sums stay resident while
+    /// weight/input loops iterate.
+    OutputStationary,
+}
+
+/// Produces valid mappings of workload shapes onto container-hierarchies.
+///
+/// The mapper honors two per-node spec attributes:
+///
+/// - `spatial_dims` (e.g., `"C, R, S"`): which dimensions may be mapped
+///   spatially across that node's mesh. Nodes with a mesh but no attribute
+///   accept any dimension.
+/// - `temporal_dims` (e.g., `"Is"`): dimensions whose remaining temporal
+///   extent is sequenced at that node instead of at the outermost storage.
+///
+/// Spatial factors are assigned greedily from the innermost fanout node
+/// outward; all remaining extents become temporal loops at the outermost
+/// storage component, ordered by the chosen [`Strategy`].
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Mapper {
+    strategy: Strategy,
+}
+
+impl Mapper {
+    /// Creates a mapper with the given strategy.
+    pub fn new(strategy: Strategy) -> Self {
+        Mapper { strategy }
+    }
+
+    /// The mapper's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Maps `shape` onto `hierarchy`, returning a validated mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoMappingFound`] if the hierarchy has no storage
+    /// component to anchor temporal loops, or a validation error if the
+    /// produced mapping is inconsistent (a bug — validated before return).
+    pub fn map(&self, hierarchy: &Hierarchy, shape: Shape) -> Result<Mapping, MapError> {
+        let mut remaining = shape.bounds();
+        let mut mapping = Mapping::empty_for(hierarchy);
+
+        // 1. Spatial assignment, innermost fanout node first.
+        let node_count = hierarchy.len();
+        for i in (0..node_count).rev() {
+            let node = &hierarchy.nodes()[i];
+            let mesh = node.spatial().fanout();
+            if mesh <= 1 {
+                continue;
+            }
+            let allowed = allowed_dims(node, "spatial_dims");
+            let mut capacity = mesh;
+            let entry = &mut mapping
+                .entry_mut(node.name())
+                .expect("mapping aligned with hierarchy");
+            for dim in allowed {
+                if capacity <= 1 {
+                    break;
+                }
+                let extent = remaining[dim as usize];
+                if extent <= 1 {
+                    continue;
+                }
+                let factor = extent.min(capacity);
+                entry.spatial.push((dim, factor));
+                remaining[dim as usize] = extent.div_ceil(factor);
+                capacity /= factor;
+            }
+        }
+
+        // 2. Directed temporal placement (`temporal_dims`), innermost first.
+        for i in (0..node_count).rev() {
+            let node = &hierarchy.nodes()[i];
+            if !node.attributes().contains("temporal_dims") {
+                continue;
+            }
+            for dim in allowed_dims(node, "temporal_dims") {
+                let extent = remaining[dim as usize];
+                if extent > 1 {
+                    mapping
+                        .entry_mut(node.name())
+                        .expect("aligned")
+                        .temporal
+                        .push((dim, extent));
+                    remaining[dim as usize] = 1;
+                }
+            }
+        }
+
+        // 3. Everything left goes to the outermost storage, ordered by
+        // strategy.
+        let root = hierarchy
+            .levels()
+            .into_iter()
+            .find(|l| l.kind() == LevelKind::Storage)
+            .ok_or_else(|| MapError::NoMappingFound {
+                reason: "hierarchy has no storage component to hold temporal loops".to_owned(),
+            })?;
+        let root_name = root.name().to_owned();
+        let order = self.loop_order();
+        let entry = mapping.entry_mut(&root_name).expect("aligned");
+        for dim in order {
+            let extent = remaining[dim as usize];
+            if extent > 1 {
+                entry.temporal.push((dim, extent));
+                remaining[dim as usize] = 1;
+            }
+        }
+
+        mapping.validate(hierarchy, shape)?;
+        Ok(mapping)
+    }
+
+    /// Generates up to `limit` distinct valid mappings by permuting the
+    /// temporal loop order at the outermost storage (each permutation
+    /// changes refetch behaviour, hence energy).
+    ///
+    /// Used for mapping-space exploration and to reproduce the paper's
+    /// Table II amortization measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::map`] errors.
+    pub fn enumerate(
+        &self,
+        hierarchy: &Hierarchy,
+        shape: Shape,
+        limit: usize,
+    ) -> Result<Vec<Mapping>, MapError> {
+        let base = self.map(hierarchy, shape)?;
+        let root = hierarchy
+            .levels()
+            .into_iter()
+            .find(|l| l.kind() == LevelKind::Storage)
+            .expect("map() succeeded, so a storage root exists");
+        let root_name = root.name().to_owned();
+        let loops = base
+            .entry(&root_name)
+            .expect("aligned")
+            .temporal
+            .clone();
+
+        let mut result = Vec::new();
+        permute(&loops, &mut Vec::new(), &mut |perm| {
+            if result.len() >= limit {
+                return false;
+            }
+            let mut m = base.clone();
+            m.entry_mut(&root_name).expect("aligned").temporal = perm.to_vec();
+            result.push(m);
+            true
+        });
+        if result.is_empty() {
+            result.push(base);
+        }
+        Ok(result)
+    }
+
+    /// Searches up to `limit` enumerated mappings and returns the one
+    /// minimizing `cost` (e.g., energy from an amortized per-action table),
+    /// together with its cost. This is the paper's mapping-search loop:
+    /// thousands of mappings evaluated against one precomputed energy table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors; `cost` returning `None` skips a
+    /// mapping (e.g., capacity violations).
+    pub fn search(
+        &self,
+        hierarchy: &Hierarchy,
+        shape: Shape,
+        limit: usize,
+        mut cost: impl FnMut(&Mapping) -> Option<f64>,
+    ) -> Result<(Mapping, f64), MapError> {
+        let mappings = self.enumerate(hierarchy, shape, limit)?;
+        let mut best: Option<(Mapping, f64)> = None;
+        for mapping in mappings {
+            let Some(c) = cost(&mapping) else { continue };
+            if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                best = Some((mapping, c));
+            }
+        }
+        best.ok_or_else(|| MapError::NoMappingFound {
+            reason: "cost function rejected every enumerated mapping".to_owned(),
+        })
+    }
+
+    fn loop_order(&self) -> [Dim; 9] {
+        match self.strategy {
+            // Weight-relevant dims outermost; input slices innermost so
+            // bit-serial streaming is the innermost sequencing.
+            Strategy::WeightStationary => [
+                Dim::Ws,
+                Dim::K,
+                Dim::C,
+                Dim::R,
+                Dim::S,
+                Dim::N,
+                Dim::P,
+                Dim::Q,
+                Dim::Is,
+            ],
+            Strategy::OutputStationary => [
+                Dim::N,
+                Dim::K,
+                Dim::P,
+                Dim::Q,
+                Dim::Ws,
+                Dim::C,
+                Dim::R,
+                Dim::S,
+                Dim::Is,
+            ],
+        }
+    }
+}
+
+/// Parses a dim-list attribute such as `spatial_dims: "C, R, S"`. A missing
+/// attribute allows every dimension (in canonical order).
+fn allowed_dims(node: &Node, key: &str) -> Vec<Dim> {
+    match node.attributes().str(key) {
+        Some(list) => list
+            .split([',', ' '])
+            .filter(|s| !s.is_empty())
+            .filter_map(Dim::parse)
+            .collect(),
+        None => Dim::ALL.to_vec(),
+    }
+}
+
+/// Generates permutations of `items`, calling `visit` for each; `visit`
+/// returns `false` to stop early.
+fn permute<T: Clone>(
+    items: &[T],
+    prefix: &mut Vec<T>,
+    visit: &mut impl FnMut(&[T]) -> bool,
+) -> bool {
+    if items.is_empty() {
+        return visit(prefix);
+    }
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let item = rest.remove(i);
+        prefix.push(item);
+        let keep_going = permute(&rest, prefix, visit);
+        prefix.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use cimloop_spec::{Component, Container, Reuse, Spatial, Tensor};
+
+    fn cim_hierarchy(rows: u64, cols: u64) -> Hierarchy {
+        Hierarchy::builder()
+            .component(
+                Component::new("buffer")
+                    .with_reuse(Tensor::Inputs, Reuse::Temporal)
+                    .with_reuse(Tensor::Outputs, Reuse::Temporal)
+                    .with_attr("temporal_dims", "Is"),
+            )
+            .container(Container::new("macro"))
+            .component(Component::new("DAC").with_reuse(Tensor::Inputs, Reuse::NoCoalesce))
+            .container(
+                Container::new("column")
+                    .with_spatial(Spatial::new(cols, 1))
+                    .with_spatial_reuse(Tensor::Inputs)
+                    .with_attr("spatial_dims", "K, Ws"),
+            )
+            .component(Component::new("ADC").with_reuse(Tensor::Outputs, Reuse::NoCoalesce))
+            .component(
+                Component::new("cell")
+                    .with_reuse(Tensor::Weights, Reuse::Temporal)
+                    .with_spatial(Spatial::new(1, rows))
+                    .with_spatial_reuse(Tensor::Outputs)
+                    .with_attr("spatial_dims", "C, R, S"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn canonical_mapping_fills_array() {
+        let h = cim_hierarchy(64, 64);
+        let shape = Shape::linear(16, 64, 64).unwrap();
+        let m = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
+        assert_eq!(m.entry("cell").unwrap().spatial_product(Dim::C), 64);
+        assert_eq!(m.entry("column").unwrap().spatial_product(Dim::K), 64);
+        assert_eq!(m.entry("buffer").unwrap().temporal_product(Dim::N), 16);
+        let r = analyze(&h, shape, &m).unwrap();
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_workload_spills_to_temporal() {
+        let h = cim_hierarchy(64, 64);
+        let shape = Shape::linear(4, 256, 128).unwrap();
+        let m = Mapper::default().map(&h, shape).unwrap();
+        // C=128 on 64 rows: 64 spatial × 2 temporal.
+        assert_eq!(m.entry("cell").unwrap().spatial_product(Dim::C), 64);
+        assert_eq!(m.padded_bound(Dim::C), 128);
+        // K=256 on 64 columns: 64 spatial × 4 temporal.
+        assert_eq!(m.padded_bound(Dim::K), 256);
+        let r = analyze(&h, shape, &m).unwrap();
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_workload_underutilizes() {
+        let h = cim_hierarchy(64, 64);
+        let shape = Shape::linear(4, 16, 16).unwrap();
+        let m = Mapper::default().map(&h, shape).unwrap();
+        let r = analyze(&h, shape, &m).unwrap();
+        assert!((r.spatial_utilization() - (16.0 * 16.0) / (64.0 * 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_slices_map_to_columns() {
+        let h = cim_hierarchy(64, 64);
+        let shape = Shape::linear(4, 64, 64).unwrap().with_slices(8, 2).unwrap();
+        let m = Mapper::default().map(&h, shape).unwrap();
+        // Columns fit K=64 first, then Ws has no room; Ws falls to temporal.
+        assert_eq!(m.padded_bound(Dim::Ws), 2);
+        // Is is directed to the buffer by `temporal_dims`.
+        assert_eq!(m.entry("buffer").unwrap().temporal_product(Dim::Is), 8);
+        let r = analyze(&h, shape, &m).unwrap();
+        assert_eq!(r.actual_macs(), shape.macs());
+    }
+
+    #[test]
+    fn spatial_dims_constraint_respected() {
+        let h = cim_hierarchy(64, 64);
+        // Only C, R, S allowed on rows: K never lands there.
+        let shape = Shape::conv(128, 16, 8, 8, 3, 3).unwrap();
+        let m = Mapper::default().map(&h, shape).unwrap();
+        let cell = m.entry("cell").unwrap();
+        assert_eq!(cell.spatial_product(Dim::K), 1);
+        assert!(cell.spatial_product(Dim::C) * cell.spatial_product(Dim::R) <= 64);
+    }
+
+    #[test]
+    fn strategies_change_loop_order() {
+        let h = cim_hierarchy(8, 8);
+        let shape = Shape::conv(16, 16, 4, 4, 1, 1).unwrap();
+        let ws = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
+        let os = Mapper::new(Strategy::OutputStationary).map(&h, shape).unwrap();
+        let first_ws = ws.entry("buffer").unwrap().temporal[0].0;
+        let first_os = os.entry("buffer").unwrap().temporal[0].0;
+        assert_ne!(ws, os);
+        // Weight-stationary leads with a weight dim, output-stationary with
+        // an output dim.
+        assert!(matches!(first_ws, Dim::K | Dim::C | Dim::R | Dim::S | Dim::Ws));
+        assert!(matches!(first_os, Dim::N | Dim::K | Dim::P | Dim::Q));
+    }
+
+    #[test]
+    fn weight_stationary_beats_thrashing_on_weight_fills() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::linear(32, 64, 64).unwrap();
+        let ws = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
+        let os = Mapper::new(Strategy::OutputStationary).map(&h, shape).unwrap();
+        let ws_fills = analyze(&h, shape, &ws).unwrap().actions("cell", Tensor::Weights).writes;
+        let os_fills = analyze(&h, shape, &os).unwrap().actions("cell", Tensor::Weights).writes;
+        assert!(ws_fills <= os_fills, "ws {ws_fills} vs os {os_fills}");
+    }
+
+    #[test]
+    fn enumerate_yields_distinct_valid_mappings() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::conv(32, 32, 8, 8, 3, 3).unwrap();
+        let mappings = Mapper::default().enumerate(&h, shape, 100).unwrap();
+        assert!(mappings.len() > 10, "got {}", mappings.len());
+        assert!(mappings.len() <= 100);
+        for m in &mappings {
+            m.validate(&h, shape).unwrap();
+        }
+        // All permutations are distinct.
+        for (i, a) in mappings.iter().enumerate() {
+            for b in &mappings[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_limit_and_small_spaces() {
+        let h = cim_hierarchy(64, 64);
+        // Everything fits spatially: at most one root loop.
+        let shape = Shape::linear(1, 64, 64).unwrap();
+        let mappings = Mapper::default().enumerate(&h, shape, 50).unwrap();
+        assert!(!mappings.is_empty());
+        assert!(mappings.len() <= 50);
+    }
+
+    #[test]
+    fn search_finds_minimum_cost_mapping() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::conv(32, 32, 8, 8, 3, 3).unwrap();
+        // Cost: weight fills at the cells (prefers weight-stationary order).
+        let cost = |m: &Mapping| {
+            analyze(&h, shape, m)
+                .ok()
+                .map(|c| c.actions("cell", cimloop_spec::Tensor::Weights).writes)
+        };
+        let (best, best_cost) = Mapper::default().search(&h, shape, 50, cost).unwrap();
+        // The winner is at least as good as every enumerated candidate.
+        for m in Mapper::default().enumerate(&h, shape, 50).unwrap() {
+            let c = analyze(&h, shape, &m)
+                .unwrap()
+                .actions("cell", cimloop_spec::Tensor::Weights)
+                .writes;
+            assert!(best_cost <= c + 1e-9);
+        }
+        best.validate(&h, shape).unwrap();
+    }
+
+    #[test]
+    fn search_rejecting_everything_errors() {
+        let h = cim_hierarchy(8, 8);
+        let shape = Shape::linear(2, 8, 8).unwrap();
+        let result = Mapper::default().search(&h, shape, 10, |_| None);
+        assert!(matches!(result, Err(MapError::NoMappingFound { .. })));
+    }
+
+    #[test]
+    fn no_storage_root_is_an_error() {
+        let h = Hierarchy::builder()
+            .component(Component::new("DAC").with_reuse(Tensor::Inputs, Reuse::NoCoalesce))
+            .build()
+            .unwrap();
+        let shape = Shape::linear(2, 2, 2).unwrap();
+        assert!(matches!(
+            Mapper::default().map(&h, shape),
+            Err(MapError::NoMappingFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,334 @@
+use cimloop_spec::Hierarchy;
+use cimloop_workload::{Dim, Shape};
+
+use crate::MapError;
+
+/// The loops assigned to one hierarchy node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeMapping {
+    /// Node name (must match the hierarchy position).
+    pub node: String,
+    /// Ordered temporal loops, outermost first, sequenced at this node.
+    pub temporal: Vec<(Dim, u64)>,
+    /// Spatial factors spread across this node's mesh instances.
+    pub spatial: Vec<(Dim, u64)>,
+}
+
+impl NodeMapping {
+    /// Creates an empty mapping entry for `node`.
+    pub fn new(node: impl Into<String>) -> Self {
+        NodeMapping {
+            node: node.into(),
+            temporal: Vec::new(),
+            spatial: Vec::new(),
+        }
+    }
+
+    /// Adds a temporal loop (appended inside existing loops).
+    pub fn with_temporal(mut self, dim: Dim, bound: u64) -> Self {
+        self.temporal.push((dim, bound));
+        self
+    }
+
+    /// Adds a spatial factor.
+    pub fn with_spatial(mut self, dim: Dim, bound: u64) -> Self {
+        self.spatial.push((dim, bound));
+        self
+    }
+
+    /// Product of all spatial factors (instances used).
+    pub fn used_fanout(&self) -> u64 {
+        self.spatial.iter().map(|&(_, b)| b).product()
+    }
+
+    /// Product of this node's temporal factors for one dimension.
+    pub fn temporal_product(&self, dim: Dim) -> u64 {
+        self.temporal
+            .iter()
+            .filter(|&&(d, _)| d == dim)
+            .map(|&(_, b)| b)
+            .product()
+    }
+
+    /// Product of this node's spatial factors for one dimension.
+    pub fn spatial_product(&self, dim: Dim) -> u64 {
+        self.spatial
+            .iter()
+            .filter(|&&(d, _)| d == dim)
+            .map(|&(_, b)| b)
+            .product()
+    }
+}
+
+/// A complete mapping: one [`NodeMapping`] per hierarchy node, outermost
+/// first.
+///
+/// A mapping is *valid* for a hierarchy and workload shape when entry names
+/// align with the hierarchy, spatial factors fit each node's mesh, all loop
+/// bounds are non-zero, and the product of all factors of each dimension
+/// covers the workload bound (padding — mapping more iterations than the
+/// workload needs — is allowed and reduces utilization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    entries: Vec<NodeMapping>,
+}
+
+impl Mapping {
+    /// Creates a mapping from per-node entries.
+    pub fn new(entries: Vec<NodeMapping>) -> Self {
+        Mapping { entries }
+    }
+
+    /// An all-empty mapping aligned with `hierarchy` (useful as a builder
+    /// starting point).
+    pub fn empty_for(hierarchy: &Hierarchy) -> Self {
+        Mapping {
+            entries: hierarchy
+                .nodes()
+                .iter()
+                .map(|n| NodeMapping::new(n.name()))
+                .collect(),
+        }
+    }
+
+    /// The per-node entries, outermost first.
+    pub fn entries(&self) -> &[NodeMapping] {
+        &self.entries
+    }
+
+    /// Mutable access to one entry by node name.
+    pub fn entry_mut(&mut self, node: &str) -> Option<&mut NodeMapping> {
+        self.entries.iter_mut().find(|e| e.node == node)
+    }
+
+    /// Entry lookup by node name.
+    pub fn entry(&self, node: &str) -> Option<&NodeMapping> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// The padded bound of a dimension: the product of every temporal and
+    /// spatial factor of that dimension across all nodes.
+    pub fn padded_bound(&self, dim: Dim) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.temporal_product(dim) * e.spatial_product(dim))
+            .product()
+    }
+
+    /// Total padded MACs implied by the mapping.
+    pub fn padded_macs(&self) -> u64 {
+        Dim::ALL.iter().map(|&d| self.padded_bound(d)).product()
+    }
+
+    /// Total sequential steps: the product of every temporal factor. For a
+    /// CiM macro this is the number of array activations per layer.
+    pub fn temporal_steps(&self) -> u64 {
+        self.entries
+            .iter()
+            .flat_map(|e| e.temporal.iter())
+            .map(|&(_, b)| b)
+            .product()
+    }
+
+    /// Validates the mapping against a hierarchy and workload shape.
+    ///
+    /// # Errors
+    ///
+    /// See [`MapError`] variants for each failure mode.
+    pub fn validate(&self, hierarchy: &Hierarchy, shape: Shape) -> Result<(), MapError> {
+        let nodes = hierarchy.nodes();
+        if nodes.len() != self.entries.len() {
+            return Err(MapError::LengthMismatch {
+                hierarchy: nodes.len(),
+                mapping: self.entries.len(),
+            });
+        }
+        for (index, (node, entry)) in nodes.iter().zip(self.entries.iter()).enumerate() {
+            if node.name() != entry.node {
+                return Err(MapError::NameMismatch {
+                    index,
+                    expected: node.name().to_owned(),
+                    found: entry.node.clone(),
+                });
+            }
+            if entry
+                .temporal
+                .iter()
+                .chain(entry.spatial.iter())
+                .any(|&(_, b)| b == 0)
+            {
+                return Err(MapError::ZeroFactor {
+                    node: entry.node.clone(),
+                });
+            }
+            let used = entry.used_fanout();
+            let mesh = node.spatial().fanout();
+            if used > mesh {
+                return Err(MapError::SpatialOverflow {
+                    node: entry.node.clone(),
+                    used,
+                    mesh,
+                });
+            }
+        }
+        for dim in Dim::ALL {
+            let mapped = self.padded_bound(dim);
+            let required = shape.bound(dim);
+            if mapped < required {
+                return Err(MapError::Uncovered {
+                    dim: dim.name(),
+                    mapped,
+                    required,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for entry in &self.entries {
+            if entry.temporal.is_empty() && entry.spatial.is_empty() {
+                continue;
+            }
+            write!(f, "{}:", entry.node)?;
+            for &(d, b) in &entry.temporal {
+                write!(f, " t{d}={b}")?;
+            }
+            for &(d, b) in &entry.spatial {
+                write!(f, " s{d}={b}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_spec::{Component, Container, Reuse, Spatial, Tensor};
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::builder()
+            .component(
+                Component::new("buffer")
+                    .with_reuse(Tensor::Inputs, Reuse::Temporal)
+                    .with_reuse(Tensor::Outputs, Reuse::Temporal),
+            )
+            .container(
+                Container::new("column")
+                    .with_spatial(Spatial::new(4, 1))
+                    .with_spatial_reuse(Tensor::Inputs),
+            )
+            .component(
+                Component::new("cell")
+                    .with_reuse(Tensor::Weights, Reuse::Temporal)
+                    .with_spatial(Spatial::new(1, 4))
+                    .with_spatial_reuse(Tensor::Outputs),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn shape() -> Shape {
+        Shape::linear(2, 4, 4).unwrap() // N=2, K=4, C=4
+    }
+
+    fn valid_mapping() -> Mapping {
+        Mapping::new(vec![
+            NodeMapping::new("buffer").with_temporal(Dim::N, 2),
+            NodeMapping::new("column").with_spatial(Dim::K, 4),
+            NodeMapping::new("cell").with_spatial(Dim::C, 4),
+        ])
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        valid_mapping().validate(&hierarchy(), shape()).unwrap();
+    }
+
+    #[test]
+    fn padded_bounds_and_macs() {
+        let m = valid_mapping();
+        assert_eq!(m.padded_bound(Dim::N), 2);
+        assert_eq!(m.padded_bound(Dim::K), 4);
+        assert_eq!(m.padded_bound(Dim::C), 4);
+        assert_eq!(m.padded_macs(), 32);
+        assert_eq!(m.temporal_steps(), 2);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let m = Mapping::new(vec![NodeMapping::new("buffer")]);
+        assert!(matches!(
+            m.validate(&hierarchy(), shape()),
+            Err(MapError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn name_mismatch_detected() {
+        let mut m = valid_mapping();
+        m.entries[1].node = "wrong".into();
+        assert!(matches!(
+            m.validate(&hierarchy(), shape()),
+            Err(MapError::NameMismatch { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn spatial_overflow_detected() {
+        let mut m = valid_mapping();
+        m.entry_mut("column").unwrap().spatial = vec![(Dim::K, 8)];
+        assert!(matches!(
+            m.validate(&hierarchy(), shape()),
+            Err(MapError::SpatialOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn uncovered_dimension_detected() {
+        let mut m = valid_mapping();
+        m.entry_mut("buffer").unwrap().temporal = vec![(Dim::N, 1)];
+        assert!(matches!(
+            m.validate(&hierarchy(), shape()),
+            Err(MapError::Uncovered { dim: "N", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_factor_detected() {
+        let mut m = valid_mapping();
+        m.entry_mut("buffer").unwrap().temporal = vec![(Dim::N, 0), (Dim::N, 2)];
+        assert!(matches!(
+            m.validate(&hierarchy(), shape()),
+            Err(MapError::ZeroFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_is_allowed() {
+        let mut m = valid_mapping();
+        m.entry_mut("buffer").unwrap().temporal = vec![(Dim::N, 3)]; // N=2 padded to 3
+        m.validate(&hierarchy(), shape()).unwrap();
+        assert_eq!(m.padded_macs(), 48);
+    }
+
+    #[test]
+    fn empty_for_aligns_with_hierarchy() {
+        let m = Mapping::empty_for(&hierarchy());
+        assert_eq!(m.entries().len(), 3);
+        assert_eq!(m.entries()[0].node, "buffer");
+        // Empty mapping fails coverage.
+        assert!(m.validate(&hierarchy(), shape()).is_err());
+    }
+
+    #[test]
+    fn display_lists_loops() {
+        let text = valid_mapping().to_string();
+        assert!(text.contains("buffer: tN=2"));
+        assert!(text.contains("column: sK=4"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dataflow invariants of DESIGN.md §5.
+
+use cimloop_map::{analyze, Mapper, Strategy as MapStrategy};
+use cimloop_spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
+use cimloop_workload::Shape;
+use proptest::prelude::*;
+
+fn cim_hierarchy(rows: u64, cols: u64, multicast_inputs: bool) -> Hierarchy {
+    let mut column = Container::new("column")
+        .with_spatial(Spatial::new(cols, 1))
+        .with_attr("spatial_dims", "K, Ws");
+    if multicast_inputs {
+        column = column.with_spatial_reuse(Tensor::Inputs);
+    }
+    Hierarchy::builder()
+        .component(
+            Component::new("buffer")
+                .with_reuse(Tensor::Inputs, Reuse::Temporal)
+                .with_reuse(Tensor::Outputs, Reuse::Temporal)
+                .with_attr("temporal_dims", "Is"),
+        )
+        .container(Container::new("macro"))
+        .component(Component::new("dac").with_reuse(Tensor::Inputs, Reuse::NoCoalesce))
+        .container(column)
+        .component(Component::new("adc").with_reuse(Tensor::Outputs, Reuse::NoCoalesce))
+        .component(
+            Component::new("cell")
+                .with_reuse(Tensor::Weights, Reuse::Temporal)
+                .with_spatial(Spatial::new(1, rows))
+                .with_spatial_reuse(Tensor::Outputs)
+                .with_attr("spatial_dims", "C, R, S")
+                .with_attr("slice_storage", true),
+        )
+        .build()
+        .expect("valid hierarchy")
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (1u64..6, 1u64..48, 1u64..48, 1u64..6, 1u64..6, 1u64..4, 1u64..4).prop_map(
+        |(n, k, c, p, q, r, s)| Shape::new(n, k, c, p, q, r, s).expect("non-zero bounds"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapper_covers_any_shape(shape in arb_shape(), rows in 1u64..64, cols in 1u64..64) {
+        let h = cim_hierarchy(rows.max(1), cols.max(1), true);
+        let mapping = Mapper::new(MapStrategy::WeightStationary).map(&h, shape).expect("mapping");
+        mapping.validate(&h, shape).expect("valid");
+        let counts = analyze(&h, shape, &mapping).expect("analysis");
+        // MAC conservation: useful MACs equal the workload's.
+        prop_assert_eq!(counts.actual_macs(), shape.macs());
+        // Padding only adds work.
+        prop_assert!(counts.padded_macs() >= shape.slice_macs());
+        prop_assert!(counts.utilization() <= 1.0 + 1e-12);
+        prop_assert!(counts.spatial_utilization() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn cell_reads_equal_padded_macs(shape in arb_shape()) {
+        let h = cim_hierarchy(16, 16, true);
+        let mapping = Mapper::default().map(&h, shape).expect("mapping");
+        let counts = analyze(&h, shape, &mapping).expect("analysis");
+        // Every slice-granular MAC event reads one cell.
+        prop_assert!((counts.actions("cell", Tensor::Weights).reads
+            - counts.padded_macs() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multicast_never_increases_converter_traffic(shape in arb_shape()) {
+        let with = cim_hierarchy(16, 16, true);
+        let without = cim_hierarchy(16, 16, false);
+        let m_with = Mapper::default().map(&with, shape).expect("mapping");
+        let m_without = Mapper::default().map(&without, shape).expect("mapping");
+        let dac_with = analyze(&with, shape, &m_with)
+            .expect("analysis")
+            .actions("dac", Tensor::Inputs)
+            .reads;
+        let dac_without = analyze(&without, shape, &m_without)
+            .expect("analysis")
+            .actions("dac", Tensor::Inputs)
+            .reads;
+        prop_assert!(dac_with <= dac_without + 1e-6);
+    }
+
+    #[test]
+    fn all_action_counts_non_negative_and_finite(shape in arb_shape()) {
+        let h = cim_hierarchy(8, 24, true);
+        let mapping = Mapper::default().map(&h, shape).expect("mapping");
+        let counts = analyze(&h, shape, &mapping).expect("analysis");
+        for (name, per_tensor) in counts.iter() {
+            for actions in per_tensor {
+                prop_assert!(actions.reads.is_finite() && actions.reads >= 0.0, "{name}");
+                prop_assert!(actions.writes.is_finite() && actions.writes >= 0.0, "{name}");
+            }
+        }
+        for t in Tensor::ALL {
+            prop_assert!(counts.external_traffic(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn buffer_serves_at_least_its_fills(shape in arb_shape()) {
+        // Traffic monotonicity: a storage cannot be filled more often than
+        // the demand it serves plus final drains.
+        let h = cim_hierarchy(16, 16, true);
+        let mapping = Mapper::default().map(&h, shape).expect("mapping");
+        let counts = analyze(&h, shape, &mapping).expect("analysis");
+        let inputs = counts.actions("buffer", Tensor::Inputs);
+        prop_assert!(inputs.writes <= inputs.reads + 1e-6,
+            "fills {} > serves {}", inputs.writes, inputs.reads);
+    }
+
+    #[test]
+    fn enumerated_mappings_share_action_totals_for_cells(shape in arb_shape()) {
+        // Cell MAC reads are mapping-invariant (every mapping performs the
+        // same padded compute when spatial factors are identical).
+        let h = cim_hierarchy(16, 16, true);
+        let mappings = Mapper::default().enumerate(&h, shape, 6).expect("mappings");
+        let reads: Vec<f64> = mappings
+            .iter()
+            .map(|m| analyze(&h, shape, m).expect("analysis").actions("cell", Tensor::Weights).reads)
+            .collect();
+        for r in &reads {
+            prop_assert!((r - reads[0]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Value-exact ground-truth simulation and the fixed-energy baseline
+//! (the NeuroSim / plain-Accelergy substitutes used by the paper's
+//! accuracy and speed evaluation, Fig 6 and Table II).
+//!
+//! [`simulate_layer`] materializes concrete operand values drawn from the
+//! *same* per-layer distributions the statistical model uses, schedules
+//! them on the macro's array, and charges every data-value-dependent
+//! component (DAC, cells, ADC, analog adder/accumulator) its per-event
+//! energy using the *same* component models — so any difference between
+//! the statistical estimate and the simulated energy isolates exactly the
+//! statistical approximations (per-tensor independence, slice averaging,
+//! sum-distribution coarsening), as in the paper's Fig 6.
+//!
+//! [`fixed_energy_table`] is the non-data-value-dependent baseline: one
+//! per-action energy table computed from distributions averaged over all
+//! layers (the paper's "fixed-energy model" with the optimistic
+//! workload-averaged assumption).
+//!
+//! # Example
+//!
+//! ```
+//! use cimloop_macros::base_macro;
+//! use cimloop_sim::{simulate_layer, ExactConfig};
+//! use cimloop_workload::models;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let m = base_macro();
+//! let net = models::resnet18();
+//! let exact = simulate_layer(&m, &net.layers()[10], &ExactConfig::fast())?;
+//! let statistical = m
+//!     .evaluator()?
+//!     .evaluate_layer(&net.layers()[10], &m.representation())?;
+//! let err = (statistical.energy_total() - exact.energy_total()).abs()
+//!     / exact.energy_total();
+//! assert!(err < 0.25, "statistical model should track ground truth");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+mod fixed;
+
+pub use exact::{simulate_layer, ExactConfig, ExactReport};
+pub use fixed::fixed_energy_table;

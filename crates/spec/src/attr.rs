@@ -1,0 +1,242 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single attribute value: integer, float, boolean, or string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute (e.g., `resolution: 8`).
+    Int(i64),
+    /// Floating-point attribute (e.g., `supply_voltage: 0.8`).
+    Float(f64),
+    /// Boolean attribute (e.g., `signed: true`).
+    Bool(bool),
+    /// String attribute (e.g., `device: ReRAM`).
+    Str(String),
+}
+
+impl AttrValue {
+    /// Interprets the value as an integer if possible (floats with zero
+    /// fractional part convert).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            AttrValue::Float(v) if v.fract() == 0.0 && v.abs() < i64::MAX as f64 => {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float if possible (ints convert).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(v) => Some(*v),
+            AttrValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// An ordered map of named attributes attached to a spec node.
+///
+/// Attributes carry component parameters such as ADC resolution, buffer
+/// capacity, or supply voltage, which the circuit plug-ins consume.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attributes {
+    map: BTreeMap<String, AttrValue>,
+}
+
+impl Attributes {
+    /// Creates an empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an attribute, replacing any previous value, and returns the
+    /// previous value if there was one.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Option<AttrValue> {
+        self.map.insert(name.into(), value.into())
+    }
+
+    /// Looks up an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.map.get(name)
+    }
+
+    /// Integer attribute lookup (convertible floats accepted).
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(AttrValue::as_int)
+    }
+
+    /// Float attribute lookup (ints accepted).
+    pub fn float(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(AttrValue::as_float)
+    }
+
+    /// Boolean attribute lookup.
+    pub fn bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(AttrValue::as_bool)
+    }
+
+    /// String attribute lookup.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(AttrValue::as_str)
+    }
+
+    /// Integer attribute with a default.
+    pub fn int_or(&self, name: &str, default: i64) -> i64 {
+        self.int(name).unwrap_or(default)
+    }
+
+    /// Float attribute with a default.
+    pub fn float_or(&self, name: &str, default: f64) -> f64 {
+        self.float(name).unwrap_or(default)
+    }
+
+    /// Whether an attribute with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl<K: Into<String>, V: Into<AttrValue>> FromIterator<(K, V)> for Attributes {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut attrs = Attributes::new();
+        for (k, v) in iter {
+            attrs.set(k, v);
+        }
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let mut attrs = Attributes::new();
+        attrs.set("resolution", 8i64);
+        attrs.set("voltage", 0.8);
+        attrs.set("signed", true);
+        attrs.set("device", "ReRAM");
+
+        assert_eq!(attrs.int("resolution"), Some(8));
+        assert_eq!(attrs.float("resolution"), Some(8.0)); // int as float
+        assert_eq!(attrs.float("voltage"), Some(0.8));
+        assert_eq!(attrs.int("voltage"), None); // 0.8 has a fraction
+        assert_eq!(attrs.bool("signed"), Some(true));
+        assert_eq!(attrs.str("device"), Some("ReRAM"));
+        assert_eq!(attrs.str("missing"), None);
+    }
+
+    #[test]
+    fn whole_floats_convert_to_int() {
+        let mut attrs = Attributes::new();
+        attrs.set("rows", 256.0);
+        assert_eq!(attrs.int("rows"), Some(256));
+    }
+
+    #[test]
+    fn defaults() {
+        let attrs = Attributes::new();
+        assert_eq!(attrs.int_or("x", 7), 7);
+        assert_eq!(attrs.float_or("y", 1.5), 1.5);
+        assert!(attrs.is_empty());
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let mut attrs = Attributes::new();
+        assert_eq!(attrs.set("a", 1i64), None);
+        assert_eq!(attrs.set("a", 2i64), Some(AttrValue::Int(1)));
+        assert_eq!(attrs.int("a"), Some(2));
+        assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let attrs: Attributes = vec![("a", 1i64), ("b", 2i64)].into_iter().collect();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs.int("b"), Some(2));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(AttrValue::Int(3).to_string(), "3");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+        assert_eq!(AttrValue::Str("x".into()).to_string(), "x");
+    }
+}

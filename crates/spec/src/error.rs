@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when building or parsing a specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Two nodes share the same name.
+    DuplicateName {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The hierarchy contains no components.
+    Empty,
+    /// A spatial mesh dimension was zero.
+    ZeroMesh {
+        /// Name of the node with the invalid mesh.
+        node: String,
+    },
+    /// A tensor was given two conflicting reuse directives.
+    ConflictingReuse {
+        /// Name of the node with the conflict.
+        node: String,
+        /// The tensor with conflicting directives.
+        tensor: &'static str,
+    },
+    /// Text-format parse failure.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A referenced node does not exist.
+    UnknownNode {
+        /// The missing node's name.
+        name: String,
+    },
+    /// An attribute was missing or of the wrong type.
+    Attribute {
+        /// The node whose attribute was requested.
+        node: String,
+        /// The attribute name.
+        attribute: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            SpecError::Empty => write!(f, "hierarchy contains no components"),
+            SpecError::ZeroMesh { node } => {
+                write!(f, "node `{node}` has a zero spatial mesh dimension")
+            }
+            SpecError::ConflictingReuse { node, tensor } => {
+                write!(
+                    f,
+                    "node `{node}` gives tensor {tensor} conflicting reuse directives"
+                )
+            }
+            SpecError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SpecError::UnknownNode { name } => write!(f, "no node named `{name}`"),
+            SpecError::Attribute {
+                node,
+                attribute,
+                message,
+            } => write!(f, "attribute `{attribute}` of node `{node}`: {message}"),
+        }
+    }
+}
+
+impl Error for SpecError {}

@@ -1,0 +1,496 @@
+//! Parser and serializer for the YAML-subset specification text format used
+//! by the paper's Fig 5b.
+//!
+//! The format is a flat sequence of node declarations:
+//!
+//! ```text
+//! !Component            # opens a component
+//! name: buffer
+//! temporal_reuse: [Inputs, Outputs]
+//! !Container            # opens a container; encloses everything below
+//! name: macro
+//! !Component
+//! name: DAC_bank
+//! no_coalesce: [Inputs]
+//! spatial: { meshX: 4 }
+//! resolution: 8         # unknown keys become attributes
+//! ```
+//!
+//! Recognized keys: `name`, `class`, `spatial` (inline map with
+//! `meshX`/`meshY`), `spatial_reuse`, `temporal_reuse`, `coalesce`,
+//! `no_coalesce`, `bypass` (tensor lists), and `attributes` (inline map).
+//! Any other key is stored as an attribute. `#` starts a comment.
+
+use crate::{
+    AttrValue, Component, Container, Hierarchy, Node, Reuse, SpecError, Spatial, Tensor,
+};
+
+/// Parses the text format into a validated [`Hierarchy`].
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] with a 1-based line number on malformed
+/// input, plus any validation error from [`Hierarchy::from_nodes`].
+pub fn parse(text: &str) -> Result<Hierarchy, SpecError> {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut current: Option<PendingNode> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(tag) = line.strip_prefix('!') {
+            if let Some(done) = current.take() {
+                nodes.push(done.finish(line_no)?);
+            }
+            current = Some(match tag.trim() {
+                "Component" => PendingNode::component(),
+                "Container" => PendingNode::container(),
+                other => {
+                    return Err(SpecError::Parse {
+                        line: line_no,
+                        message: format!("unknown tag `!{other}` (expected !Component or !Container)"),
+                    })
+                }
+            });
+            continue;
+        }
+        let (key, value) = split_key_value(line, line_no)?;
+        let node = current.as_mut().ok_or_else(|| SpecError::Parse {
+            line: line_no,
+            message: format!("`{key}` appears before any !Component/!Container tag"),
+        })?;
+        node.apply(key, value, line_no)?;
+    }
+    if let Some(done) = current.take() {
+        nodes.push(done.finish(text.lines().count())?);
+    }
+    Hierarchy::from_nodes(nodes)
+}
+
+/// Serializes a hierarchy back to the text format (round-trips through
+/// [`parse`]).
+pub fn write(hierarchy: &Hierarchy) -> String {
+    let mut out = String::new();
+    for node in hierarchy.nodes() {
+        match node {
+            Node::Component(c) => {
+                out.push_str("!Component\n");
+                out.push_str(&format!("name: {}\n", c.name()));
+                if !c.class().is_empty() {
+                    out.push_str(&format!("class: {}\n", c.class()));
+                }
+                write_reuse_lists(&mut out, |t| c.reuse(t));
+                write_spatial(&mut out, c.spatial(), |t| c.spatial_reuse(t));
+                for (k, v) in c.attributes().iter() {
+                    out.push_str(&format!("{k}: {}\n", attr_to_text(v)));
+                }
+            }
+            Node::Container(c) => {
+                out.push_str("!Container\n");
+                out.push_str(&format!("name: {}\n", c.name()));
+                write_spatial(&mut out, c.spatial(), |t| c.spatial_reuse(t));
+                for (k, v) in c.attributes().iter() {
+                    out.push_str(&format!("{k}: {}\n", attr_to_text(v)));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn attr_to_text(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn write_reuse_lists(out: &mut String, reuse: impl Fn(Tensor) -> Reuse) {
+    for (directive, keyword) in [
+        (Reuse::Temporal, "temporal_reuse"),
+        (Reuse::Coalesce, "coalesce"),
+        (Reuse::NoCoalesce, "no_coalesce"),
+    ] {
+        let tensors: Vec<&str> = Tensor::ALL
+            .into_iter()
+            .filter(|&t| reuse(t) == directive)
+            .map(Tensor::name)
+            .collect();
+        if !tensors.is_empty() {
+            out.push_str(&format!("{keyword}: [{}]\n", tensors.join(", ")));
+        }
+    }
+}
+
+fn write_spatial(out: &mut String, spatial: Spatial, spatial_reuse: impl Fn(Tensor) -> bool) {
+    if spatial.fanout() > 1 {
+        out.push_str(&format!(
+            "spatial: {{ meshX: {}, meshY: {} }}\n",
+            spatial.mesh_x, spatial.mesh_y
+        ));
+    }
+    let reused: Vec<&str> = Tensor::ALL
+        .into_iter()
+        .filter(|&t| spatial_reuse(t))
+        .map(Tensor::name)
+        .collect();
+    if !reused.is_empty() {
+        out.push_str(&format!("spatial_reuse: [{}]\n", reused.join(", ")));
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), SpecError> {
+    let pos = line.find(':').ok_or_else(|| SpecError::Parse {
+        line: line_no,
+        message: format!("expected `key: value`, found `{line}`"),
+    })?;
+    Ok((line[..pos].trim(), line[pos + 1..].trim()))
+}
+
+fn parse_list(value: &str, line_no: usize) -> Result<Vec<String>, SpecError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| SpecError::Parse {
+            line: line_no,
+            message: format!("expected a `[list]`, found `{value}`"),
+        })?;
+    Ok(inner
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+fn parse_inline_map(value: &str, line_no: usize) -> Result<Vec<(String, String)>, SpecError> {
+    let inner = value
+        .strip_prefix('{')
+        .and_then(|v| v.strip_suffix('}'))
+        .ok_or_else(|| SpecError::Parse {
+            line: line_no,
+            message: format!("expected a `{{ map }}`, found `{value}`"),
+        })?;
+    let mut pairs = Vec::new();
+    for entry in inner.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (k, v) = split_key_value(entry, line_no)?;
+        pairs.push((k.to_owned(), v.to_owned()));
+    }
+    Ok(pairs)
+}
+
+fn parse_scalar(value: &str) -> AttrValue {
+    if let Ok(i) = value.parse::<i64>() {
+        return AttrValue::Int(i);
+    }
+    if let Ok(f) = value.parse::<f64>() {
+        return AttrValue::Float(f);
+    }
+    match value {
+        "true" | "True" => AttrValue::Bool(true),
+        "false" | "False" => AttrValue::Bool(false),
+        other => AttrValue::Str(other.to_owned()),
+    }
+}
+
+fn parse_tensor(name: &str, line_no: usize) -> Result<Tensor, SpecError> {
+    Tensor::parse(name).ok_or_else(|| SpecError::Parse {
+        line: line_no,
+        message: format!("unknown tensor `{name}` (expected Inputs/Weights/Outputs)"),
+    })
+}
+
+enum PendingKind {
+    Component,
+    Container,
+}
+
+struct PendingNode {
+    kind: PendingKind,
+    name: Option<String>,
+    class: Option<String>,
+    reuse: [Option<Reuse>; 3],
+    spatial: Spatial,
+    spatial_reuse: [bool; 3],
+    attrs: Vec<(String, AttrValue)>,
+}
+
+impl PendingNode {
+    fn component() -> Self {
+        Self::new(PendingKind::Component)
+    }
+
+    fn container() -> Self {
+        Self::new(PendingKind::Container)
+    }
+
+    fn new(kind: PendingKind) -> Self {
+        PendingNode {
+            kind,
+            name: None,
+            class: None,
+            reuse: [None; 3],
+            spatial: Spatial::UNIT,
+            spatial_reuse: [false; 3],
+            attrs: Vec::new(),
+        }
+    }
+
+    fn set_reuse(&mut self, tensor: Tensor, reuse: Reuse, line_no: usize) -> Result<(), SpecError> {
+        let slot = &mut self.reuse[tensor as usize];
+        if let Some(existing) = *slot {
+            if existing != reuse {
+                return Err(SpecError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "tensor {tensor} already has directive {existing:?}, cannot also be {reuse:?}"
+                    ),
+                });
+            }
+        }
+        *slot = Some(reuse);
+        Ok(())
+    }
+
+    fn apply(&mut self, key: &str, value: &str, line_no: usize) -> Result<(), SpecError> {
+        match key {
+            "name" => self.name = Some(value.to_owned()),
+            "class" => self.class = Some(value.to_owned()),
+            "temporal_reuse" | "coalesce" | "no_coalesce" | "bypass" => {
+                let reuse = match key {
+                    "temporal_reuse" => Reuse::Temporal,
+                    "coalesce" => Reuse::Coalesce,
+                    "no_coalesce" => Reuse::NoCoalesce,
+                    _ => Reuse::Bypass,
+                };
+                for tensor_name in parse_list(value, line_no)? {
+                    let tensor = parse_tensor(&tensor_name, line_no)?;
+                    self.set_reuse(tensor, reuse, line_no)?;
+                }
+            }
+            "spatial" => {
+                for (k, v) in parse_inline_map(value, line_no)? {
+                    let n: u64 = v.parse().map_err(|_| SpecError::Parse {
+                        line: line_no,
+                        message: format!("mesh size must be a positive integer, found `{v}`"),
+                    })?;
+                    match k.as_str() {
+                        "meshX" | "mesh_x" => self.spatial.mesh_x = n,
+                        "meshY" | "mesh_y" => self.spatial.mesh_y = n,
+                        other => {
+                            return Err(SpecError::Parse {
+                                line: line_no,
+                                message: format!("unknown spatial key `{other}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            "spatial_reuse" => {
+                for tensor_name in parse_list(value, line_no)? {
+                    let tensor = parse_tensor(&tensor_name, line_no)?;
+                    self.spatial_reuse[tensor as usize] = true;
+                }
+            }
+            "attributes" => {
+                for (k, v) in parse_inline_map(value, line_no)? {
+                    self.attrs.push((k, parse_scalar(&v)));
+                }
+            }
+            other => self.attrs.push((other.to_owned(), parse_scalar(value))),
+        }
+        Ok(())
+    }
+
+    fn finish(self, line_no: usize) -> Result<Node, SpecError> {
+        let name = self.name.ok_or_else(|| SpecError::Parse {
+            line: line_no,
+            message: "node is missing a `name`".to_owned(),
+        })?;
+        match self.kind {
+            PendingKind::Component => {
+                let mut c = Component::new(name);
+                if let Some(class) = self.class {
+                    c = c.with_class(class);
+                }
+                for tensor in Tensor::ALL {
+                    if let Some(reuse) = self.reuse[tensor as usize] {
+                        c = c.with_reuse(tensor, reuse);
+                    }
+                }
+                c = c.with_spatial(self.spatial);
+                for tensor in Tensor::ALL {
+                    if self.spatial_reuse[tensor as usize] {
+                        c = c.with_spatial_reuse(tensor);
+                    }
+                }
+                for (k, v) in self.attrs {
+                    c = c.with_attr(k, v);
+                }
+                Ok(Node::Component(c))
+            }
+            PendingKind::Container => {
+                let mut c = Container::new(name);
+                c = c.with_spatial(self.spatial);
+                for tensor in Tensor::ALL {
+                    if self.spatial_reuse[tensor as usize] {
+                        c = c.with_spatial_reuse(tensor);
+                    }
+                }
+                for (k, v) in self.attrs {
+                    c = c.with_attr(k, v);
+                }
+                Ok(Node::Container(c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full specification from the paper's Fig 5b, comments included.
+    const FIG5B: &str = "
+!Component           # Buffer stores inputs & outputs.
+name: buffer
+temporal_reuse: [Inputs, Outputs]  # Bypass weights
+!Container           # Container includes everything declared in
+name: macro          # following lines
+!Component           # Adder sums values and coalesces them into
+name: adder          # one output.
+coalesce: [Outputs]  # Bypasses inputs/weights
+!Component           # Inputs pass through DACs, convert to analog.
+name: DAC_bank       # DACs can not coalesce.
+no_coalesce: [Inputs] # Bypass outputs/weights
+!Container           # Inputs are spatially reused between columns,
+name: column         # while outputs/weights are not.
+spatial: { meshX: 2}  # 2 columns in X dimension
+spatial_reuse: [Inputs]  # Reuse inputs, not outputs/weights
+!Component           # Outputs pass through ADC, convert to digital
+name: ADC
+no_coalesce: [Outputs]  # Bypass inputs/weights
+!Component           # Memory cells store & temporally reuse weights.
+name: memory_cell    # Memory cells spatially reuse outputs.
+spatial: { meshY: 2}  # 2 cells in Y dimension
+temporal_reuse: [Weights]  # Bypass inputs/outputs
+spatial_reuse: [Outputs]   # Reuse outputs not inputs/weights
+";
+
+    #[test]
+    fn parses_paper_fig5b() {
+        let h = parse(FIG5B).unwrap();
+        assert_eq!(h.len(), 7);
+        let buffer = h.component("buffer").unwrap();
+        assert_eq!(buffer.reuse(Tensor::Inputs), Reuse::Temporal);
+        assert_eq!(buffer.reuse(Tensor::Outputs), Reuse::Temporal);
+        assert_eq!(buffer.reuse(Tensor::Weights), Reuse::Bypass);
+
+        let adder = h.component("adder").unwrap();
+        assert_eq!(adder.reuse(Tensor::Outputs), Reuse::Coalesce);
+
+        let dac = h.component("DAC_bank").unwrap();
+        assert_eq!(dac.reuse(Tensor::Inputs), Reuse::NoCoalesce);
+
+        let column = h.node("column").unwrap().as_container().unwrap();
+        assert_eq!(column.spatial(), Spatial::new(2, 1));
+        assert!(column.spatial_reuse(Tensor::Inputs));
+        assert!(!column.spatial_reuse(Tensor::Outputs));
+
+        let cell = h.component("memory_cell").unwrap();
+        assert_eq!(cell.spatial(), Spatial::new(1, 2));
+        assert_eq!(cell.reuse(Tensor::Weights), Reuse::Temporal);
+        assert!(cell.spatial_reuse(Tensor::Outputs));
+    }
+
+    #[test]
+    fn unknown_keys_become_attributes() {
+        let h = parse(
+            "!Component\nname: ADC\nno_coalesce: [Outputs]\nresolution: 8\nenergy_share: 0.5\nclass: sar_adc\nkind: flash",
+        )
+        .unwrap();
+        let adc = h.component("ADC").unwrap();
+        assert_eq!(adc.class(), "sar_adc");
+        assert_eq!(adc.attributes().int("resolution"), Some(8));
+        assert_eq!(adc.attributes().float("energy_share"), Some(0.5));
+        assert_eq!(adc.attributes().str("kind"), Some("flash"));
+    }
+
+    #[test]
+    fn attributes_inline_map() {
+        let h = parse("!Component\nname: x\nattributes: { rows: 256, cols: 256, device: ReRAM }")
+            .unwrap();
+        let x = h.component("x").unwrap();
+        assert_eq!(x.attributes().int("rows"), Some(256));
+        assert_eq!(x.attributes().str("device"), Some("ReRAM"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("!Component\nname: a\n!Widget\nname: b").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 3, .. }), "{err:?}");
+
+        let err = parse("name: orphan").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err:?}");
+
+        let err = parse("!Component\ntemporal_reuse: [Inputs]").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn conflicting_directives_rejected() {
+        let err = parse("!Component\nname: a\ntemporal_reuse: [Inputs]\nno_coalesce: [Inputs]")
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 4, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_directive_is_idempotent() {
+        let h = parse("!Component\nname: a\nno_coalesce: [Inputs]\nno_coalesce: [Inputs]").unwrap();
+        assert_eq!(
+            h.component("a").unwrap().reuse(Tensor::Inputs),
+            Reuse::NoCoalesce
+        );
+    }
+
+    #[test]
+    fn bad_tensor_name_rejected() {
+        let err = parse("!Component\nname: a\ntemporal_reuse: [Psums]").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_spatial_rejected() {
+        let err = parse("!Component\nname: a\nspatial: { meshZ: 2 }").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+        let err = parse("!Component\nname: a\nspatial: { meshX: two }").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let h = parse(FIG5B).unwrap();
+        let text = write(&h);
+        let h2 = parse(&text).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(parse(""), Err(SpecError::Empty)));
+        assert!(matches!(parse("# only comments\n"), Err(SpecError::Empty)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: arbitrary hierarchies round-trip through the yamlite
+//! text format, and level flattening preserves structure.
+
+use cimloop_spec::{yamlite, Component, Container, Hierarchy, Node, Reuse, Spatial, Tensor};
+use proptest::prelude::*;
+
+fn arb_reuse() -> impl Strategy<Value = Reuse> {
+    prop_oneof![
+        Just(Reuse::Temporal),
+        Just(Reuse::Coalesce),
+        Just(Reuse::NoCoalesce),
+        Just(Reuse::Bypass),
+    ]
+}
+
+fn arb_component(idx: usize) -> impl Strategy<Value = Component> {
+    (
+        arb_reuse(),
+        arb_reuse(),
+        arb_reuse(),
+        1u64..8,
+        1u64..8,
+        prop::collection::vec(0usize..3, 0..3),
+        0i64..1000,
+    )
+        .prop_map(move |(ri, rw, ro, mx, my, spatial_reuse, attr)| {
+            let mut c = Component::new(format!("comp_{idx}"))
+                .with_class("free")
+                .with_reuse(Tensor::Inputs, ri)
+                .with_reuse(Tensor::Weights, rw)
+                .with_reuse(Tensor::Outputs, ro)
+                .with_spatial(Spatial::new(mx, my))
+                .with_attr("param", attr);
+            for t in spatial_reuse {
+                c = c.with_spatial_reuse(Tensor::ALL[t]);
+            }
+            c
+        })
+}
+
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    prop::collection::vec((any::<bool>(), 1u64..6), 0..7).prop_flat_map(|kinds| {
+        let mut comps: Vec<_> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &(is_container, mesh))| {
+                if is_container {
+                    Just(Node::Container(
+                        Container::new(format!("cont_{i}")).with_spatial(Spatial::new(mesh, 1)),
+                    ))
+                    .boxed()
+                } else {
+                    arb_component(i).prop_map(Node::Component).boxed()
+                }
+            })
+            .collect();
+        // Guarantee at least one component (hierarchies of only containers
+        // are rejected by validation).
+        comps.push(arb_component(999).prop_map(Node::Component).boxed());
+        comps.prop_map(|nodes| Hierarchy::from_nodes(nodes).expect("unique names, >=1 component"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn yamlite_round_trips(h in arb_hierarchy()) {
+        let text = yamlite::write(&h);
+        let parsed = Hierarchy::from_yamlite(&text).expect("written spec parses");
+        prop_assert_eq!(&h, &parsed);
+    }
+
+    #[test]
+    fn levels_cover_all_nodes_in_order(h in arb_hierarchy()) {
+        let levels = h.levels();
+        prop_assert_eq!(levels.len(), h.len());
+        for (i, level) in levels.iter().enumerate() {
+            prop_assert_eq!(level.index(), i);
+            prop_assert_eq!(level.name(), h.nodes()[i].name());
+        }
+    }
+
+    #[test]
+    fn outer_fanout_is_monotone_product(h in arb_hierarchy()) {
+        let levels = h.levels();
+        let mut expected = 1u64;
+        for level in &levels {
+            prop_assert_eq!(level.outer_fanout(), expected);
+            expected = expected.saturating_mul(level.node().spatial().fanout());
+        }
+        prop_assert_eq!(expected, h.total_fanout());
+    }
+
+    #[test]
+    fn nesting_preserves_both_parts(a in arb_hierarchy(), b in arb_hierarchy()) {
+        // Rename b's nodes to avoid collisions, then nest.
+        let renamed: Vec<Node> = b
+            .nodes()
+            .iter()
+            .map(|n| match n {
+                Node::Component(c) => {
+                    let mut c2 = Component::new(format!("inner_{}", c.name())).with_class(c.class());
+                    for t in Tensor::ALL {
+                        c2 = c2.with_reuse(t, c.reuse(t));
+                    }
+                    Node::Component(c2.with_spatial(c.spatial()))
+                }
+                Node::Container(c) => Node::Container(
+                    Container::new(format!("inner_{}", c.name())).with_spatial(c.spatial()),
+                ),
+            })
+            .collect();
+        let b2 = Hierarchy::from_nodes(renamed).expect("renamed nodes are valid");
+        let nested = a.nest(&b2).expect("no collisions after rename");
+        prop_assert_eq!(nested.len(), a.len() + b2.len());
+        prop_assert_eq!(nested.nodes()[0].name(), a.nodes()[0].name());
+    }
+}

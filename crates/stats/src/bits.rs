@@ -1,0 +1,222 @@
+use crate::{Pmf, StatsError};
+
+/// Per-bit statistics of an unsigned binary word drawn from a [`Pmf`].
+///
+/// Switching-energy models (capacitive DACs, digital buses, SRAM bitlines)
+/// depend on how often each bit of a propagated word is one and how often it
+/// toggles between consecutive words. `BitStats` precomputes these from the
+/// value distribution under the same independence assumption the paper's
+/// statistical model makes between consecutive data items.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_stats::{BitStats, Pmf};
+///
+/// # fn main() -> Result<(), cimloop_stats::StatsError> {
+/// let pmf = Pmf::uniform_ints(0, 255)?;
+/// let bits = BitStats::from_pmf(&pmf, 8)?;
+/// // Uniform bytes: every bit is one half the time, 4 ones expected.
+/// assert!((bits.expected_hamming_weight() - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitStats {
+    one_probs: Vec<f64>,
+}
+
+impl BitStats {
+    /// Computes bit statistics for `bits`-wide unsigned words.
+    ///
+    /// Support values are rounded to the nearest integer and clamped into
+    /// `[0, 2^bits - 1]` before extracting bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bits` is 0 or exceeds 53
+    /// (the exact-integer range of `f64`).
+    pub fn from_pmf(pmf: &Pmf, bits: u32) -> Result<Self, StatsError> {
+        if bits == 0 || bits > 53 {
+            return Err(StatsError::InvalidParameter {
+                name: "bits",
+                reason: "must be in 1..=53",
+            });
+        }
+        let max = ((1u64 << bits) - 1) as f64;
+        let mut one_probs = vec![0.0f64; bits as usize];
+        for (v, p) in pmf.iter() {
+            let word = v.round().clamp(0.0, max) as u64;
+            for (i, one_prob) in one_probs.iter_mut().enumerate() {
+                if (word >> i) & 1 == 1 {
+                    *one_prob += p;
+                }
+            }
+        }
+        // Normalized probabilities can sum to 1 + ε; keep each bit
+        // probability a true probability so switching terms stay >= 0.
+        for p in &mut one_probs {
+            *p = p.clamp(0.0, 1.0);
+        }
+        Ok(BitStats { one_probs })
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.one_probs.len() as u32
+    }
+
+    /// Probability that bit `i` (LSB = 0) is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn one_prob(&self, i: u32) -> f64 {
+        self.one_probs[i as usize]
+    }
+
+    /// Per-bit one-probabilities, LSB first.
+    pub fn one_probs(&self) -> &[f64] {
+        &self.one_probs
+    }
+
+    /// Expected number of one bits in a word.
+    pub fn expected_hamming_weight(&self) -> f64 {
+        self.one_probs.iter().sum()
+    }
+
+    /// Expected number of bit toggles between two consecutive independent
+    /// words drawn from the same distribution.
+    ///
+    /// For each bit with one-probability `p`, the toggle probability is
+    /// `2·p·(1−p)`.
+    pub fn expected_switching(&self) -> f64 {
+        self.one_probs
+            .iter()
+            .map(|&p| switching_probability(p, p))
+            .sum()
+    }
+
+    /// Expected toggles between a word from `self` and an independent word
+    /// from `other`, bit by bit. Widths must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn expected_switching_to(&self, other: &BitStats) -> f64 {
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "bit widths must match to compute switching"
+        );
+        self.one_probs
+            .iter()
+            .zip(other.one_probs.iter())
+            .map(|(&p, &q)| switching_probability(p, q))
+            .sum()
+    }
+
+    /// Expected position of the most-significant one bit, in `[0, width]`.
+    ///
+    /// Words equal to zero contribute position 0; a word whose MSB index is
+    /// `k` contributes `k + 1`. This is the quantity value-aware SAR ADCs
+    /// exploit: conversions of small values terminate early.
+    pub fn expected_msb_position(pmf: &Pmf, bits: u32) -> Result<f64, StatsError> {
+        if bits == 0 || bits > 53 {
+            return Err(StatsError::InvalidParameter {
+                name: "bits",
+                reason: "must be in 1..=53",
+            });
+        }
+        let max = ((1u64 << bits) - 1) as f64;
+        let mut total = 0.0;
+        for (v, p) in pmf.iter() {
+            let word = v.round().clamp(0.0, max) as u64;
+            let pos = if word == 0 {
+                0
+            } else {
+                64 - word.leading_zeros() as u64
+            };
+            total += p * pos as f64;
+        }
+        Ok(total)
+    }
+}
+
+/// Probability that a bit toggles between two independent samples whose
+/// one-probabilities are `p` and `q`: `p·(1−q) + q·(1−p)`.
+pub fn switching_probability(p: f64, q: f64) -> f64 {
+    p * (1.0 - q) + q * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bytes_have_half_one_probs() {
+        let pmf = Pmf::uniform_ints(0, 255).unwrap();
+        let bits = BitStats::from_pmf(&pmf, 8).unwrap();
+        for i in 0..8 {
+            assert!((bits.one_prob(i) - 0.5).abs() < 1e-9);
+        }
+        assert!((bits.expected_switching() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_word_never_switches() {
+        let pmf = Pmf::delta(0b1010 as f64).unwrap();
+        let bits = BitStats::from_pmf(&pmf, 4).unwrap();
+        assert_eq!(bits.one_probs(), &[0.0, 1.0, 0.0, 1.0]);
+        assert!((bits.expected_switching()).abs() < 1e-12);
+        assert!((bits.expected_hamming_weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_heavy_distribution_reduces_switching() {
+        let sparse = Pmf::from_weights(vec![(0.0, 0.9), (255.0, 0.1)]).unwrap();
+        let dense = Pmf::uniform_ints(0, 255).unwrap();
+        let s = BitStats::from_pmf(&sparse, 8).unwrap();
+        let d = BitStats::from_pmf(&dense, 8).unwrap();
+        assert!(s.expected_switching() < d.expected_switching());
+    }
+
+    #[test]
+    fn switching_probability_edges() {
+        assert_eq!(switching_probability(0.0, 0.0), 0.0);
+        assert_eq!(switching_probability(1.0, 1.0), 0.0);
+        assert_eq!(switching_probability(0.0, 1.0), 1.0);
+        assert!((switching_probability(0.5, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_to_mixed_distributions() {
+        let a = BitStats::from_pmf(&Pmf::delta(0.0).unwrap(), 4).unwrap();
+        let b = BitStats::from_pmf(&Pmf::delta(15.0).unwrap(), 4).unwrap();
+        assert!((a.expected_switching_to(&b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn msb_position_expectations() {
+        // Value 0 -> 0; value 1 -> 1; value 8 (0b1000) -> 4.
+        let pmf = Pmf::from_weights(vec![(0.0, 0.5), (8.0, 0.5)]).unwrap();
+        let e = BitStats::expected_msb_position(&pmf, 4).unwrap();
+        assert!((e - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        let pmf = Pmf::delta(1.0).unwrap();
+        assert!(BitStats::from_pmf(&pmf, 0).is_err());
+        assert!(BitStats::from_pmf(&pmf, 54).is_err());
+        assert!(BitStats::expected_msb_position(&pmf, 0).is_err());
+    }
+
+    #[test]
+    fn values_clamped_into_range() {
+        let pmf = Pmf::from_weights(vec![(-5.0, 0.5), (300.0, 0.5)]).unwrap();
+        let bits = BitStats::from_pmf(&pmf, 8).unwrap();
+        // -5 clamps to 0, 300 clamps to 255 (all ones).
+        assert!((bits.expected_hamming_weight() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or manipulating a [`crate::Pmf`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The distribution has no support points.
+    EmptySupport,
+    /// A probability weight was negative or non-finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// All probability weights were zero, so the distribution cannot be
+    /// normalized.
+    ZeroMass,
+    /// A support value was non-finite (NaN or infinite).
+    InvalidValue {
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySupport => write!(f, "distribution has empty support"),
+            StatsError::InvalidWeight { weight } => {
+                write!(f, "probability weight {weight} is negative or non-finite")
+            }
+            StatsError::ZeroMass => write!(f, "all probability weights are zero"),
+            StatsError::InvalidValue { value } => {
+                write!(f, "support value {value} is non-finite")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}

@@ -1,0 +1,593 @@
+use crate::StatsError;
+
+/// Tolerance used when merging nearly-identical support values.
+const MERGE_EPS: f64 = 1e-12;
+
+/// A discrete probability distribution over `f64` values.
+///
+/// The support is kept sorted by value, with duplicate values merged and
+/// probabilities normalized to sum to one. All constructors validate their
+/// input; operations preserve the invariant that probabilities are
+/// non-negative and sum to one (within floating-point tolerance).
+///
+/// `Pmf` is the currency of the data-value-dependent pipeline: workload
+/// tensors produce a `Pmf` of operand values, encodings and slicings
+/// transform it, and circuit models reduce it to an average energy per
+/// action.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_stats::Pmf;
+///
+/// # fn main() -> Result<(), cimloop_stats::StatsError> {
+/// let a = Pmf::from_weights(vec![(0.0, 1.0), (1.0, 1.0)])?; // fair bit
+/// let b = a.clone();
+/// // Distribution of the sum of two independent fair bits: 0,1,2 w/ 1/4,1/2,1/4.
+/// let sum = a.convolve(&b);
+/// assert_eq!(sum.support().len(), 3);
+/// assert!((sum.mean() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    values: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Creates a distribution from `(value, weight)` pairs.
+    ///
+    /// Weights need not sum to one; they are normalized. Duplicate (or
+    /// nearly-duplicate) values are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySupport`] if `pairs` is empty,
+    /// [`StatsError::InvalidValue`] / [`StatsError::InvalidWeight`] on
+    /// non-finite input, and [`StatsError::ZeroMass`] if all weights are zero.
+    pub fn from_weights(
+        pairs: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Result<Self, StatsError> {
+        let mut pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return Err(StatsError::EmptySupport);
+        }
+        for &(v, w) in &pairs {
+            if !v.is_finite() {
+                return Err(StatsError::InvalidValue { value: v });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidWeight { weight: w });
+            }
+        }
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return Err(StatsError::ZeroMass);
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        let mut probs: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (v, w) in pairs {
+            match values.last() {
+                Some(&last) if (v - last).abs() <= MERGE_EPS.max(last.abs() * MERGE_EPS) => {
+                    *probs.last_mut().expect("probs parallel to values") += w / total;
+                }
+                _ => {
+                    values.push(v);
+                    probs.push(w / total);
+                }
+            }
+        }
+        Ok(Pmf { values, probs })
+    }
+
+    /// Creates a distribution concentrated at a single value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidValue`] if `value` is non-finite.
+    pub fn delta(value: f64) -> Result<Self, StatsError> {
+        Self::from_weights([(value, 1.0)])
+    }
+
+    /// Creates a uniform distribution over the given values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySupport`] if `values` is empty, or
+    /// [`StatsError::InvalidValue`] on non-finite entries.
+    pub fn uniform(values: impl IntoIterator<Item = f64>) -> Result<Self, StatsError> {
+        Self::from_weights(values.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// Creates a uniform distribution over the integers `lo..=hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `lo > hi`.
+    pub fn uniform_ints(lo: i64, hi: i64) -> Result<Self, StatsError> {
+        if lo > hi {
+            return Err(StatsError::InvalidParameter {
+                name: "lo..=hi",
+                reason: "lower bound exceeds upper bound",
+            });
+        }
+        Self::uniform((lo..=hi).map(|v| v as f64))
+    }
+
+    /// Estimates a distribution from observed samples (the empirical PMF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySupport`] if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        Self::from_weights(samples.iter().map(|&v| (v, 1.0)))
+    }
+
+    /// The support values, sorted ascending.
+    pub fn support(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The probability of each support value, parallel to [`Self::support`].
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the support is empty. Always `false` for a constructed `Pmf`;
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(value, probability)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values.iter().copied().zip(self.probs.iter().copied())
+    }
+
+    /// Expected value of `f` under this distribution.
+    pub fn expect(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.iter().map(|(v, p)| p * f(v)).sum()
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.expect(|v| v)
+    }
+
+    /// Second raw moment, `E[X^2]`.
+    pub fn second_moment(&self) -> f64 {
+        self.expect(|v| v * v)
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.expect(|v| (v - m) * (v - m))
+    }
+
+    /// Minimum support value.
+    pub fn min(&self) -> f64 {
+        *self.values.first().expect("non-empty support")
+    }
+
+    /// Maximum support value.
+    pub fn max(&self) -> f64 {
+        *self.values.last().expect("non-empty support")
+    }
+
+    /// Probability that the value equals `v` (within merge tolerance).
+    pub fn prob_of(&self, v: f64) -> f64 {
+        self.iter()
+            .filter(|&(x, _)| (x - v).abs() <= MERGE_EPS.max(v.abs() * MERGE_EPS))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Probability that the value satisfies `pred`.
+    pub fn prob_where(&self, mut pred: impl FnMut(f64) -> bool) -> f64 {
+        self.iter().filter(|&(v, _)| pred(v)).map(|(_, p)| p).sum()
+    }
+
+    /// Transforms each support value through `f`, merging collisions.
+    ///
+    /// The result is a valid distribution of `f(X)`.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
+        Self::from_weights(self.iter().map(|(v, p)| (f(v), p)))
+            .expect("mapping a valid pmf yields a valid pmf")
+    }
+
+    /// Distribution of `X + c`.
+    pub fn shift(&self, c: f64) -> Self {
+        self.map(|v| v + c)
+    }
+
+    /// Distribution of `k * X`.
+    pub fn scale(&self, k: f64) -> Self {
+        self.map(|v| k * v)
+    }
+
+    /// Distribution of `X + Y` for independent `X` (self) and `Y` (other).
+    ///
+    /// Support size is the product of the operands' support sizes before
+    /// merging; use [`Self::coarsen`] to bound growth across repeated
+    /// convolutions.
+    pub fn convolve(&self, other: &Pmf) -> Self {
+        let mut pairs = Vec::with_capacity(self.len() * other.len());
+        for (v1, p1) in self.iter() {
+            for (v2, p2) in other.iter() {
+                pairs.push((v1 + v2, p1 * p2));
+            }
+        }
+        Self::from_weights(pairs).expect("convolving valid pmfs yields a valid pmf")
+    }
+
+    /// Distribution of the sum of `n` independent draws from this
+    /// distribution, coarsening intermediate supports to at most
+    /// `max_support` points (0 means unlimited).
+    ///
+    /// Uses binary exponentiation so cost is `O(log n)` convolutions.
+    pub fn convolve_n(&self, n: u64, max_support: usize) -> Self {
+        let cap = |pmf: Pmf| {
+            if max_support > 0 && pmf.len() > max_support {
+                pmf.coarsen(max_support)
+            } else {
+                pmf
+            }
+        };
+        let mut result = Pmf::delta(0.0).expect("0.0 is finite");
+        let mut base = self.clone();
+        let mut k = n;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = cap(result.convolve(&base));
+            }
+            k >>= 1;
+            if k > 0 {
+                base = cap(base.convolve(&base));
+            }
+        }
+        result
+    }
+
+    /// Distribution of `X * Y` for independent `X` (self) and `Y` (other).
+    pub fn product(&self, other: &Pmf) -> Self {
+        let mut pairs = Vec::with_capacity(self.len() * other.len());
+        for (v1, p1) in self.iter() {
+            for (v2, p2) in other.iter() {
+                pairs.push((v1 * v2, p1 * p2));
+            }
+        }
+        Self::from_weights(pairs).expect("multiplying valid pmfs yields a valid pmf")
+    }
+
+    /// Mixture distribution: draws from each component with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySupport`] if `components` is empty, or an
+    /// error if weights are invalid.
+    pub fn mixture(components: &[(f64, &Pmf)]) -> Result<Self, StatsError> {
+        if components.is_empty() {
+            return Err(StatsError::EmptySupport);
+        }
+        let mut pairs = Vec::new();
+        for &(w, pmf) in components {
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidWeight { weight: w });
+            }
+            for (v, p) in pmf.iter() {
+                pairs.push((v, w * p));
+            }
+        }
+        Self::from_weights(pairs)
+    }
+
+    /// Reduces the support to at most `n` points by re-binning adjacent
+    /// values, preserving total mass and (approximately) the mean: each bin
+    /// is represented by its probability-weighted centroid.
+    ///
+    /// Returns `self` unchanged if the support is already small enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coarsen(&self, n: usize) -> Self {
+        assert!(n > 0, "coarsen target must be positive");
+        if self.len() <= n {
+            return self.clone();
+        }
+        // Equal-width bins over the support range; centroid per bin keeps the
+        // mean exact and bounds the second-moment error by the bin width.
+        let lo = self.min();
+        let hi = self.max();
+        let width = (hi - lo) / n as f64;
+        let mut mass = vec![0.0f64; n];
+        let mut moment = vec![0.0f64; n];
+        for (v, p) in self.iter() {
+            let mut idx = if width > 0.0 {
+                ((v - lo) / width) as usize
+            } else {
+                0
+            };
+            if idx >= n {
+                idx = n - 1;
+            }
+            mass[idx] += p;
+            moment[idx] += p * v;
+        }
+        let pairs = mass
+            .iter()
+            .zip(moment.iter())
+            .filter(|&(&m, _)| m > 0.0)
+            .map(|(&m, &mo)| (mo / m, m));
+        Self::from_weights(pairs).expect("coarsening a valid pmf yields a valid pmf")
+    }
+
+    /// Drops support points with probability below `eps` and renormalizes.
+    ///
+    /// If pruning would remove everything, the distribution is returned
+    /// unchanged.
+    pub fn prune(&self, eps: f64) -> Self {
+        let kept: Vec<(f64, f64)> = self.iter().filter(|&(_, p)| p >= eps).collect();
+        if kept.is_empty() {
+            return self.clone();
+        }
+        Self::from_weights(kept).expect("pruning a valid pmf yields a valid pmf")
+    }
+
+    /// Quantizes values to the nearest integer.
+    pub fn round(&self) -> Self {
+        self.map(|v| v.round())
+    }
+
+    /// Clamps values into `[lo, hi]`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> Self {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Quantizes a continuous-ish distribution to `levels` evenly spaced
+    /// values spanning `[lo, hi]` (inclusive), mapping each support point to
+    /// the nearest level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `lo >= hi`.
+    pub fn quantize(&self, lo: f64, hi: f64, levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two quantization levels");
+        assert!(lo < hi, "quantization range must be non-empty");
+        let step = (hi - lo) / (levels - 1) as f64;
+        self.map(|v| {
+            let idx = ((v - lo) / step).round().clamp(0.0, (levels - 1) as f64);
+            lo + idx * step
+        })
+    }
+
+    /// Inverse-CDF lookup: returns the support value at cumulative
+    /// probability `u`, where `u` is in `[0, 1)`.
+    ///
+    /// This lets callers sample the distribution with their own uniform
+    /// random source without this crate depending on an RNG.
+    pub fn icdf(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let mut cum = 0.0;
+        for (v, p) in self.iter() {
+            cum += p;
+            if u < cum {
+                return v;
+            }
+        }
+        self.max()
+    }
+
+    /// Total variation distance to another distribution:
+    /// `0.5 * Σ |p(v) − q(v)|` over the union of supports.
+    pub fn total_variation(&self, other: &Pmf) -> f64 {
+        let mut dist = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len() || j < other.len() {
+            if j >= other.len() {
+                dist += self.probs[i];
+                i += 1;
+            } else if i >= self.len() {
+                dist += other.probs[j];
+                j += 1;
+            } else {
+                let (a, b) = (self.values[i], other.values[j]);
+                if (a - b).abs() <= MERGE_EPS.max(a.abs() * MERGE_EPS) {
+                    dist += (self.probs[i] - other.probs[j]).abs();
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    dist += self.probs[i];
+                    i += 1;
+                } else {
+                    dist += other.probs[j];
+                    j += 1;
+                }
+            }
+        }
+        dist / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let pmf = Pmf::from_weights(vec![(1.0, 2.0), (2.0, 2.0)]).unwrap();
+        assert!(close(pmf.probs()[0], 0.5));
+        assert!(close(pmf.probs()[1], 0.5));
+    }
+
+    #[test]
+    fn from_weights_merges_duplicates() {
+        let pmf = Pmf::from_weights(vec![(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]).unwrap();
+        assert_eq!(pmf.len(), 2);
+        assert!(close(pmf.prob_of(1.0), 0.5));
+    }
+
+    #[test]
+    fn from_weights_rejects_bad_input() {
+        assert_eq!(
+            Pmf::from_weights(std::iter::empty::<(f64, f64)>()),
+            Err(StatsError::EmptySupport)
+        );
+        assert!(matches!(
+            Pmf::from_weights(vec![(f64::NAN, 1.0)]),
+            Err(StatsError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            Pmf::from_weights(vec![(1.0, -1.0)]),
+            Err(StatsError::InvalidWeight { .. })
+        ));
+        assert_eq!(
+            Pmf::from_weights(vec![(1.0, 0.0)]),
+            Err(StatsError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn delta_and_moments() {
+        let pmf = Pmf::delta(3.0).unwrap();
+        assert!(close(pmf.mean(), 3.0));
+        assert!(close(pmf.variance(), 0.0));
+        assert!(close(pmf.second_moment(), 9.0));
+    }
+
+    #[test]
+    fn uniform_ints_mean() {
+        let pmf = Pmf::uniform_ints(0, 9).unwrap();
+        assert!(close(pmf.mean(), 4.5));
+        assert_eq!(pmf.len(), 10);
+        assert!(Pmf::uniform_ints(3, 2).is_err());
+    }
+
+    #[test]
+    fn from_samples_empirical() {
+        let pmf = Pmf::from_samples(&[1.0, 1.0, 2.0, 4.0]).unwrap();
+        assert!(close(pmf.prob_of(1.0), 0.5));
+        assert!(close(pmf.mean(), 2.0));
+    }
+
+    #[test]
+    fn convolve_two_dice() {
+        let die = Pmf::uniform_ints(1, 6).unwrap();
+        let sum = die.convolve(&die);
+        assert!(close(sum.mean(), 7.0));
+        assert!(close(sum.prob_of(7.0), 6.0 / 36.0));
+        assert_eq!(sum.len(), 11);
+    }
+
+    #[test]
+    fn convolve_n_matches_repeated() {
+        let bit = Pmf::from_weights(vec![(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        let a = bit.convolve_n(4, 0);
+        let b = bit.convolve(&bit).convolve(&bit).convolve(&bit);
+        assert!(a.total_variation(&b) < 1e-9);
+        assert!(close(a.mean(), 2.0));
+    }
+
+    #[test]
+    fn convolve_n_zero_is_delta_zero() {
+        let die = Pmf::uniform_ints(1, 6).unwrap();
+        let none = die.convolve_n(0, 0);
+        assert_eq!(none.len(), 1);
+        assert!(close(none.mean(), 0.0));
+    }
+
+    #[test]
+    fn product_of_independents() {
+        let a = Pmf::from_weights(vec![(0.0, 0.5), (2.0, 0.5)]).unwrap();
+        let b = Pmf::from_weights(vec![(1.0, 0.5), (3.0, 0.5)]).unwrap();
+        let prod = a.product(&b);
+        // E[XY] = E[X]E[Y] for independents.
+        assert!(close(prod.mean(), a.mean() * b.mean()));
+    }
+
+    #[test]
+    fn mixture_weights() {
+        let a = Pmf::delta(0.0).unwrap();
+        let b = Pmf::delta(10.0).unwrap();
+        let mix = Pmf::mixture(&[(3.0, &a), (1.0, &b)]).unwrap();
+        assert!(close(mix.prob_of(0.0), 0.75));
+        assert!(close(mix.mean(), 2.5));
+    }
+
+    #[test]
+    fn coarsen_preserves_mean() {
+        let pmf = Pmf::uniform_ints(0, 999).unwrap();
+        let small = pmf.coarsen(16);
+        assert!(small.len() <= 16);
+        assert!((small.mean() - pmf.mean()).abs() < 1e-6);
+        let total: f64 = small.probs().iter().sum();
+        assert!(close(total, 1.0));
+    }
+
+    #[test]
+    fn coarsen_noop_when_small() {
+        let pmf = Pmf::uniform_ints(0, 3).unwrap();
+        assert_eq!(pmf.coarsen(10), pmf);
+    }
+
+    #[test]
+    fn prune_renormalizes() {
+        let pmf = Pmf::from_weights(vec![(0.0, 0.999), (1.0, 0.001)]).unwrap();
+        let pruned = pmf.prune(0.01);
+        assert_eq!(pruned.len(), 1);
+        assert!(close(pruned.probs()[0], 1.0));
+    }
+
+    #[test]
+    fn quantize_snaps_to_levels() {
+        let pmf = Pmf::uniform(vec![0.1, 0.4, 0.6, 0.9]).unwrap();
+        let q = pmf.quantize(0.0, 1.0, 3); // levels 0.0, 0.5, 1.0
+        for &v in q.support() {
+            assert!(v == 0.0 || v == 0.5 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn icdf_walks_cdf() {
+        let pmf = Pmf::from_weights(vec![(1.0, 0.25), (2.0, 0.5), (3.0, 0.25)]).unwrap();
+        assert_eq!(pmf.icdf(0.0), 1.0);
+        assert_eq!(pmf.icdf(0.3), 2.0);
+        assert_eq!(pmf.icdf(0.99), 3.0);
+    }
+
+    #[test]
+    fn shift_scale_clamp_round() {
+        let pmf = Pmf::uniform_ints(0, 3).unwrap();
+        assert!(close(pmf.shift(1.0).mean(), pmf.mean() + 1.0));
+        assert!(close(pmf.scale(2.0).mean(), pmf.mean() * 2.0));
+        assert!(close(pmf.clamp(1.0, 2.0).min(), 1.0));
+        assert!(close(pmf.scale(0.4).round().max(), 1.0));
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let a = Pmf::uniform_ints(0, 1).unwrap();
+        let b = Pmf::uniform_ints(2, 3).unwrap();
+        assert!(close(a.total_variation(&b), 1.0));
+        assert!(close(a.total_variation(&a), 0.0));
+    }
+
+    #[test]
+    fn prob_where_counts_predicate_mass() {
+        let pmf = Pmf::uniform_ints(0, 9).unwrap();
+        assert!(close(pmf.prob_where(|v| v >= 5.0), 0.5));
+    }
+}

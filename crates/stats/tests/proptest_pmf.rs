@@ -1,0 +1,100 @@
+//! Property-based tests for the PMF invariants listed in DESIGN.md §5.
+
+use cimloop_stats::{BitStats, Pmf};
+use proptest::prelude::*;
+
+fn arb_pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec((-1000i32..1000, 1u32..100), 1..20).prop_map(|pairs| {
+        Pmf::from_weights(pairs.into_iter().map(|(v, w)| (v as f64, w as f64)))
+            .expect("generated weights are valid")
+    })
+}
+
+fn mass(pmf: &Pmf) -> f64 {
+    pmf.probs().iter().sum()
+}
+
+proptest! {
+    #[test]
+    fn probabilities_sum_to_one(pmf in arb_pmf()) {
+        prop_assert!((mass(&pmf) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_preserves_mass(pmf in arb_pmf(), k in -10.0f64..10.0) {
+        let mapped = pmf.map(|v| v * k);
+        prop_assert!((mass(&mapped) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_means_add(a in arb_pmf(), b in arb_pmf()) {
+        let sum = a.convolve(&b);
+        prop_assert!((sum.mean() - (a.mean() + b.mean())).abs() < 1e-6);
+        prop_assert!((mass(&sum) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_variances_add(a in arb_pmf(), b in arb_pmf()) {
+        let sum = a.convolve(&b);
+        prop_assert!((sum.variance() - (a.variance() + b.variance())).abs() < 1e-4);
+    }
+
+    #[test]
+    fn product_mean_is_product_of_means(a in arb_pmf(), b in arb_pmf()) {
+        let prod = a.product(&b);
+        let expected = a.mean() * b.mean();
+        let tolerance = 1e-6 * (1.0 + expected.abs());
+        prop_assert!((prod.mean() - expected).abs() < tolerance);
+    }
+
+    #[test]
+    fn scaling_scales_mean(pmf in arb_pmf(), k in -10.0f64..10.0) {
+        let scaled = pmf.scale(k);
+        prop_assert!((scaled.mean() - k * pmf.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shifting_shifts_mean(pmf in arb_pmf(), c in -100.0f64..100.0) {
+        let shifted = pmf.shift(c);
+        prop_assert!((shifted.mean() - (pmf.mean() + c)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coarsen_preserves_mass_and_mean(pmf in arb_pmf(), n in 1usize..32) {
+        let coarse = pmf.coarsen(n);
+        prop_assert!(coarse.len() <= n.max(pmf.len().min(n)));
+        prop_assert!((mass(&coarse) - 1.0).abs() < 1e-9);
+        prop_assert!((coarse.mean() - pmf.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolve_n_mean_scales_linearly(pmf in arb_pmf(), n in 0u64..16) {
+        let sum = pmf.convolve_n(n, 256);
+        prop_assert!((sum.mean() - n as f64 * pmf.mean()).abs() < 1e-4 * (1.0 + n as f64));
+    }
+
+    #[test]
+    fn total_variation_is_a_metric(a in arb_pmf(), b in arb_pmf()) {
+        prop_assert!(a.total_variation(&a) < 1e-12);
+        let d_ab = a.total_variation(&b);
+        let d_ba = b.total_variation(&a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_ab));
+    }
+
+    #[test]
+    fn icdf_returns_support_values(pmf in arb_pmf(), u in 0.0f64..1.0) {
+        let v = pmf.icdf(u);
+        prop_assert!(pmf.support().contains(&v));
+    }
+
+    #[test]
+    fn hamming_weight_bounded_by_width(pmf in arb_pmf(), bits in 1u32..16) {
+        let nonneg = pmf.map(|v| v.abs());
+        let stats = BitStats::from_pmf(&nonneg, bits).unwrap();
+        let h = stats.expected_hamming_weight();
+        prop_assert!((0.0..=bits as f64 + 1e-9).contains(&h));
+        let s = stats.expected_switching();
+        prop_assert!((0.0..=bits as f64 + 1e-9).contains(&s));
+    }
+}

@@ -1,0 +1,359 @@
+//! Device-level models: the components forming each memory cell
+//! (paper §II-B "Devices" level of the CiM stack).
+//!
+//! Published macros store weights in SRAM (Macros A, B, D), ReRAM (Macro C),
+//! or DRAM; these models provide the per-device area and per-event energy
+//! that the circuit plug-ins aggregate. Energies are value-dependent where
+//! the physics is: ReRAM read energy is `G · V² · t_read` (paper Algorithm 1),
+//! capacitor switching is `C · ΔV²`.
+
+use crate::{TechError, TechNode};
+
+/// A 6T SRAM bitcell.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_tech::device::SramBitcell;
+/// use cimloop_tech::TechNode;
+///
+/// let cell = SramBitcell::new(TechNode::N7);
+/// assert!(cell.area() > 0.0);
+/// assert!(cell.read_energy(0.8) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramBitcell {
+    node: TechNode,
+    area_f2: f64,
+    cell_capacitance: f64,
+}
+
+impl SramBitcell {
+    /// Typical 6T bitcell area in F² (feature sizes squared).
+    pub const DEFAULT_AREA_F2: f64 = 150.0;
+
+    /// Per-cell switched capacitance seen on a read, in farads.
+    ///
+    /// Dominated by the cell's share of bitline capacitance; scaled with the
+    /// node when constructing via [`Self::new`].
+    pub const REF_CELL_CAP_45NM: f64 = 0.08e-15;
+
+    /// Creates a bitcell at `node` with default geometry.
+    pub fn new(node: TechNode) -> Self {
+        SramBitcell {
+            node,
+            area_f2: Self::DEFAULT_AREA_F2,
+            cell_capacitance: Self::REF_CELL_CAP_45NM * (node.nm() / TechNode::N45.nm()),
+        }
+    }
+
+    /// Creates a bitcell with an explicit area (in F²) and capacitance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] for non-positive values.
+    pub fn with_geometry(
+        node: TechNode,
+        area_f2: f64,
+        cell_capacitance: f64,
+    ) -> Result<Self, TechError> {
+        if !(area_f2.is_finite() && area_f2 > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "area_f2",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(cell_capacitance.is_finite() && cell_capacitance > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "cell_capacitance",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(SramBitcell {
+            node,
+            area_f2,
+            cell_capacitance,
+        })
+    }
+
+    /// The process node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Cell area in m².
+    pub fn area(&self) -> f64 {
+        let f = self.node.nm() * 1e-9;
+        self.area_f2 * f * f
+    }
+
+    /// Energy of one read access at supply `vdd`, in joules: `C · V²`.
+    pub fn read_energy(&self, vdd: f64) -> f64 {
+        self.cell_capacitance * vdd * vdd
+    }
+
+    /// Energy of one write access at supply `vdd`, in joules.
+    ///
+    /// Writes flip the cross-coupled pair, costing roughly 1.5× a read.
+    pub fn write_energy(&self, vdd: f64) -> f64 {
+        1.5 * self.read_energy(vdd)
+    }
+
+    /// Static leakage power at supply `vdd`, in watts.
+    pub fn leakage_power(&self, vdd: f64) -> f64 {
+        // ~10 pA/cell at nominal conditions, linear in V for a simple model.
+        10e-12 * vdd
+    }
+}
+
+/// A resistive RAM (ReRAM / memristor) cell storing an analog conductance.
+///
+/// Multiply-accumulate happens in the analog domain: applying voltage `V`
+/// for `t_read` through conductance `G` draws energy `G · V² · t_read`
+/// — exactly the worked example in the paper's Algorithm 1.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_tech::device::ReramCell;
+///
+/// # fn main() -> Result<(), cimloop_tech::TechError> {
+/// let cell = ReramCell::new(1e-6, 100e-6, 0.3, 10e-9)?;
+/// // Max-conductance cell at full read voltage.
+/// let e = cell.read_energy(cell.g_max(), cell.v_read());
+/// assert!(e > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReramCell {
+    g_min: f64,
+    g_max: f64,
+    v_read: f64,
+    t_read: f64,
+}
+
+impl ReramCell {
+    /// Creates a cell with conductance range `[g_min, g_max]` siemens, read
+    /// voltage `v_read` volts, and read pulse `t_read` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] unless
+    /// `0 < g_min < g_max`, `v_read > 0`, and `t_read > 0`.
+    pub fn new(g_min: f64, g_max: f64, v_read: f64, t_read: f64) -> Result<Self, TechError> {
+        if !(g_min.is_finite() && g_min > 0.0 && g_max.is_finite() && g_max > g_min) {
+            return Err(TechError::InvalidParameter {
+                name: "g_min/g_max",
+                reason: "must satisfy 0 < g_min < g_max",
+            });
+        }
+        if !(v_read.is_finite() && v_read > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "v_read",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(t_read.is_finite() && t_read > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "t_read",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(ReramCell {
+            g_min,
+            g_max,
+            v_read,
+            t_read,
+        })
+    }
+
+    /// Minimum programmable conductance, siemens.
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+
+    /// Maximum programmable conductance, siemens.
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
+    /// Nominal read voltage, volts.
+    pub fn v_read(&self) -> f64 {
+        self.v_read
+    }
+
+    /// Read pulse duration, seconds.
+    pub fn t_read(&self) -> f64 {
+        self.t_read
+    }
+
+    /// Conductance representing `level` out of `levels` equally spaced
+    /// states (`level = 0` → `g_min`, `level = levels-1` → `g_max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `level >= levels`.
+    pub fn conductance_for_level(&self, level: u32, levels: u32) -> f64 {
+        assert!(levels >= 2, "need at least two conductance levels");
+        assert!(level < levels, "level out of range");
+        let frac = level as f64 / (levels - 1) as f64;
+        self.g_min + frac * (self.g_max - self.g_min)
+    }
+
+    /// Read energy for one cell at conductance `g` and applied voltage `v`:
+    /// `E = G · V² · t_read` (paper Algorithm 1).
+    pub fn read_energy(&self, g: f64, v: f64) -> f64 {
+        g * v * v * self.t_read
+    }
+
+    /// Energy to program (SET/RESET) the cell once, in joules.
+    ///
+    /// Programming uses a stronger, longer pulse than reading; the constant
+    /// reflects typical 100 µA-class, ~50 ns programming.
+    pub fn program_energy(&self) -> f64 {
+        // ~1 V, ~100 uA, ~50 ns.
+        1.0 * 100e-6 * 50e-9
+    }
+}
+
+/// A 1T1C DRAM cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramCell {
+    storage_capacitance: f64,
+}
+
+impl DramCell {
+    /// Typical storage capacitance, farads.
+    pub const DEFAULT_CAP: f64 = 25e-15;
+
+    /// Creates a cell with the default 25 fF storage capacitor.
+    pub fn new() -> Self {
+        DramCell {
+            storage_capacitance: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// Energy to charge/discharge the cell once at supply `vdd`, joules.
+    pub fn access_energy(&self, vdd: f64) -> f64 {
+        self.storage_capacitance * vdd * vdd
+    }
+}
+
+impl Default for DramCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A linear capacitor, the building block of charge-domain CiM
+/// (Macro D's C-2C ladder) and capacitive SAR data converters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    capacitance: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor of `capacitance` farads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] for non-positive values.
+    pub fn new(capacitance: f64) -> Result<Self, TechError> {
+        if !(capacitance.is_finite() && capacitance > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "capacitance",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Capacitor { capacitance })
+    }
+
+    /// Capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Energy drawn from the supply to swing the capacitor by `dv` volts:
+    /// `E = C · ΔV²` (charging through a switch dissipates `C·ΔV²` total).
+    pub fn switching_energy(&self, dv: f64) -> f64 {
+        self.capacitance * dv * dv
+    }
+
+    /// Energy stored at voltage `v`: `½ · C · V²`.
+    pub fn stored_energy(&self, v: f64) -> f64 {
+        0.5 * self.capacitance * v * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_scales_with_node() {
+        let big = SramBitcell::new(TechNode::N65);
+        let small = SramBitcell::new(TechNode::N7);
+        assert!(small.area() < big.area());
+        assert!(small.read_energy(0.7) < big.read_energy(1.1));
+    }
+
+    #[test]
+    fn sram_write_costs_more_than_read() {
+        let cell = SramBitcell::new(TechNode::N22);
+        assert!(cell.write_energy(0.8) > cell.read_energy(0.8));
+    }
+
+    #[test]
+    fn sram_geometry_validation() {
+        assert!(SramBitcell::with_geometry(TechNode::N22, 0.0, 1e-15).is_err());
+        assert!(SramBitcell::with_geometry(TechNode::N22, 150.0, -1.0).is_err());
+        assert!(SramBitcell::with_geometry(TechNode::N22, 150.0, 1e-15).is_ok());
+    }
+
+    #[test]
+    fn reram_energy_follows_gv2t() {
+        let cell = ReramCell::new(1e-6, 100e-6, 0.3, 10e-9).unwrap();
+        let e = cell.read_energy(50e-6, 0.2);
+        assert!((e - 50e-6 * 0.04 * 10e-9).abs() < 1e-24);
+        // Quadratic in voltage.
+        assert!((cell.read_energy(50e-6, 0.4) / e - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reram_conductance_levels_interpolate() {
+        let cell = ReramCell::new(1e-6, 101e-6, 0.3, 10e-9).unwrap();
+        assert!((cell.conductance_for_level(0, 5) - 1e-6).abs() < 1e-12);
+        assert!((cell.conductance_for_level(4, 5) - 101e-6).abs() < 1e-12);
+        assert!((cell.conductance_for_level(2, 5) - 51e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn reram_level_bounds_checked() {
+        let cell = ReramCell::new(1e-6, 100e-6, 0.3, 10e-9).unwrap();
+        cell.conductance_for_level(5, 5);
+    }
+
+    #[test]
+    fn reram_validation() {
+        assert!(ReramCell::new(0.0, 100e-6, 0.3, 10e-9).is_err());
+        assert!(ReramCell::new(2e-6, 1e-6, 0.3, 10e-9).is_err());
+        assert!(ReramCell::new(1e-6, 100e-6, 0.0, 10e-9).is_err());
+        assert!(ReramCell::new(1e-6, 100e-6, 0.3, 0.0).is_err());
+    }
+
+    #[test]
+    fn dram_access_energy_positive() {
+        let cell = DramCell::default();
+        assert!(cell.access_energy(1.1) > 0.0);
+    }
+
+    #[test]
+    fn capacitor_energies() {
+        let cap = Capacitor::new(1e-15).unwrap();
+        assert!((cap.switching_energy(1.0) - 1e-15).abs() < 1e-27);
+        assert!((cap.stored_energy(1.0) - 0.5e-15).abs() < 1e-27);
+        assert!(Capacitor::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by technology-model constructors and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// The requested feature size does not correspond to a known node.
+    UnknownNode {
+        /// Requested feature size in nanometers.
+        nm: f64,
+    },
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownNode { nm } => {
+                write!(f, "no technology node with feature size {nm} nm")
+            }
+            TechError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}

@@ -1,0 +1,105 @@
+//! Inter-node scaling factors in the style of Stillmaker & Baas
+//! (*Scaling equations for the accurate prediction of CMOS device
+//! performance from 180 nm to 7 nm*, Integration 2017), which the original
+//! CiMLoop uses to project macros across nodes (paper Fig 16).
+//!
+//! Dynamic energy per operation scales with switched capacitance (∝ feature
+//! size) times V_dd²; area scales with feature size squared (with a mild
+//! slowdown below 22 nm where design rules stop shrinking as fast); delay
+//! scales roughly linearly with feature size.
+
+use crate::TechNode;
+
+/// Relative dynamic energy per operation at `node`, normalized to 45 nm.
+///
+/// `E ∝ C · V²` with `C ∝ feature size`.
+pub fn energy_factor(node: TechNode) -> f64 {
+    let ref_node = TechNode::N45;
+    (node.nm() / ref_node.nm())
+        * (node.nominal_vdd() / ref_node.nominal_vdd()).powi(2)
+}
+
+/// Relative area at `node`, normalized to 45 nm.
+///
+/// Ideal shrink is quadratic in feature size; below 22 nm the effective
+/// shrink saturates (fin pitch, contacted poly pitch), which we model with a
+/// 0.8 exponent discount on the sub-22 nm portion.
+pub fn area_factor(node: TechNode) -> f64 {
+    let ref_nm = TechNode::N45.nm();
+    let nm = node.nm();
+    if nm >= 22.0 {
+        (nm / ref_nm).powi(2)
+    } else {
+        // Full quadratic shrink down to 22 nm, discounted shrink below it.
+        let to_22 = (22.0 / ref_nm).powi(2);
+        to_22 * (nm / 22.0).powf(1.6)
+    }
+}
+
+/// Relative gate delay at `node`, normalized to 45 nm.
+pub fn delay_factor(node: TechNode) -> f64 {
+    node.nm() / TechNode::N45.nm()
+}
+
+/// Multiplier converting a dynamic energy at node `from` into node `to`.
+pub fn energy_scale(from: TechNode, to: TechNode) -> f64 {
+    energy_factor(to) / energy_factor(from)
+}
+
+/// Multiplier converting an area at node `from` into node `to`.
+pub fn area_scale(from: TechNode, to: TechNode) -> f64 {
+    area_factor(to) / area_factor(from)
+}
+
+/// Multiplier converting a delay at node `from` into node `to`.
+pub fn delay_scale(from: TechNode, to: TechNode) -> f64 {
+    delay_factor(to) / delay_factor(from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling_is_one() {
+        for node in TechNode::ALL {
+            assert!((energy_scale(node, node) - 1.0).abs() < 1e-12);
+            assert!((area_scale(node, node) - 1.0).abs() < 1e-12);
+            assert!((delay_scale(node, node) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shrinking_reduces_energy_area_delay() {
+        for pair in TechNode::ALL.windows(2) {
+            assert!(energy_scale(pair[0], pair[1]) < 1.0, "{:?}", pair);
+            assert!(area_scale(pair[0], pair[1]) < 1.0, "{:?}", pair);
+            assert!(delay_scale(pair[0], pair[1]) <= 1.0, "{:?}", pair);
+        }
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let direct = energy_scale(TechNode::N180, TechNode::N7);
+        let via_45 =
+            energy_scale(TechNode::N180, TechNode::N45) * energy_scale(TechNode::N45, TechNode::N7);
+        assert!((direct - via_45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_range_energy_reduction_is_large() {
+        // 180 nm -> 7 nm should cut dynamic energy by well over an order of
+        // magnitude (capacitance and V^2 both shrink).
+        let k = energy_scale(TechNode::N180, TechNode::N7);
+        assert!(k < 0.05, "k = {k}");
+    }
+
+    #[test]
+    fn sub_22nm_area_shrink_is_discounted() {
+        // The 22 -> 7 nm area shrink should be less than the ideal quadratic.
+        let actual = area_scale(TechNode::N22, TechNode::N7);
+        let ideal = (7.0f64 / 22.0).powi(2);
+        assert!(actual > ideal);
+        assert!(actual < 1.0);
+    }
+}

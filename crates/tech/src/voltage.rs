@@ -1,0 +1,197 @@
+use crate::{TechError, TechNode};
+
+/// Supply-voltage scaling model (alpha-power law).
+///
+/// The paper validates macro energy/throughput across supply-voltage sweeps
+/// (Fig 7: Macro A at 0.85/1.2 V, Macro B at 0.8/1.0 V, Macro D at
+/// 0.7/0.9/1.1 V). Dynamic energy scales as `V²`; delay follows the
+/// alpha-power law `t ∝ V / (V − V_t)^α` with `α ≈ 1.3` for modern CMOS,
+/// so throughput falls sharply as `V` approaches `V_t`.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_tech::{TechNode, VoltageScale};
+///
+/// # fn main() -> Result<(), cimloop_tech::TechError> {
+/// let vs = VoltageScale::for_node(TechNode::N22)?;
+/// // Lowering the supply saves energy but costs speed.
+/// assert!(vs.energy_factor(0.7)? < 1.0);
+/// assert!(vs.frequency_factor(0.7)? < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageScale {
+    vdd_nominal: f64,
+    vth: f64,
+    alpha: f64,
+}
+
+impl VoltageScale {
+    /// Default velocity-saturation exponent for modern CMOS.
+    pub const DEFAULT_ALPHA: f64 = 1.3;
+
+    /// Creates a model with explicit nominal supply and threshold voltages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] unless
+    /// `0 < vth < vdd_nominal` and `alpha > 0`.
+    pub fn new(vdd_nominal: f64, vth: f64, alpha: f64) -> Result<Self, TechError> {
+        if !(vdd_nominal.is_finite() && vdd_nominal > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "vdd_nominal",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(vth.is_finite() && vth > 0.0 && vth < vdd_nominal) {
+            return Err(TechError::InvalidParameter {
+                name: "vth",
+                reason: "must satisfy 0 < vth < vdd_nominal",
+            });
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "alpha",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(VoltageScale {
+            vdd_nominal,
+            vth,
+            alpha,
+        })
+    }
+
+    /// Creates the model for a node's nominal supply and threshold.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in nodes; the `Result` mirrors [`Self::new`].
+    pub fn for_node(node: TechNode) -> Result<Self, TechError> {
+        Self::new(
+            node.nominal_vdd(),
+            node.threshold_voltage(),
+            Self::DEFAULT_ALPHA,
+        )
+    }
+
+    /// The nominal supply voltage this model is normalized to.
+    pub fn vdd_nominal(&self) -> f64 {
+        self.vdd_nominal
+    }
+
+    /// The threshold voltage.
+    pub fn vth(&self) -> f64 {
+        self.vth
+    }
+
+    /// Dynamic-energy multiplier at supply `v` relative to nominal: `(v/V_nom)²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] if `v` is not positive/finite.
+    pub fn energy_factor(&self, v: f64) -> Result<f64, TechError> {
+        self.check_v(v)?;
+        Ok((v / self.vdd_nominal).powi(2))
+    }
+
+    /// Delay multiplier at supply `v` relative to nominal (alpha-power law).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] if `v ≤ V_t` (the circuit
+    /// would not switch) or `v` is not finite.
+    pub fn delay_factor(&self, v: f64) -> Result<f64, TechError> {
+        self.check_v(v)?;
+        if v <= self.vth {
+            return Err(TechError::InvalidParameter {
+                name: "v",
+                reason: "supply must exceed the threshold voltage",
+            });
+        }
+        let nominal = self.vdd_nominal / (self.vdd_nominal - self.vth).powf(self.alpha);
+        let at_v = v / (v - self.vth).powf(self.alpha);
+        Ok(at_v / nominal)
+    }
+
+    /// Frequency multiplier at supply `v` relative to nominal (inverse delay).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::delay_factor`].
+    pub fn frequency_factor(&self, v: f64) -> Result<f64, TechError> {
+        Ok(1.0 / self.delay_factor(v)?)
+    }
+
+    fn check_v(&self, v: f64) -> Result<(), TechError> {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(TechError::InvalidParameter {
+                name: "v",
+                reason: "supply voltage must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> VoltageScale {
+        VoltageScale::new(1.0, 0.35, 1.3).unwrap()
+    }
+
+    #[test]
+    fn nominal_factors_are_one() {
+        let m = model();
+        assert!((m.energy_factor(1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.delay_factor(1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.frequency_factor(1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_quadratic_in_v() {
+        let m = model();
+        assert!((m.energy_factor(0.5).unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.energy_factor(2.0).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_grows_near_threshold() {
+        let m = model();
+        let d1 = m.delay_factor(0.9).unwrap();
+        let d2 = m.delay_factor(0.5).unwrap();
+        let d3 = m.delay_factor(0.4).unwrap();
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn overdrive_speeds_up() {
+        let m = model();
+        assert!(m.frequency_factor(1.2).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn rejects_subthreshold_supply() {
+        let m = model();
+        assert!(m.delay_factor(0.3).is_err());
+        assert!(m.delay_factor(0.35).is_err());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(VoltageScale::new(0.0, 0.3, 1.3).is_err());
+        assert!(VoltageScale::new(1.0, 1.2, 1.3).is_err());
+        assert!(VoltageScale::new(1.0, 0.3, 0.0).is_err());
+        assert!(VoltageScale::new(1.0, 0.3, 1.3).is_ok());
+    }
+
+    #[test]
+    fn for_node_uses_node_nominals() {
+        let m = VoltageScale::for_node(TechNode::N7).unwrap();
+        assert!((m.vdd_nominal() - 0.7).abs() < 1e-12);
+    }
+}

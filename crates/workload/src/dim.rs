@@ -1,0 +1,338 @@
+use cimloop_spec::Tensor;
+
+use crate::WorkloadError;
+
+/// One of the nine extended-Einsum dimensions.
+///
+/// The seven workload dimensions follow the standard convolution nest:
+///
+/// `Output[n,k,p,q] += Input[n,c,p+r,q+s] × Weight[k,c,r,s]`
+///
+/// Linear/matmul layers set `P=Q=R=S=1`; then `N` indexes rows (batch or
+/// tokens), `C` input features, and `K` output features.
+///
+/// Two additional *slice* dimensions expose bit-slicing to the mapper
+/// (paper §III-C2): [`Dim::Is`] iterates the bit-slices of each input
+/// operand and [`Dim::Ws`] the bit-slices of each weight operand. Slices of
+/// an operand multiply against the full partner operand and their partial
+/// products are reduced into the same output, so `Is` is relevant only to
+/// inputs and `Ws` only to weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// Batch (or token) dimension.
+    N,
+    /// Output channels.
+    K,
+    /// Input channels.
+    C,
+    /// Output height.
+    P,
+    /// Output width.
+    Q,
+    /// Filter height.
+    R,
+    /// Filter width.
+    S,
+    /// Input bit-slices (e.g., bit-serial input streaming).
+    Is,
+    /// Weight bit-slices (e.g., an 8-bit weight split over two 4-bit cells).
+    Ws,
+}
+
+impl Dim {
+    /// All nine dimensions.
+    pub const ALL: [Dim; 9] = [
+        Dim::N,
+        Dim::K,
+        Dim::C,
+        Dim::P,
+        Dim::Q,
+        Dim::R,
+        Dim::S,
+        Dim::Is,
+        Dim::Ws,
+    ];
+
+    /// The seven workload (word-level) dimensions, excluding slices.
+    pub const WORD: [Dim; 7] = [Dim::N, Dim::K, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dim::N => "N",
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::P => "P",
+            Dim::Q => "Q",
+            Dim::R => "R",
+            Dim::S => "S",
+            Dim::Is => "Is",
+            Dim::Ws => "Ws",
+        }
+    }
+
+    /// Whether this is a bit-slice dimension rather than a workload
+    /// dimension.
+    pub fn is_slice(self) -> bool {
+        matches!(self, Dim::Is | Dim::Ws)
+    }
+
+    /// Parses a dimension name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "N" => Some(Dim::N),
+            "K" => Some(Dim::K),
+            "C" => Some(Dim::C),
+            "P" => Some(Dim::P),
+            "Q" => Some(Dim::Q),
+            "R" => Some(Dim::R),
+            "S" => Some(Dim::S),
+            "IS" => Some(Dim::Is),
+            "WS" => Some(Dim::Ws),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The dimensions that index (are *relevant to*) each tensor.
+///
+/// A dimension is relevant to a tensor if changing its coordinate changes
+/// which tensor element (or element-slice) is accessed. Irrelevant
+/// dimensions are reuse opportunities (paper §III-B1). Slice partial
+/// products are reduced into outputs, so neither slice dimension is
+/// relevant to outputs.
+pub fn relevant_dims(tensor: Tensor) -> &'static [Dim] {
+    match tensor {
+        Tensor::Inputs => &[Dim::N, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S, Dim::Is],
+        Tensor::Weights => &[Dim::K, Dim::C, Dim::R, Dim::S, Dim::Ws],
+        Tensor::Outputs => &[Dim::N, Dim::K, Dim::P, Dim::Q],
+    }
+}
+
+/// The bounds of the nine extended-Einsum dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    bounds: [u64; 9],
+}
+
+impl Shape {
+    /// Creates a shape from the seven word-level bounds (slice bounds = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDim`] if any bound is zero.
+    pub fn new(n: u64, k: u64, c: u64, p: u64, q: u64, r: u64, s: u64) -> Result<Self, WorkloadError> {
+        let bounds = [n, k, c, p, q, r, s, 1, 1];
+        for (i, &b) in bounds.iter().enumerate() {
+            if b == 0 {
+                return Err(WorkloadError::ZeroDim {
+                    dim: Dim::ALL[i].name(),
+                });
+            }
+        }
+        Ok(Shape { bounds })
+    }
+
+    /// Convolution shape: `K×C` channels, `P×Q` output map, `R×S` filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDim`] if any bound is zero.
+    pub fn conv(k: u64, c: u64, p: u64, q: u64, r: u64, s: u64) -> Result<Self, WorkloadError> {
+        Self::new(1, k, c, p, q, r, s)
+    }
+
+    /// Linear/matmul shape: `rows` independent input rows of `c_in`
+    /// features, producing `k_out` outputs each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDim`] if any bound is zero.
+    pub fn linear(rows: u64, k_out: u64, c_in: u64) -> Result<Self, WorkloadError> {
+        Self::new(rows, k_out, c_in, 1, 1, 1, 1)
+    }
+
+    /// Returns a copy with the slice bounds set: each input operand is
+    /// processed as `input_slices` slices and each weight operand as
+    /// `weight_slices` slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDim`] if either count is zero.
+    pub fn with_slices(mut self, input_slices: u64, weight_slices: u64) -> Result<Self, WorkloadError> {
+        if input_slices == 0 {
+            return Err(WorkloadError::ZeroDim { dim: "Is" });
+        }
+        if weight_slices == 0 {
+            return Err(WorkloadError::ZeroDim { dim: "Ws" });
+        }
+        self.bounds[Dim::Is as usize] = input_slices;
+        self.bounds[Dim::Ws as usize] = weight_slices;
+        Ok(self)
+    }
+
+    /// The bound of one dimension.
+    pub fn bound(&self, dim: Dim) -> u64 {
+        self.bounds[dim as usize]
+    }
+
+    /// All bounds in `Dim::ALL` order.
+    pub fn bounds(&self) -> [u64; 9] {
+        self.bounds
+    }
+
+    /// Word-level multiply-accumulate operations: the product of the seven
+    /// workload bounds (excludes bit-slice repetition).
+    pub fn macs(&self) -> u64 {
+        Dim::WORD.iter().map(|&d| self.bound(d)).product()
+    }
+
+    /// Slice-granular MAC events: the product of all nine bounds. This is
+    /// the number of cell-level analog MAC events the hardware performs.
+    pub fn slice_macs(&self) -> u64 {
+        self.bounds.iter().product()
+    }
+
+    /// Number of elements of `tensor` in words, with the input halo
+    /// accounted for (input height is `P + R − 1`, width `Q + S − 1`).
+    /// Slice dimensions do not add elements.
+    pub fn tensor_size(&self, tensor: Tensor) -> u64 {
+        let b = |d: Dim| self.bound(d);
+        match tensor {
+            Tensor::Inputs => b(Dim::N) * b(Dim::C) * (b(Dim::P) + b(Dim::R) - 1) * (b(Dim::Q) + b(Dim::S) - 1),
+            Tensor::Weights => b(Dim::K) * b(Dim::C) * b(Dim::R) * b(Dim::S),
+            Tensor::Outputs => b(Dim::N) * b(Dim::K) * b(Dim::P) * b(Dim::Q),
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N{}K{}C{}P{}Q{}R{}S{}",
+            self.bounds[0],
+            self.bounds[1],
+            self.bounds[2],
+            self.bounds[3],
+            self.bounds[4],
+            self.bounds[5],
+            self.bounds[6]
+        )?;
+        if self.bounds[7] != 1 || self.bounds[8] != 1 {
+            write!(f, "+Is{}Ws{}", self.bounds[7], self.bounds[8])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_macs() {
+        // 3x3 conv, 64->64 channels, 56x56 map.
+        let s = Shape::conv(64, 64, 56, 56, 3, 3).unwrap();
+        assert_eq!(s.macs(), 64 * 64 * 56 * 56 * 9);
+        assert_eq!(s.slice_macs(), s.macs());
+    }
+
+    #[test]
+    fn linear_shape() {
+        let s = Shape::linear(1, 1000, 512).unwrap();
+        assert_eq!(s.macs(), 512_000);
+        assert_eq!(s.bound(Dim::P), 1);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(matches!(
+            Shape::conv(0, 64, 56, 56, 3, 3),
+            Err(WorkloadError::ZeroDim { dim: "K" })
+        ));
+    }
+
+    #[test]
+    fn slices_multiply_slice_macs_only() {
+        let s = Shape::linear(1, 16, 16)
+            .unwrap()
+            .with_slices(8, 2)
+            .unwrap();
+        assert_eq!(s.macs(), 256);
+        assert_eq!(s.slice_macs(), 256 * 16);
+        assert_eq!(s.bound(Dim::Is), 8);
+        assert_eq!(s.bound(Dim::Ws), 2);
+        assert!(Shape::linear(1, 1, 1).unwrap().with_slices(0, 1).is_err());
+    }
+
+    #[test]
+    fn tensor_sizes_with_halo() {
+        let s = Shape::conv(2, 3, 4, 4, 3, 3).unwrap();
+        assert_eq!(s.tensor_size(Tensor::Weights), 2 * 3 * 9);
+        assert_eq!(s.tensor_size(Tensor::Outputs), 2 * 4 * 4);
+        // Input map is (4+3-1)x(4+3-1) = 6x6 per channel.
+        assert_eq!(s.tensor_size(Tensor::Inputs), 3 * 6 * 6);
+    }
+
+    #[test]
+    fn tensor_size_ignores_slices() {
+        let a = Shape::conv(2, 3, 4, 4, 3, 3).unwrap();
+        let b = a.with_slices(8, 2).unwrap();
+        for t in Tensor::ALL {
+            assert_eq!(a.tensor_size(t), b.tensor_size(t));
+        }
+    }
+
+    #[test]
+    fn relevance_sets_match_einsum() {
+        assert!(relevant_dims(Tensor::Weights).contains(&Dim::K));
+        assert!(!relevant_dims(Tensor::Weights).contains(&Dim::P));
+        assert!(relevant_dims(Tensor::Inputs).contains(&Dim::R));
+        assert!(!relevant_dims(Tensor::Inputs).contains(&Dim::K));
+        assert!(relevant_dims(Tensor::Outputs).contains(&Dim::N));
+        assert!(!relevant_dims(Tensor::Outputs).contains(&Dim::C));
+    }
+
+    #[test]
+    fn slice_dims_relevant_to_their_operand_only() {
+        assert!(relevant_dims(Tensor::Inputs).contains(&Dim::Is));
+        assert!(!relevant_dims(Tensor::Inputs).contains(&Dim::Ws));
+        assert!(relevant_dims(Tensor::Weights).contains(&Dim::Ws));
+        assert!(!relevant_dims(Tensor::Weights).contains(&Dim::Is));
+        assert!(!relevant_dims(Tensor::Outputs).contains(&Dim::Is));
+        assert!(!relevant_dims(Tensor::Outputs).contains(&Dim::Ws));
+    }
+
+    #[test]
+    fn every_dim_is_relevant_to_some_tensor() {
+        for dim in Dim::ALL {
+            let covered = Tensor::ALL
+                .iter()
+                .any(|&t| relevant_dims(t).contains(&dim));
+            assert!(covered, "{dim} is relevant to no tensor");
+        }
+    }
+
+    #[test]
+    fn dim_parse_round_trips() {
+        for dim in Dim::ALL {
+            assert_eq!(Dim::parse(dim.name()), Some(dim));
+        }
+        assert_eq!(Dim::parse("z"), None);
+    }
+
+    #[test]
+    fn shape_display() {
+        let s = Shape::conv(2, 3, 4, 5, 1, 1).unwrap();
+        assert_eq!(s.to_string(), "N1K2C3P4Q5R1S1");
+        let s = s.with_slices(8, 2).unwrap();
+        assert_eq!(s.to_string(), "N1K2C3P4Q5R1S1+Is8Ws2");
+    }
+}

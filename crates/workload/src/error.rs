@@ -1,0 +1,35 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing workloads or distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A dimension bound was zero.
+    ZeroDim {
+        /// The dimension's name.
+        dim: &'static str,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// A workload has no layers.
+    EmptyWorkload,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroDim { dim } => write!(f, "dimension {dim} has zero bound"),
+            WorkloadError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            WorkloadError::EmptyWorkload => write!(f, "workload has no layers"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}

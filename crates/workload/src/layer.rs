@@ -1,0 +1,316 @@
+use cimloop_spec::Tensor;
+use cimloop_stats::Pmf;
+
+use crate::{Shape, ValueProfile, WorkloadError};
+
+/// The operation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Dense 2-D convolution.
+    Conv,
+    /// Depthwise convolution (each channel convolved independently).
+    DepthwiseConv,
+    /// Fully-connected / matmul.
+    Linear,
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LayerKind::Conv => "conv",
+            LayerKind::DepthwiseConv => "dwconv",
+            LayerKind::Linear => "linear",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One DNN layer: an Einsum shape plus operand precisions and value
+/// profiles.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_workload::{Layer, LayerKind, Shape, ValueProfile};
+///
+/// # fn main() -> Result<(), cimloop_workload::WorkloadError> {
+/// let layer = Layer::new("conv1", LayerKind::Conv, Shape::conv(64, 3, 112, 112, 7, 7)?)
+///     .with_input_profile(ValueProfile::UniformUnsigned)
+///     .with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.12 });
+/// assert_eq!(layer.macs(), 64 * 3 * 112 * 112 * 49);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    shape: Shape,
+    count: u64,
+    input_bits: u32,
+    weight_bits: u32,
+    input_signed: bool,
+    weight_signed: bool,
+    input_profile: ValueProfile,
+    weight_profile: ValueProfile,
+}
+
+impl Layer {
+    /// Creates a layer with 8-bit unsigned inputs, 8-bit signed weights, and
+    /// default CNN-style profiles.
+    pub fn new(name: impl Into<String>, kind: LayerKind, shape: Shape) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+            shape,
+            count: 1,
+            input_bits: 8,
+            weight_bits: 8,
+            input_signed: false,
+            weight_signed: true,
+            input_profile: ValueProfile::ReluActivations {
+                sparsity: 0.5,
+                sigma: 0.2,
+            },
+            weight_profile: ValueProfile::GaussianWeights { sigma: 0.12 },
+        }
+    }
+
+    /// Sets how many times this layer shape repeats in the network
+    /// (e.g., 12 identical transformer blocks).
+    pub fn with_count(mut self, count: u64) -> Self {
+        self.count = count.max(1);
+        self
+    }
+
+    /// Sets input precision in bits.
+    pub fn with_input_bits(mut self, bits: u32) -> Self {
+        self.input_bits = bits;
+        self
+    }
+
+    /// Sets weight precision in bits.
+    pub fn with_weight_bits(mut self, bits: u32) -> Self {
+        self.weight_bits = bits;
+        self
+    }
+
+    /// Sets whether inputs are signed.
+    pub fn with_input_signed(mut self, signed: bool) -> Self {
+        self.input_signed = signed;
+        self
+    }
+
+    /// Sets whether weights are signed.
+    pub fn with_weight_signed(mut self, signed: bool) -> Self {
+        self.weight_signed = signed;
+        self
+    }
+
+    /// Sets the input value profile.
+    pub fn with_input_profile(mut self, profile: ValueProfile) -> Self {
+        self.input_profile = profile;
+        self
+    }
+
+    /// Sets the weight value profile.
+    pub fn with_weight_profile(mut self, profile: ValueProfile) -> Self {
+        self.weight_profile = profile;
+        self
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's operation kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// The Einsum shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Repeat count of this layer in the network.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// MACs per single instance of this layer.
+    pub fn macs(&self) -> u64 {
+        self.shape.macs()
+    }
+
+    /// Input precision in bits.
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Weight precision in bits.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Whether inputs are signed.
+    pub fn input_signed(&self) -> bool {
+        self.input_signed
+    }
+
+    /// Whether weights are signed.
+    pub fn weight_signed(&self) -> bool {
+        self.weight_signed
+    }
+
+    /// The input value profile.
+    pub fn input_profile(&self) -> &ValueProfile {
+        &self.input_profile
+    }
+
+    /// The weight value profile.
+    pub fn weight_profile(&self) -> &ValueProfile {
+        &self.weight_profile
+    }
+
+    /// Distribution of input operand values in the layer's own precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ValueProfile::pmf`] errors.
+    pub fn input_pmf(&self) -> Result<Pmf, WorkloadError> {
+        self.input_profile.pmf(self.input_bits, self.input_signed)
+    }
+
+    /// Distribution of weight operand values in the layer's own precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ValueProfile::pmf`] errors.
+    pub fn weight_pmf(&self) -> Result<Pmf, WorkloadError> {
+        self.weight_profile.pmf(self.weight_bits, self.weight_signed)
+    }
+
+    /// Size of one tensor of this layer (with the input halo).
+    pub fn tensor_size(&self, tensor: Tensor) -> u64 {
+        self.shape.tensor_size(tensor)
+    }
+}
+
+/// A named sequence of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Workload {
+    /// Creates a workload from its layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyWorkload`] if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Result<Self, WorkloadError> {
+        if layers.is_empty() {
+            return Err(WorkloadError::EmptyWorkload);
+        }
+        Ok(Workload {
+            name: name.into(),
+            layers,
+        })
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Finds a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Total MACs across all layers, including repeat counts.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs() * l.count()).sum()
+    }
+
+    /// Total weight parameters across all layers, including repeat counts.
+    pub fn total_weights(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.tensor_size(Tensor::Weights) * l.count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> Layer {
+        Layer::new(
+            "test",
+            LayerKind::Conv,
+            Shape::conv(8, 8, 4, 4, 3, 3).unwrap(),
+        )
+    }
+
+    #[test]
+    fn builder_setters() {
+        let l = layer()
+            .with_count(3)
+            .with_input_bits(4)
+            .with_weight_bits(2)
+            .with_input_signed(true);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.input_bits(), 4);
+        assert_eq!(l.weight_bits(), 2);
+        assert!(l.input_signed());
+        assert!(l.weight_signed());
+    }
+
+    #[test]
+    fn count_floor_is_one() {
+        assert_eq!(layer().with_count(0).count(), 1);
+    }
+
+    #[test]
+    fn pmfs_respect_precision() {
+        let l = layer().with_input_bits(4);
+        let pmf = l.input_pmf().unwrap();
+        assert!(pmf.max() <= 15.0);
+        let w = l.weight_pmf().unwrap();
+        assert!(w.min() >= -128.0 && w.max() <= 127.0);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new("w", vec![layer().with_count(2), layer2()]).unwrap();
+        assert_eq!(w.total_macs(), 2 * layer().macs() + layer2().macs());
+        assert!(w.layer("test").is_some());
+        assert!(w.layer("missing").is_none());
+    }
+
+    fn layer2() -> Layer {
+        Layer::new(
+            "fc",
+            LayerKind::Linear,
+            Shape::linear(1, 10, 64).unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        assert!(matches!(
+            Workload::new("w", vec![]),
+            Err(WorkloadError::EmptyWorkload)
+        ));
+    }
+}

@@ -1,0 +1,350 @@
+//! Model zoo: the DNN workloads used throughout the paper's evaluation.
+//!
+//! - [`resnet18`] — the medium-tensor CNN used in Figs 2, 6, 12, 14, 15 and
+//!   Table II (21 weight layers, ~1.8 GMACs).
+//! - [`mobilenet_v3_large`] — the small-tensor workload of Fig 14.
+//! - [`vit_base`] — the large-tensor vision transformer of Fig 14.
+//! - [`gpt2_small`] — the large-language-model workload of Fig 15.
+//! - [`mvm`] / [`mvm_batch`] — maximum-utilization matrix-vector multiply
+//!   with dimensions matching a CiM array (Figs 12, 13, 14).
+//!
+//! Per-layer value profiles vary deterministically (seeded by layer index)
+//! so that distribution shift across layers is present, as in real networks.
+
+use crate::{Layer, LayerKind, Shape, ValueProfile, Workload};
+
+/// Deterministic hash of a seed into `[0, 1)` (splitmix64 finalizer).
+fn hash01(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-layer CNN profiles: sparse unsigned post-ReLU inputs, Gaussian
+/// weights, with layer-to-layer variation.
+fn cnn_layer(name: &str, kind: LayerKind, shape: Shape, index: u64) -> Layer {
+    let input_profile = if index == 0 {
+        // The first layer sees raw image pixels: dense, roughly uniform.
+        ValueProfile::UniformUnsigned
+    } else {
+        ValueProfile::ReluActivations {
+            sparsity: 0.30 + 0.45 * hash01(index),
+            sigma: 0.15 + 0.20 * hash01(index.wrapping_add(77)),
+        }
+    };
+    Layer::new(name, kind, shape)
+        .with_input_profile(input_profile)
+        .with_input_signed(false)
+        .with_weight_profile(ValueProfile::GaussianWeights {
+            sigma: 0.08 + 0.12 * hash01(index.wrapping_add(31)),
+        })
+}
+
+/// Per-layer transformer profiles: dense signed activations.
+fn transformer_layer(name: &str, shape: Shape, index: u64) -> Layer {
+    Layer::new(name, LayerKind::Linear, shape)
+        .with_input_profile(ValueProfile::DenseSigned {
+            sigma: 0.10 + 0.15 * hash01(index),
+        })
+        .with_input_signed(true)
+        .with_weight_profile(ValueProfile::GaussianWeights {
+            sigma: 0.08 + 0.10 * hash01(index.wrapping_add(31)),
+        })
+}
+
+/// ResNet-18 at 224×224 (He et al., CVPR 2016): 21 weight layers.
+pub fn resnet18() -> Workload {
+    let conv = |k, c, pq, rs| Shape::conv(k, c, pq, pq, rs, rs).expect("static shape");
+    let mut layers = Vec::new();
+    let mut idx = 0u64;
+    let mut push = |name: &str, shape: Shape, layers: &mut Vec<Layer>| {
+        layers.push(cnn_layer(name, LayerKind::Conv, shape, idx));
+        idx += 1;
+    };
+
+    push("conv1", conv(64, 3, 112, 7), &mut layers);
+    for i in 0..4 {
+        push(&format!("layer1.{}.conv{}", i / 2, i % 2 + 1), conv(64, 64, 56, 3), &mut layers);
+    }
+    // Stages 2-4: first conv downsamples; a 1x1 projection matches channels.
+    let stages: [(u64, u64, u64); 3] = [(128, 64, 28), (256, 128, 14), (512, 256, 7)];
+    for (stage, &(k, c_in, pq)) in stages.iter().enumerate() {
+        let s = stage + 2;
+        push(&format!("layer{s}.0.conv1"), conv(k, c_in, pq, 3), &mut layers);
+        push(&format!("layer{s}.0.conv2"), conv(k, k, pq, 3), &mut layers);
+        push(&format!("layer{s}.0.downsample"), conv(k, c_in, pq, 1), &mut layers);
+        push(&format!("layer{s}.1.conv1"), conv(k, k, pq, 3), &mut layers);
+        push(&format!("layer{s}.1.conv2"), conv(k, k, pq, 3), &mut layers);
+    }
+    let fc = cnn_layer("fc", LayerKind::Linear, Shape::linear(1, 1000, 512).expect("static"), idx);
+    layers.push(fc);
+    Workload::new("resnet18", layers).expect("non-empty")
+}
+
+/// MobileNetV3-Large at 224×224 (Howard et al., 2019): inverted-residual
+/// blocks with small tensors — the paper's small-tensor-size workload.
+pub fn mobilenet_v3_large() -> Workload {
+    let mut layers: Vec<Layer> = Vec::new();
+    let mut idx = 0u64;
+
+    let mut conv = |name: String, kind: LayerKind, shape: Shape, count: u64, layers: &mut Vec<Layer>| {
+        layers.push(cnn_layer(&name, kind, shape, idx).with_count(count));
+        idx += 1;
+    };
+
+    conv("stem".into(), LayerKind::Conv, Shape::conv(16, 3, 112, 112, 3, 3).expect("static"), 1, &mut layers);
+
+    // (expansion, in_ch, out_ch, kernel, output map, repeat)
+    let blocks: [(u64, u64, u64, u64, u64, u64); 12] = [
+        (16, 16, 16, 3, 112, 1),
+        (64, 16, 24, 3, 56, 1),
+        (72, 24, 24, 3, 56, 1),
+        (72, 24, 40, 5, 28, 1),
+        (120, 40, 40, 5, 28, 2),
+        (240, 40, 80, 3, 14, 1),
+        (200, 80, 80, 3, 14, 1),
+        (184, 80, 80, 3, 14, 2),
+        (480, 80, 112, 3, 14, 1),
+        (672, 112, 112, 3, 14, 1),
+        (672, 112, 160, 5, 7, 1),
+        (960, 160, 160, 5, 7, 2),
+    ];
+    for (b, &(exp, c_in, c_out, k, pq, repeat)) in blocks.iter().enumerate() {
+        if exp != c_in {
+            conv(
+                format!("bneck{b}.expand"),
+                LayerKind::Conv,
+                Shape::conv(exp, c_in, pq, pq, 1, 1).expect("static"),
+                repeat,
+                &mut layers,
+            );
+        }
+        conv(
+            format!("bneck{b}.dw"),
+            LayerKind::DepthwiseConv,
+            Shape::conv(exp, 1, pq, pq, k, k).expect("static"),
+            repeat,
+            &mut layers,
+        );
+        conv(
+            format!("bneck{b}.project"),
+            LayerKind::Conv,
+            Shape::conv(c_out, exp, pq, pq, 1, 1).expect("static"),
+            repeat,
+            &mut layers,
+        );
+    }
+    conv("conv_last".into(), LayerKind::Conv, Shape::conv(960, 160, 7, 7, 1, 1).expect("static"), 1, &mut layers);
+    conv("classifier.0".into(), LayerKind::Linear, Shape::linear(1, 1280, 960).expect("static"), 1, &mut layers);
+    conv("classifier.3".into(), LayerKind::Linear, Shape::linear(1, 1000, 1280).expect("static"), 1, &mut layers);
+    Workload::new("mobilenet_v3_large", layers).expect("non-empty")
+}
+
+/// ViT-Base/16 at 224×224 (Dosovitskiy et al., 2021): 197 tokens, 768-d,
+/// 12 blocks — the paper's large-tensor-size workload for Fig 14.
+pub fn vit_base() -> Workload {
+    let tokens = 197;
+    let d = 768;
+    let heads = 12u64;
+    let blocks = 12u64;
+    let head_dim = d / heads;
+    let mut layers = vec![
+        cnn_layer("patch_embed", LayerKind::Conv, Shape::conv(d, 3, 14, 14, 16, 16).expect("static"), 0),
+        transformer_layer("blocks.qkv", Shape::linear(tokens, 3 * d, d).expect("static"), 1).with_count(blocks),
+        transformer_layer("blocks.attn_scores", Shape::linear(tokens, tokens, head_dim).expect("static"), 2)
+            .with_count(blocks * heads),
+        transformer_layer("blocks.attn_values", Shape::linear(tokens, head_dim, tokens).expect("static"), 3)
+            .with_count(blocks * heads),
+        transformer_layer("blocks.proj", Shape::linear(tokens, d, d).expect("static"), 4).with_count(blocks),
+        transformer_layer("blocks.mlp.fc1", Shape::linear(tokens, 4 * d, d).expect("static"), 5).with_count(blocks),
+        transformer_layer("blocks.mlp.fc2", Shape::linear(tokens, d, 4 * d).expect("static"), 6).with_count(blocks),
+        transformer_layer("head", Shape::linear(1, 1000, d).expect("static"), 7),
+    ];
+    // The patch embedding sees raw pixels (dense, unsigned).
+    layers[0] = layers[0].clone().with_input_profile(ValueProfile::UniformUnsigned);
+    Workload::new("vit_base", layers).expect("non-empty")
+}
+
+/// GPT-2 small generating a 1024-token sequence (Radford et al., 2019):
+/// the paper's large-tensor LLM workload for Fig 15.
+pub fn gpt2_small() -> Workload {
+    let seq = 1024;
+    let d = 768;
+    let heads = 12u64;
+    let blocks = 12u64;
+    let head_dim = d / heads;
+    let layers = vec![
+        transformer_layer("h.qkv", Shape::linear(seq, 3 * d, d).expect("static"), 11).with_count(blocks),
+        transformer_layer("h.attn_scores", Shape::linear(seq, seq, head_dim).expect("static"), 12)
+            .with_count(blocks * heads),
+        transformer_layer("h.attn_values", Shape::linear(seq, head_dim, seq).expect("static"), 13)
+            .with_count(blocks * heads),
+        transformer_layer("h.proj", Shape::linear(seq, d, d).expect("static"), 14).with_count(blocks),
+        transformer_layer("h.mlp.fc1", Shape::linear(seq, 4 * d, d).expect("static"), 15).with_count(blocks),
+        transformer_layer("h.mlp.fc2", Shape::linear(seq, d, 4 * d).expect("static"), 16).with_count(blocks),
+        transformer_layer("lm_head", Shape::linear(seq, 50257, d).expect("static"), 17),
+    ];
+    Workload::new("gpt2_small", layers).expect("non-empty")
+}
+
+/// AlexNet at 224x224 (the classic 5-conv/3-fc CNN): a small zoo entry
+/// useful for quick experiments.
+pub fn alexnet() -> Workload {
+    let layers = vec![
+        cnn_layer("conv1", LayerKind::Conv, Shape::conv(96, 3, 55, 55, 11, 11).expect("static"), 0),
+        cnn_layer("conv2", LayerKind::Conv, Shape::conv(256, 96, 27, 27, 5, 5).expect("static"), 1),
+        cnn_layer("conv3", LayerKind::Conv, Shape::conv(384, 256, 13, 13, 3, 3).expect("static"), 2),
+        cnn_layer("conv4", LayerKind::Conv, Shape::conv(384, 384, 13, 13, 3, 3).expect("static"), 3),
+        cnn_layer("conv5", LayerKind::Conv, Shape::conv(256, 384, 13, 13, 3, 3).expect("static"), 4),
+        cnn_layer("fc6", LayerKind::Linear, Shape::linear(1, 4096, 9216).expect("static"), 5),
+        cnn_layer("fc7", LayerKind::Linear, Shape::linear(1, 4096, 4096).expect("static"), 6),
+        cnn_layer("fc8", LayerKind::Linear, Shape::linear(1, 1000, 4096).expect("static"), 7),
+    ];
+    Workload::new("alexnet", layers).expect("non-empty")
+}
+
+/// BERT-Base encoding a 384-token sequence: 12 blocks of
+/// attention + MLP (dense signed activations).
+pub fn bert_base() -> Workload {
+    let seq = 384;
+    let d = 768;
+    let heads = 12u64;
+    let blocks = 12u64;
+    let head_dim = d / heads;
+    let layers = vec![
+        transformer_layer("encoder.qkv", Shape::linear(seq, 3 * d, d).expect("static"), 21)
+            .with_count(blocks),
+        transformer_layer(
+            "encoder.attn_scores",
+            Shape::linear(seq, seq, head_dim).expect("static"),
+            22,
+        )
+        .with_count(blocks * heads),
+        transformer_layer(
+            "encoder.attn_values",
+            Shape::linear(seq, head_dim, seq).expect("static"),
+            23,
+        )
+        .with_count(blocks * heads),
+        transformer_layer("encoder.proj", Shape::linear(seq, d, d).expect("static"), 24)
+            .with_count(blocks),
+        transformer_layer("encoder.mlp.fc1", Shape::linear(seq, 4 * d, d).expect("static"), 25)
+            .with_count(blocks),
+        transformer_layer("encoder.mlp.fc2", Shape::linear(seq, d, 4 * d).expect("static"), 26)
+            .with_count(blocks),
+    ];
+    Workload::new("bert_base", layers).expect("non-empty")
+}
+
+/// Maximum-utilization workload: a matrix-vector multiply whose dimensions
+/// match a CiM array with `rows` rows and `cols` columns (paper Figs 12-14).
+pub fn mvm(rows: u64, cols: u64) -> Workload {
+    mvm_batch(rows, cols, 256)
+}
+
+/// Like [`mvm`] but with an explicit batch of input vectors, giving the
+/// mapper temporal iterations to schedule.
+pub fn mvm_batch(rows: u64, cols: u64, batch: u64) -> Workload {
+    let layer = Layer::new(
+        "mvm",
+        LayerKind::Linear,
+        Shape::linear(batch.max(1), cols.max(1), rows.max(1)).expect("bounds are >= 1"),
+    )
+    .with_input_profile(ValueProfile::ReluActivations {
+        sparsity: 0.4,
+        sigma: 0.25,
+    })
+    .with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.15 });
+    Workload::new("max_utilization_mvm", vec![layer]).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_has_21_layers_and_correct_macs() {
+        let net = resnet18();
+        assert_eq!(net.layers().len(), 21);
+        // Known total: ~1.82 GMACs.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.6..2.0).contains(&g), "total GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet18_first_layer_is_conv1() {
+        let net = resnet18();
+        let conv1 = &net.layers()[0];
+        assert_eq!(conv1.name(), "conv1");
+        assert_eq!(conv1.macs(), 64 * 3 * 112 * 112 * 49);
+        assert_eq!(conv1.input_profile(), &ValueProfile::UniformUnsigned);
+    }
+
+    #[test]
+    fn resnet18_profiles_vary_across_layers() {
+        let net = resnet18();
+        let p1 = net.layers()[1].input_pmf().unwrap();
+        let p2 = net.layers()[10].input_pmf().unwrap();
+        assert!(p1.total_variation(&p2) > 0.01, "layer distributions should differ");
+    }
+
+    #[test]
+    fn mobilenet_is_small_tensor() {
+        let net = mobilenet_v3_large();
+        // MobileNetV3-Large is ~0.22 GMACs.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((0.1..0.5).contains(&g), "total GMACs = {g}");
+        assert!(net.layers().iter().any(|l| l.kind() == LayerKind::DepthwiseConv));
+    }
+
+    #[test]
+    fn vit_is_large_tensor() {
+        let net = vit_base();
+        // ViT-Base is ~17 GMACs.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((12.0..25.0).contains(&g), "total GMACs = {g}");
+        // Transformer activations are signed.
+        assert!(net.layer("blocks.qkv").unwrap().input_signed());
+    }
+
+    #[test]
+    fn gpt2_is_llm_scale() {
+        let net = gpt2_small();
+        let g = net.total_macs() as f64 / 1e9;
+        assert!(g > 100.0, "total GMACs = {g}");
+    }
+
+    #[test]
+    fn mvm_matches_array() {
+        let w = mvm(256, 256);
+        let layer = &w.layers()[0];
+        assert_eq!(layer.shape().bound(crate::Dim::C), 256);
+        assert_eq!(layer.shape().bound(crate::Dim::K), 256);
+    }
+
+    #[test]
+    fn alexnet_macs_in_expected_range() {
+        let g = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.5..1.2).contains(&g), "AlexNet GMACs = {g}");
+    }
+
+    #[test]
+    fn bert_base_macs_in_expected_range() {
+        // BERT-Base at seq 384 is ~25-40 GMACs.
+        let g = bert_base().total_macs() as f64 / 1e9;
+        assert!((15.0..60.0).contains(&g), "BERT GMACs = {g}");
+        assert!(bert_base().layer("encoder.qkv").unwrap().input_signed());
+    }
+
+    #[test]
+    fn hash01_is_deterministic_and_unit() {
+        for seed in 0..100 {
+            let h = hash01(seed);
+            assert!((0.0..1.0).contains(&h));
+            assert_eq!(h, hash01(seed));
+        }
+        assert_ne!(hash01(1), hash01(2));
+    }
+}

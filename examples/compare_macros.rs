@@ -1,0 +1,45 @@
+//! Fairly compare published CiM macros on the same workloads (the paper's
+//! cross-macro case study, Fig 16): evaluate every built-in macro on
+//! ResNet18 and a transformer block at matched precisions.
+//!
+//! Run with: `cargo run --release --example compare_macros`
+
+use cimloop::macros::{base_macro, digital_cim, macro_a, macro_b, macro_c, macro_d};
+use cimloop::workload::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let resnet = models::resnet18();
+    let cnn_layer = resnet.layers()[6].clone().with_input_bits(4).with_weight_bits(4);
+    let gpt2 = models::gpt2_small();
+    let llm_layer = gpt2.layers()[0].clone().with_input_bits(4).with_weight_bits(4);
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "macro", "node", "CNN TOPS/W", "CNN GOPS", "LLM TOPS/W", "LLM GOPS"
+    );
+    for m in [
+        base_macro(),
+        macro_a(),
+        macro_b(),
+        macro_c(),
+        macro_d(),
+        digital_cim(),
+    ] {
+        let evaluator = m.evaluator()?;
+        let rep = m.representation();
+        let cnn = evaluator.evaluate_layer(&cnn_layer, &rep)?;
+        let llm = evaluator.evaluate_layer(&llm_layer, &rep)?;
+        println!(
+            "{:<12} {:>6}nm {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            m.name(),
+            m.node_nm(),
+            cnn.tops_per_watt(),
+            cnn.gops(),
+            llm.tops_per_watt(),
+            llm.gops()
+        );
+    }
+    println!("\nnumbers are calibrated to each publication's headline operating point;");
+    println!("cross-macro rankings depend on workload shape and operand precision.");
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Define a *custom* CiM macro — a ReRAM array with differential weight
+//! encoding and a value-aware ADC — entirely through the public API, then
+//! compare encodings. Shows the flexibility contribution of the paper: new
+//! circuits and data-movement patterns without touching tool internals.
+//!
+//! Run with: `cargo run --release --example custom_macro`
+
+use cimloop::core::{Encoding, Evaluator, Representation};
+use cimloop::spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
+use cimloop::workload::models;
+
+fn build(value_aware_adc: bool) -> Result<Evaluator, Box<dyn std::error::Error>> {
+    let hierarchy = Hierarchy::builder()
+        .component(
+            Component::new("buffer")
+                .with_class("sram_buffer")
+                .with_attr("entries", 32768i64)
+                .with_attr("technology", 22.0)
+                .with_reuse(Tensor::Inputs, Reuse::Temporal)
+                .with_reuse(Tensor::Outputs, Reuse::Temporal),
+        )
+        .container(Container::new("macro"))
+        .component(
+            Component::new("accumulator")
+                .with_class("shift_add")
+                .with_attr("bits", 24i64)
+                .with_attr("technology", 22.0)
+                .with_attr("temporal_dims", "Is")
+                .with_reuse(Tensor::Outputs, Reuse::Temporal),
+        )
+        .component(
+            Component::new("dac")
+                .with_class("pulse_driver")
+                .with_attr("cols", 128i64)
+                .with_attr("technology", 22.0)
+                .with_reuse(Tensor::Inputs, Reuse::NoCoalesce),
+        )
+        .container(
+            Container::new("column")
+                .with_spatial(Spatial::new(128, 1))
+                .with_spatial_reuse(Tensor::Inputs)
+                .with_attr("spatial_dims", "K, Ws"),
+        )
+        .component(
+            Component::new("adc")
+                .with_class("sar_adc")
+                .with_attr("resolution", 8i64)
+                .with_attr("technology", 22.0)
+                .with_attr("value_aware", value_aware_adc)
+                .with_reuse(Tensor::Outputs, Reuse::NoCoalesce),
+        )
+        .component(
+            Component::new("cell")
+                .with_class("reram_cim_cell")
+                .with_attr("slice_storage", true)
+                .with_spatial(Spatial::new(1, 128))
+                .with_reuse(Tensor::Weights, Reuse::Temporal)
+                .with_spatial_reuse(Tensor::Outputs)
+                .with_attr("spatial_dims", "C, R, S"),
+        )
+        .build()?;
+    Ok(Evaluator::new(hierarchy)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = models::resnet18();
+    let layer = &net.layers()[8];
+
+    println!("custom 128x128 ReRAM macro at 22nm, layer {}:", layer.name());
+    println!("{:<46} {:>12} {:>10}", "configuration", "fJ/MAC", "TOPS/W");
+    for (enc_name, weight_encoding) in [
+        ("offset-encoded weights", Encoding::Offset),
+        ("differential weights (RAELLA-style)", Encoding::Differential),
+    ] {
+        for value_aware in [false, true] {
+            let evaluator = build(value_aware)?;
+            let rep = Representation::new(Encoding::TwosComplement, weight_encoding, 1, 4)?;
+            let report = evaluator.evaluate_layer(layer, &rep)?;
+            println!(
+                "{:<46} {:>12.2} {:>10.1}",
+                format!(
+                    "{enc_name}{}",
+                    if value_aware { " + value-aware ADC" } else { "" }
+                ),
+                report.energy_per_mac() * 1e15,
+                report.tops_per_watt()
+            );
+        }
+    }
+    println!("\nthe tradeoff CiMLoop exposes: differential encoding keeps near-zero");
+    println!("weights at low conductance (cheap cell reads) but doubles the weight");
+    println!("devices, so column/ADC events double — whether it wins depends on how");
+    println!("much of the macro's energy the ADC carries. The value-aware ADC");
+    println!("recovers part of the cost by converting small column sums cheaply.");
+    Ok(())
+}

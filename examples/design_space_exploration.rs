@@ -1,0 +1,41 @@
+//! Design-space exploration in the style of the paper's Fig 2: sweep CiM
+//! array sizes and DAC resolutions on a real workload and find the
+//! co-optimized design.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use cimloop::macros::macro_c;
+use cimloop::workload::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = models::resnet18();
+    // Keep the example snappy: a representative slice of the network.
+    let subset = cimloop::workload::Workload::new(
+        "resnet18_subset",
+        net.layers()[4..10].to_vec(),
+    )?;
+
+    println!("array    DAC bits   energy/MAC (pJ)   TOPS/W");
+    let mut best: Option<(u64, u32, f64)> = None;
+    for &size in &[128u64, 256, 512] {
+        for &dac_bits in &[1u32, 2, 4] {
+            let m = macro_c()
+                .with_array(size, size)
+                .with_slicing(dac_bits, macro_c().cell_bits());
+            let evaluator = m.evaluator()?;
+            let report = evaluator.evaluate(&subset, &m.representation())?;
+            let pj = report.energy_per_mac() * 1e12;
+            println!(
+                "{size:>4}x{size:<4}   {dac_bits:<8} {pj:>12.3}   {:>8.1}",
+                report.tops_per_watt()
+            );
+            if best.map(|(_, _, e)| pj < e).unwrap_or(true) {
+                best = Some((size, dac_bits, pj));
+            }
+        }
+    }
+    let (size, dac, pj) = best.expect("at least one config");
+    println!("\nco-optimized design: {size}x{size} array, {dac}-bit DAC ({pj:.3} pJ/MAC)");
+    println!("(the paper's Fig 2b: array size and DAC resolution must be chosen together)");
+    Ok(())
+}

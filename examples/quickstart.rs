@@ -1,0 +1,87 @@
+//! Quickstart: model a CiM macro, run a DNN layer, and read the energy,
+//! throughput, and per-component breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cimloop::core::{Encoding, Evaluator, Representation};
+use cimloop::spec::Hierarchy;
+use cimloop::workload::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a CiM macro with the container-hierarchy text format
+    //    (paper Fig 5b): edge staging registers, DACs, 64x64 array columns
+    //    with ADCs. (Large SRAM buffers belong to the system level — see
+    //    the `full_system` example; billing a big SRAM per bit-slice read
+    //    would swamp the macro energy.)
+    let spec = "
+!Component
+name: buffer
+class: regfile
+entries: 256
+width: 16
+temporal_reuse: [Inputs, Outputs]
+!Container
+name: macro
+!Component
+name: accumulator
+class: shift_add
+bits: 24
+temporal_reuse: [Outputs]
+temporal_dims: Is
+!Component
+name: dac
+class: dac
+resolution: 1
+no_coalesce: [Inputs]
+!Container
+name: column
+spatial: { meshX: 64 }
+spatial_reuse: [Inputs]
+spatial_dims: K, Ws
+!Component
+name: adc
+class: sar_adc
+resolution: 8
+no_coalesce: [Outputs]
+!Component
+name: cell
+class: sram_cim_cell
+spatial: { meshY: 64 }
+temporal_reuse: [Weights]
+spatial_reuse: [Outputs]
+spatial_dims: C, R, S
+slice_storage: true
+";
+    let hierarchy = Hierarchy::from_yamlite(spec)?;
+
+    // 2. Build the evaluator (resolves each component class to an
+    //    area/energy model from the plug-in library).
+    let evaluator = Evaluator::new(hierarchy)?;
+
+    // 3. Pick a workload layer and a data representation: bit-serial
+    //    inputs, offset-encoded signed weights in 4-bit cells.
+    let net = models::resnet18();
+    let layer = &net.layers()[5];
+    let rep = Representation::new(Encoding::TwosComplement, Encoding::Offset, 1, 4)?;
+
+    // 4. Evaluate: maps the layer, runs the data-value-dependent pipeline,
+    //    and combines per-action energies with dataflow action counts.
+    let report = evaluator.evaluate_layer(layer, &rep)?;
+
+    println!("layer {}  ({} MACs)", report.layer_name(), report.macs());
+    println!("  energy      : {:.3} uJ", report.energy_total() * 1e6);
+    println!("  energy/MAC  : {:.2} fJ", report.energy_per_mac() * 1e15);
+    println!("  throughput  : {:.1} GOPS", report.gops());
+    println!("  efficiency  : {:.1} TOPS/W", report.tops_per_watt());
+    println!("  utilization : {:.1}%", report.spatial_utilization() * 100.0);
+    println!("  breakdown:");
+    for c in report.components() {
+        println!(
+            "    {:<12} {:>8.3} uJ  ({:>4.1}%)",
+            c.name,
+            c.total_energy() * 1e6,
+            100.0 * c.total_energy() / report.energy_total()
+        );
+    }
+    Ok(())
+}
