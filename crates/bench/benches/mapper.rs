@@ -11,7 +11,10 @@ use cimloop_workload::models;
 fn canonical_mapping(c: &mut Criterion) {
     let net = models::resnet18();
     let mut group = c.benchmark_group("mapper");
-    for (name, m) in [("base_128x128", base_macro()), ("macro_a_768x768", macro_a())] {
+    for (name, m) in [
+        ("base_128x128", base_macro()),
+        ("macro_a_768x768", macro_a()),
+    ] {
         let hierarchy = m.hierarchy().expect("hierarchy");
         let rep = m.representation();
         let layer = &net.layers()[6];

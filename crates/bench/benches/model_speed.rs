@@ -1,5 +1,5 @@
 //! Criterion benches behind Table II and the amortization ablation
-//! (DESIGN.md §4): per-mapping evaluation cost with and without amortizing
+//! (paper Table II): per-mapping evaluation cost with and without amortizing
 //! the data-value-dependent per-action energies, and the value-exact
 //! simulator's per-activation cost.
 

@@ -1,5 +1,5 @@
 //! Criterion benches for the PMF machinery and the pipeline-resolution
-//! ablation (DESIGN.md §4): support size vs runtime of the statistical
+//! ablation (paper Table II): support size vs runtime of the statistical
 //! distribution operations at the heart of the data-value-dependent model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,13 +17,13 @@ fn pmf_operations(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("convolve_n_128rows", support),
             &pmf,
-            |b, pmf| {
-                b.iter(|| black_box(pmf.convolve_n(128, black_box(support))))
-            },
+            |b, pmf| b.iter(|| black_box(pmf.convolve_n(128, black_box(support)))),
         );
-        group.bench_with_input(BenchmarkId::new("coarsen_to_64", support), &pmf, |b, pmf| {
-            b.iter(|| black_box(pmf.coarsen(64)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("coarsen_to_64", support),
+            &pmf,
+            |b, pmf| b.iter(|| black_box(pmf.coarsen(64))),
+        );
     }
     let bytes = Pmf::uniform_ints(0, 255).expect("range");
     group.bench_function("bit_stats_8b", |b| {

@@ -10,8 +10,8 @@ use std::process::Command;
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let mut experiments: Vec<&str> = vec![
-        "table03", "fig04", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig02a", "fig02b",
+        "table03", "fig04", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig02a", "fig02b",
     ];
     if !fast {
         experiments.extend(["fig06", "table02"]);
@@ -34,7 +34,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; see results/", experiments.len());
+        println!(
+            "\nall {} experiments completed; see results/",
+            experiments.len()
+        );
     } else {
         eprintln!("\nfailed experiments: {failures:?}");
         std::process::exit(1);

@@ -34,7 +34,11 @@ fn main() {
         let m = base
             .clone()
             .with_array(size, size)
-            .with_dac_class(if dac_bits > 1 { "capacitive_dac" } else { "pulse_driver" })
+            .with_dac_class(if dac_bits > 1 {
+                "capacitive_dac"
+            } else {
+                "pulse_driver"
+            })
             .with_slicing(dac_bits, base.cell_bits());
         let rep = m.representation();
         let system = CimSystem::new(m).with_scenario(StorageScenario::AllTensorsFromDram);

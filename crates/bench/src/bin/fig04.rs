@@ -63,7 +63,10 @@ fn main() {
         .iter()
         .flat_map(|(_, a, b)| [*a, *b])
         .fold(0.0f64, f64::max);
-    println!("  data-value-dependence swing: {:.2}x (paper: >2.5x)", max / min);
+    println!(
+        "  data-value-dependence swing: {:.2}x (paper: >2.5x)",
+        max / min
+    );
 
     // Per-layer best encoding: the paper notes the best encoding differs
     // per layer.
@@ -73,7 +76,12 @@ fn main() {
         &["layer", "differential (J)", "offset (J)", "best"],
     );
     let mut winners = [0usize; 2];
-    for layer in resnet.layers().iter().take(6).chain(gpt2.layers().iter().take(2)) {
+    for layer in resnet
+        .layers()
+        .iter()
+        .take(6)
+        .chain(gpt2.layers().iter().take(2))
+    {
         let pmf = layer.input_pmf().expect("pmf");
         let mut per_enc = Vec::new();
         for encoding in encodings {

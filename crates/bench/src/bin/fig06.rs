@@ -66,9 +66,7 @@ fn main() {
     ]);
     table.finish();
 
-    println!(
-        "  paper: CiMLoop 3%/7% avg/max; fixed-energy 28%/70% avg/max"
-    );
+    println!("  paper: CiMLoop 3%/7% avg/max; fixed-energy 28%/70% avg/max");
     println!(
         "  shape reproduced: {}",
         if avg(&fixed_errs) > 3.0 * avg(&stat_errs) {

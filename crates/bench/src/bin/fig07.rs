@@ -25,7 +25,14 @@ fn main() {
         "fig07",
         "energy/throughput vs supply voltage (model vs published reference)",
         &[
-            "macro", "V", "model TOPS/W", "ref TOPS/W", "err", "model GOPS", "ref GOPS", "err",
+            "macro",
+            "V",
+            "model TOPS/W",
+            "ref TOPS/W",
+            "err",
+            "model GOPS",
+            "ref GOPS",
+            "err",
         ],
     );
     let mut errors: Vec<(f64, f64)> = Vec::new();
@@ -35,7 +42,10 @@ fn main() {
         let m = macro_a().with_supply_voltage(point.volts);
         let layer = anchor_layer(&m, 1, 1);
         let (topsw, gops) = headline(&m, &layer);
-        errors.push((rel_err(topsw, point.tops_per_watt), rel_err(gops, point.gops)));
+        errors.push((
+            rel_err(topsw, point.tops_per_watt),
+            rel_err(gops, point.gops),
+        ));
         table.row(vec![
             "A".into(),
             format!("{}V", point.volts),
@@ -54,9 +64,8 @@ fn main() {
         sparsity: 0.6,
         sigma: 0.12,
     };
-    let large_values = ValueProfile::Custom(
-        cimloop_stats::Pmf::uniform_ints(10, 15).expect("range"),
-    );
+    let large_values =
+        ValueProfile::Custom(cimloop_stats::Pmf::uniform_ints(10, 15).expect("range"));
     for (label, profile, sweep) in [
         ("B small", &small_values, reference::MACRO_B_VOLTAGE_SMALL),
         ("B large", &large_values, reference::MACRO_B_VOLTAGE_LARGE),
@@ -65,7 +74,10 @@ fn main() {
             let m = macro_b().with_supply_voltage(point.volts);
             let layer = anchor_layer(&m, 4, 4).with_input_profile(profile.clone());
             let (topsw, gops) = headline(&m, &layer);
-            errors.push((rel_err(topsw, point.tops_per_watt), rel_err(gops, point.gops)));
+            errors.push((
+                rel_err(topsw, point.tops_per_watt),
+                rel_err(gops, point.gops),
+            ));
             table.row(vec![
                 label.into(),
                 format!("{}V", point.volts),
@@ -84,7 +96,10 @@ fn main() {
         let m = macro_d().with_supply_voltage(point.volts);
         let layer = anchor_layer(&m, 8, 8);
         let (topsw, gops) = headline(&m, &layer);
-        errors.push((rel_err(topsw, point.tops_per_watt), rel_err(gops, point.gops)));
+        errors.push((
+            rel_err(topsw, point.tops_per_watt),
+            rel_err(gops, point.gops),
+        ));
         table.row(vec![
             "D".into(),
             format!("{}V", point.volts),

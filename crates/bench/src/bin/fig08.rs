@@ -5,7 +5,13 @@ use cimloop_bench::{fmt, pct, rel_err, ExperimentTable};
 use cimloop_macros::{macro_b, macro_c, reference, ArrayMacro};
 use cimloop_workload::models;
 
-fn sweep(m: &ArrayMacro, refs: &[reference::InputBitsPoint], table: &mut ExperimentTable, label: &str, errors: &mut Vec<f64>) {
+fn sweep(
+    m: &ArrayMacro,
+    refs: &[reference::InputBitsPoint],
+    table: &mut ExperimentTable,
+    label: &str,
+    errors: &mut Vec<f64>,
+) {
     // Published sweeps are measured at the anchor's operating voltage.
     let m = &match m.calibration().and_then(|a| a.volts) {
         Some(v) => m.clone().with_supply_voltage(v),
@@ -57,13 +63,31 @@ fn main() {
         "fig08",
         "energy/throughput vs number of input bits (model vs reference)",
         &[
-            "macro", "input bits", "model TOPS/W", "ref TOPS/W", "err", "model GOPS", "ref GOPS",
+            "macro",
+            "input bits",
+            "model TOPS/W",
+            "ref TOPS/W",
+            "err",
+            "model GOPS",
+            "ref GOPS",
             "err",
         ],
     );
     let mut errors = Vec::new();
-    sweep(&macro_b(), reference::MACRO_B_INPUT_BITS, &mut table, "B", &mut errors);
-    sweep(&macro_c(), reference::MACRO_C_INPUT_BITS, &mut table, "C", &mut errors);
+    sweep(
+        &macro_b(),
+        reference::MACRO_B_INPUT_BITS,
+        &mut table,
+        "B",
+        &mut errors,
+    );
+    sweep(
+        &macro_c(),
+        reference::MACRO_C_INPUT_BITS,
+        &mut table,
+        "C",
+        &mut errors,
+    );
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
     table.row(vec![
         "Average".into(),

@@ -7,8 +7,17 @@
 use cimloop_bench::ExperimentTable;
 use cimloop_macros::{macro_a, macro_b, macro_c, macro_d, reference, ArrayMacro};
 
+/// Maps model components onto one publication's area-category names.
+type Grouping = Vec<(&'static str, &'static [&'static str])>;
+
+/// One validation case: macro label, model, grouping, published breakdown.
+type Case = (&'static str, ArrayMacro, Grouping, reference::Breakdown);
+
 /// Returns `(category name, model %)` using per-macro grouping rules.
-fn area_breakdown(m: &ArrayMacro, grouping: &[(&'static str, &'static [&'static str])]) -> Vec<(String, f64)> {
+fn area_breakdown(
+    m: &ArrayMacro,
+    grouping: &[(&'static str, &'static [&'static str])],
+) -> Vec<(String, f64)> {
     let evaluator = m.evaluator().expect("evaluator");
     let area = evaluator.area();
     // Macro-internal area only: exclude the I/O buffer (system-level).
@@ -32,7 +41,7 @@ fn main() {
     );
     let mut errs = Vec::new();
 
-    let cases: Vec<(&str, ArrayMacro, Vec<(&str, &[&str])>, reference::Breakdown)> = vec![
+    let cases: Vec<Case> = vec![
         (
             "A",
             macro_a(),

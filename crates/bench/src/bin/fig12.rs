@@ -21,17 +21,15 @@ fn main() {
     // Max-utilization workload: a convolution whose window matches the
     // column group and whose channels fill the rows.
     let max_util = |g: u64| -> Workload {
-        let shape = Shape::conv(base.cols() / g, base.rows(), 16, 16, g.min(8), 1)
-            .expect("static shape");
+        let shape =
+            Shape::conv(base.cols() / g, base.rows(), 16, 16, g.min(8), 1).expect("static shape");
         Workload::new(
             "max_util",
-            vec![cimloop_workload::Layer::new(
-                "mvm",
-                cimloop_workload::LayerKind::Conv,
-                shape,
-            )
-            .with_input_bits(1)
-            .with_weight_bits(1)],
+            vec![
+                cimloop_workload::Layer::new("mvm", cimloop_workload::LayerKind::Conv, shape)
+                    .with_input_bits(1)
+                    .with_weight_bits(1),
+            ],
         )
         .expect("non-empty")
     };
@@ -41,22 +39,22 @@ fn main() {
         "fig12",
         "Macro A: output reuse across N columns (energy normalized per workload)",
         &[
-            "workload", "columns/output", "ADC+Accum", "DAC", "Other", "total (norm)",
+            "workload",
+            "columns/output",
+            "ADC+Accum",
+            "DAC",
+            "Other",
+            "total (norm)",
             "utilization",
         ],
     );
 
-    for (wl_name, workload_fn) in [
-        ("Max-Utilization", None),
-        ("ResNet18", Some(&resnet)),
-    ] {
+    for (wl_name, workload_fn) in [("Max-Utilization", None), ("ResNet18", Some(&resnet))] {
         let mut rows = Vec::new();
         for g in 1..=8u64 {
-            let m = base
-                .clone()
-                .with_output_combine(OutputCombine::WireSum {
-                    columns_per_group: g,
-                });
+            let m = base.clone().with_output_combine(OutputCombine::WireSum {
+                columns_per_group: g,
+            });
             let evaluator = m.evaluator().expect("evaluator");
             let rep = m.representation();
             let owned;
@@ -98,7 +96,10 @@ fn main() {
                 fmt(util),
             ]);
         }
-        println!("  {wl_name}: lowest-energy grouping = {} columns/output", best.0);
+        println!(
+            "  {wl_name}: lowest-energy grouping = {} columns/output",
+            best.0
+        );
     }
     table.finish();
     println!("  paper: ResNet18 favors 3-column reuse (3x3 kernels map at high utilization)");

@@ -14,7 +14,14 @@ fn main() {
     let mut table = ExperimentTable::new(
         "fig13",
         "Macro B: throughput-per-area (TOPS/mm^2) vs weight bits per adder width",
-        &["weight bits", "1-operand", "2-operand", "4-operand", "8-operand", "best"],
+        &[
+            "weight bits",
+            "1-operand",
+            "2-operand",
+            "4-operand",
+            "8-operand",
+            "best",
+        ],
     );
 
     let mut best_count = [0usize; 4];

@@ -17,11 +17,21 @@ fn main() {
         "fig14",
         "Macro C: energy/MAC (pJ) vs CiM array size per workload",
         &[
-            "workload", "array", "Accum+Control", "DAC+MAC", "ADC+Accum", "total pJ/MAC",
+            "workload",
+            "array",
+            "Accum+Control",
+            "DAC+MAC",
+            "ADC+Accum",
+            "total pJ/MAC",
         ],
     );
 
-    for wl in ["Max-Utilization", "ViT (large)", "ResNet18 (medium)", "MobileNetV3 (small)"] {
+    for wl in [
+        "Max-Utilization",
+        "ViT (large)",
+        "ResNet18 (medium)",
+        "MobileNetV3 (small)",
+    ] {
         let mut totals = Vec::new();
         let base = frozen(&macro_c());
         for &n in &sizes {

@@ -15,7 +15,12 @@ fn main() {
         "fig15",
         "Macro D full system: energy per MAC (pJ) by storage scenario",
         &[
-            "scenario", "workload", "macro+on-chip", "global buffer", "DRAM", "total pJ/MAC",
+            "scenario",
+            "workload",
+            "macro+on-chip",
+            "global buffer",
+            "DRAM",
+            "total pJ/MAC",
         ],
     );
 

@@ -19,7 +19,9 @@ fn main() {
     let evaluator = m.evaluator().expect("evaluator");
     let rep = m.representation();
     let net = models::resnet18();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut table = ExperimentTable::new(
         "table02",
@@ -102,13 +104,13 @@ fn main() {
                 .enumerate(evaluator.hierarchy(), shape, mappings_per_layer)
                 .expect("mappings");
             let chunk = mappings.len().div_ceil(cores);
-            let done: u64 = crossbeam::thread::scope(|scope| {
+            let done: u64 = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for part in mappings.chunks(chunk) {
                     let evaluator = &evaluator;
                     let table_ = &table_;
                     let rep = &rep;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut n = 0u64;
                         for mapping in part {
                             let report = evaluator
@@ -121,8 +123,7 @@ fn main() {
                     }));
                 }
                 handles.into_iter().map(|h| h.join().expect("join")).sum()
-            })
-            .expect("scope");
+            });
             evaluated += done;
         }
         evaluated as f64 / start.elapsed().as_secs_f64()
@@ -136,7 +137,9 @@ fn main() {
     ]);
     table.finish();
 
-    println!("  paper (Xeon Gold 6444Y): NeuroSim 0.07; CiMLoop 0.28/83 (1 core), 2.25/1076 (16 cores)");
+    println!(
+        "  paper (Xeon Gold 6444Y): NeuroSim 0.07; CiMLoop 0.28/83 (1 core), 2.25/1076 (16 cores)"
+    );
     println!(
         "  shape reproduced: {}",
         if rate_1core_many > 50.0 * exact_rate && rate_1core_many > 10.0 * rate_1core_1map {

@@ -9,8 +9,15 @@ fn main() {
         "table03",
         "parameterized attributes of Macros A-D",
         &[
-            "macro", "node", "device", "input bits", "weight bits", "array", "ADC bits",
-            "model array", "model ADC",
+            "macro",
+            "node",
+            "device",
+            "input bits",
+            "weight bits",
+            "array",
+            "ADC bits",
+            "model array",
+            "model ADC",
         ],
     );
     let models: [(&str, ArrayMacro); 4] = [

@@ -17,7 +17,7 @@ use crate::{CircuitError, ComponentModel, ValueContext};
 /// energy per conversion in femtojoules, area in mm²).
 ///
 /// The rows are synthesized to follow the published survey trends (see
-/// DESIGN.md §1 on reference-data substitution): energy ≈ FoM·2^B with FoM
+/// the substitution note in `cimloop_macros::reference`): energy ≈ FoM·2^B with FoM
 /// from ~10 fJ at 65 nm to ~1.5 fJ at 7 nm, with realistic scatter.
 const SURVEY: &[(u32, f64, f64, f64)] = &[
     (4, 65.0, 180.0, 0.0011),
@@ -86,11 +86,12 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
+        let pivot_row = a[col];
         for row in 0..3 {
             if row != col {
                 let factor = a[row][col] / diag;
-                for k in 0..3 {
-                    a[row][k] -= factor * a[col][k];
+                for (x, p) in a[row].iter_mut().zip(pivot_row) {
+                    *x -= factor * p;
                 }
                 b[row] -= factor * b[col];
             }
@@ -237,7 +238,10 @@ mod tests {
             let predicted = (coef[0] + coef[1] * bits as f64 + coef[2] * nm.ln()).exp();
             let actual = energy_fj * 1e-15;
             let ratio = predicted / actual;
-            assert!((0.5..2.0).contains(&ratio), "B={bits} nm={nm}: ratio {ratio}");
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "B={bits} nm={nm}: ratio {ratio}"
+            );
         }
     }
 

@@ -261,9 +261,7 @@ mod tests {
         let zero = Pmf::delta(0.0).unwrap();
         let e = acc.read_energy(&ValueContext::driven(&zero, 8));
         assert!(e > 0.0);
-        assert!(
-            (e / acc.full_scale_energy() - AnalogAccumulator::FIXED_FRACTION).abs() < 1e-9
-        );
+        assert!((e / acc.full_scale_energy() - AnalogAccumulator::FIXED_FRACTION).abs() < 1e-9);
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl ComponentModel for SramCimCell {
         let input = ctx.driven_fraction_or(0.5);
         let weight = ctx.stored_fraction_or(0.5);
         self.mac_full_scale()
-            * (Self::FIXED_FRACTION
-                + (1.0 - Self::FIXED_FRACTION) * input * (0.2 + 0.8 * weight))
+            * (Self::FIXED_FRACTION + (1.0 - Self::FIXED_FRACTION) * input * (0.2 + 0.8 * weight))
     }
 
     fn write_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
@@ -299,7 +298,8 @@ impl ComponentModel for Decoder {
 
     fn read_energy(&self, _ctx: &ValueContext<'_>) -> f64 {
         // Energy grows with the decoded fanout.
-        0.4e-15 * (1u64 << self.bits) as f64 / 256.0 * 256.0_f64.ln()
+        0.4e-15 * (1u64 << self.bits) as f64 / 256.0
+            * 256.0_f64.ln()
             * scaling::energy_scale(TechNode::N45, self.node)
     }
 

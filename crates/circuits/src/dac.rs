@@ -72,7 +72,9 @@ impl CurrentDac {
 
     fn full_scale_energy(&self) -> f64 {
         let steps = (1u64 << self.resolution) as f64;
-        CUR_DAC_UNIT_45NM * steps * scaling::energy_scale(TechNode::N45, self.node)
+        CUR_DAC_UNIT_45NM
+            * steps
+            * scaling::energy_scale(TechNode::N45, self.node)
             * self.supply_factor
     }
 }
@@ -138,7 +140,9 @@ impl CapacitiveDac {
 
     fn full_scale_energy(&self) -> f64 {
         let steps = (1u64 << self.resolution) as f64;
-        CAP_DAC_UNIT_45NM * steps * scaling::energy_scale(TechNode::N45, self.node)
+        CAP_DAC_UNIT_45NM
+            * steps
+            * scaling::energy_scale(TechNode::N45, self.node)
             * self.supply_factor
     }
 }

@@ -237,8 +237,12 @@ mod tests {
     #[test]
     fn technology_attribute_scales_energy() {
         let lib = Library::new();
-        let at65 = lib.build("digital_adder", &attrs(&[("technology", 65.0)])).unwrap();
-        let at7 = lib.build("digital_adder", &attrs(&[("technology", 7.0)])).unwrap();
+        let at65 = lib
+            .build("digital_adder", &attrs(&[("technology", 65.0)]))
+            .unwrap();
+        let at7 = lib
+            .build("digital_adder", &attrs(&[("technology", 7.0)]))
+            .unwrap();
         let ctx = ValueContext::none();
         assert!(at7.read_energy(&ctx) < at65.read_energy(&ctx));
     }

@@ -127,7 +127,10 @@ impl Encoding {
                 // Interpret the operand as negative ⇒ 0, non-negative ⇒ 1.
                 let level = pmf.map(|v| if v < 0.0 { 0.0 } else { 1.0 });
                 let complement = level.map(|v| 1.0 - v);
-                vec![EncodedStream::new(level, 1), EncodedStream::new(complement, 1)]
+                vec![
+                    EncodedStream::new(level, 1),
+                    EncodedStream::new(complement, 1),
+                ]
             }
         };
         Ok(EncodedOperand { streams })
@@ -169,7 +172,11 @@ impl Encoding {
                 }
             }
             Encoding::SignMagnitude => {
-                let mag_bits = if signed { bits.saturating_sub(1).max(1) } else { bits };
+                let mag_bits = if signed {
+                    bits.saturating_sub(1).max(1)
+                } else {
+                    bits
+                };
                 let mag_max = (1i64 << mag_bits) - 1;
                 vec![v.abs().min(mag_max) as u64]
             }
@@ -270,9 +277,13 @@ impl EncodedOperand {
     /// The mixture of all streams: what a device bank that alternates
     /// between streams (or a pair of devices considered together) sees.
     pub fn mixed(&self) -> EncodedStream {
-        let bits = self.streams.iter().map(EncodedStream::bits).max().unwrap_or(1);
-        let weighted: Vec<(f64, &Pmf)> =
-            self.streams.iter().map(|s| (1.0, s.pmf())).collect();
+        let bits = self
+            .streams
+            .iter()
+            .map(EncodedStream::bits)
+            .max()
+            .unwrap_or(1);
+        let weighted: Vec<(f64, &Pmf)> = self.streams.iter().map(|s| (1.0, s.pmf())).collect();
         let pmf = Pmf::mixture(&weighted).expect("at least one stream");
         EncodedStream::new(pmf, bits)
     }
@@ -359,7 +370,9 @@ mod tests {
         assert_eq!(stream.bits(), 7);
         assert!((stream.pmf().prob_of(2.0) - 0.2).abs() < 1e-12);
         assert!(stream.pmf().min() >= 0.0);
-        assert!(Encoding::SignMagnitude.encode(&signed_pmf(), 1, true).is_err());
+        assert!(Encoding::SignMagnitude
+            .encode(&signed_pmf(), 1, true)
+            .is_err());
     }
 
     #[test]

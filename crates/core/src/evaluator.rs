@@ -109,7 +109,9 @@ impl LayerReport {
 
     /// Dynamic + leakage energy of one component (0 if absent), joules.
     pub fn energy_of(&self, name: &str) -> f64 {
-        self.component(name).map(ComponentReport::total_energy).unwrap_or(0.0)
+        self.component(name)
+            .map(ComponentReport::total_energy)
+            .unwrap_or(0.0)
     }
 
     /// The evaluated layer's name.
@@ -119,7 +121,10 @@ impl LayerReport {
 
     /// Total energy (dynamic + leakage) for the layer, joules.
     pub fn energy_total(&self) -> f64 {
-        self.components.iter().map(ComponentReport::total_energy).sum()
+        self.components
+            .iter()
+            .map(ComponentReport::total_energy)
+            .sum()
     }
 
     /// Energy per useful word-level MAC, joules.
@@ -530,13 +535,14 @@ impl Evaluator {
 
 /// Whether a component acts every macro cycle (and thus bounds cycle time).
 fn is_per_cycle(component: &cimloop_spec::Component) -> bool {
-    let has_transit = Tensor::ALL.iter().any(|&t| {
-        matches!(
-            component.reuse(t),
-            Reuse::NoCoalesce | Reuse::Coalesce
-        )
-    });
-    has_transit || component.attributes().bool("slice_storage").unwrap_or(false)
+    let has_transit = Tensor::ALL
+        .iter()
+        .any(|&t| matches!(component.reuse(t), Reuse::NoCoalesce | Reuse::Coalesce));
+    has_transit
+        || component
+            .attributes()
+            .bool("slice_storage")
+            .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -639,7 +645,9 @@ slice_storage: true
         let r = rep();
         let table = e.action_energies(&layer, &r).unwrap();
         let shape = e.shape_for(&layer, &r).unwrap();
-        let mappings = Mapper::default().enumerate(e.hierarchy(), shape, 8).unwrap();
+        let mappings = Mapper::default()
+            .enumerate(e.hierarchy(), shape, 8)
+            .unwrap();
         // The table is computed once; energies per action never change.
         let adc_e = table.read_energy("ADC", Tensor::Outputs);
         for m in &mappings {
@@ -660,10 +668,16 @@ slice_storage: true
         let r = rep();
         let table = e.action_energies(&layer, &r).unwrap();
         let shape = e.shape_for(&layer, &r).unwrap();
-        let mappings = Mapper::default().enumerate(e.hierarchy(), shape, 24).unwrap();
+        let mappings = Mapper::default()
+            .enumerate(e.hierarchy(), shape, 24)
+            .unwrap();
         let energies: Vec<f64> = mappings
             .iter()
-            .map(|m| e.evaluate_mapping(&layer, &r, &table, m).unwrap().energy_total())
+            .map(|m| {
+                e.evaluate_mapping(&layer, &r, &table, m)
+                    .unwrap()
+                    .energy_total()
+            })
             .collect();
         let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = energies.iter().cloned().fold(0.0, f64::max);
@@ -719,11 +733,7 @@ slice_storage: true
         let e = Evaluator::new(base_macro(64, 64, 8)).unwrap();
         let net = models::mobilenet_v3_large();
         // Evaluate a slice of the network to keep the test fast.
-        let subset = cimloop_workload::Workload::new(
-            "subset",
-            net.layers()[..4].to_vec(),
-        )
-        .unwrap();
+        let subset = cimloop_workload::Workload::new("subset", net.layers()[..4].to_vec()).unwrap();
         let report = e.evaluate(&subset, &rep()).unwrap();
         assert_eq!(report.layers().len(), 4);
         let sum: f64 = report
@@ -748,8 +758,16 @@ slice_storage: true
     #[test]
     fn underutilization_raises_energy_per_mac() {
         let e = Evaluator::new(base_macro(256, 256, 8)).unwrap();
-        let big = Layer::new("big", LayerKind::Linear, Shape::linear(8, 256, 256).unwrap());
-        let small = Layer::new("small", LayerKind::Linear, Shape::linear(8, 16, 16).unwrap());
+        let big = Layer::new(
+            "big",
+            LayerKind::Linear,
+            Shape::linear(8, 256, 256).unwrap(),
+        );
+        let small = Layer::new(
+            "small",
+            LayerKind::Linear,
+            Shape::linear(8, 16, 16).unwrap(),
+        );
         let r = rep();
         let e_big = e.evaluate_layer(&big, &r).unwrap();
         let e_small = e.evaluate_layer(&small, &r).unwrap();

@@ -87,8 +87,8 @@ impl Pipeline {
             .product(weight_slice.pmf())
             .coarsen(SUM_SUPPORT);
         let sum = product.convolve_n(reduction_rows, SUM_SUPPORT);
-        let sum_max = (slice_max(rep.dac_bits()) * slice_max(rep.cell_bits()))
-            * reduction_rows as f64;
+        let sum_max =
+            (slice_max(rep.dac_bits()) * slice_max(rep.cell_bits())) * reduction_rows as f64;
 
         // Pre-normalize the sum for every output-side resolution present in
         // the hierarchy.
@@ -96,9 +96,9 @@ impl Pipeline {
         for component in hierarchy.components() {
             if component.reuse(Tensor::Outputs).is_active() {
                 let bits = output_bits(component);
-                sums_by_bits.entry(bits).or_insert_with(|| {
-                    normalize_sum(&sum, sum_max, bits)
-                });
+                sums_by_bits
+                    .entry(bits)
+                    .or_insert_with(|| normalize_sum(&sum, sum_max, bits));
             }
         }
         // Always provide an 8-bit view for callers outside the hierarchy.
@@ -201,7 +201,11 @@ fn is_word_storage(component: &Component) -> bool {
     let temporal = Tensor::ALL
         .iter()
         .any(|&t| component.reuse(t) == Reuse::Temporal);
-    temporal && !component.attributes().bool("slice_storage").unwrap_or(false)
+    temporal
+        && !component
+            .attributes()
+            .bool("slice_storage")
+            .unwrap_or(false)
 }
 
 fn normalize_sum(sum: &Pmf, sum_max: f64, bits: u32) -> Pmf {
@@ -215,9 +219,9 @@ fn normalize_sum(sum: &Pmf, sum_max: f64, bits: u32) -> Pmf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Encoding;
     use cimloop_spec::{Component, Container, Hierarchy, Spatial};
     use cimloop_workload::{LayerKind, Shape, ValueProfile};
-    use crate::Encoding;
 
     fn hierarchy(rows: u64) -> Hierarchy {
         Hierarchy::builder()

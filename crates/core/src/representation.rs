@@ -94,33 +94,44 @@ impl Representation {
     ///
     /// Same conditions as [`Self::new`].
     pub fn with_slicing(&self, dac_bits: u32, cell_bits: u32) -> Result<Self, CoreError> {
-        Self::new(self.input_encoding, self.weight_encoding, dac_bits, cell_bits)
+        Self::new(
+            self.input_encoding,
+            self.weight_encoding,
+            dac_bits,
+            cell_bits,
+        )
     }
 
     /// Number of temporal input slices for `layer` (the `Is` bound):
     /// `ceil(input_bits / dac_bits) × devices(input encoding)`.
     pub fn input_slices(&self, layer: &Layer) -> u64 {
         let encoded_bits = self.encoded_input_bits(layer);
-        encoded_bits.div_ceil(self.dac_bits) as u64
-            * self.input_encoding.devices_per_operand()
+        encoded_bits.div_ceil(self.dac_bits) as u64 * self.input_encoding.devices_per_operand()
     }
 
     /// Number of weight slices for `layer` (the `Ws` bound):
     /// `ceil(weight_bits / cell_bits) × devices(weight encoding)`.
     pub fn weight_slices(&self, layer: &Layer) -> u64 {
         let encoded_bits = self.encoded_weight_bits(layer);
-        encoded_bits.div_ceil(self.cell_bits) as u64
-            * self.weight_encoding.devices_per_operand()
+        encoded_bits.div_ceil(self.cell_bits) as u64 * self.weight_encoding.devices_per_operand()
     }
 
     /// Width of the encoded input stream for `layer`.
     pub fn encoded_input_bits(&self, layer: &Layer) -> u32 {
-        encoded_bits(self.input_encoding, layer.input_bits(), layer.input_signed())
+        encoded_bits(
+            self.input_encoding,
+            layer.input_bits(),
+            layer.input_signed(),
+        )
     }
 
     /// Width of the encoded weight stream for `layer`.
     pub fn encoded_weight_bits(&self, layer: &Layer) -> u32 {
-        encoded_bits(self.weight_encoding, layer.weight_bits(), layer.weight_signed())
+        encoded_bits(
+            self.weight_encoding,
+            layer.weight_bits(),
+            layer.weight_signed(),
+        )
     }
 }
 
@@ -153,8 +164,8 @@ mod tests {
 
     #[test]
     fn differential_doubles_devices() {
-        let rep = Representation::new(Encoding::Differential, Encoding::Differential, 4, 8)
-            .unwrap();
+        let rep =
+            Representation::new(Encoding::Differential, Encoding::Differential, 4, 8).unwrap();
         let l = layer(8, 8);
         assert_eq!(rep.input_slices(&l), 4); // 2 slices × 2 wires
         assert_eq!(rep.weight_slices(&l), 2); // 1 slice × 2 cells

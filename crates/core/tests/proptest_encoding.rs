@@ -1,4 +1,4 @@
-//! Property tests: the encoding invariants of DESIGN.md §5, including
+//! Property tests: the encoding invariants of the paper’s representation model (PAPER.md §III-D1), including
 //! consistency between PMF-level and value-level encoding.
 
 use cimloop_core::Encoding;

@@ -314,7 +314,8 @@ impl ArrayMacro {
         let configured = match self.calibration {
             Some(anchor) => {
                 let (e, l) = calibrate::calibrate(self, anchor)?;
-                self.clone().with_scales(self.energy_scale * e, self.latency_scale * l)
+                self.clone()
+                    .with_scales(self.energy_scale * e, self.latency_scale * l)
             }
             None => self.clone(),
         };
@@ -359,7 +360,10 @@ impl ArrayMacro {
 
     /// The analog readout chain: accumulator → DAC → (grouping) → ADC →
     /// cells, per the configured combine strategy.
-    fn analog_inner(&self, mut b: cimloop_spec::HierarchyBuilder) -> cimloop_spec::HierarchyBuilder {
+    fn analog_inner(
+        &self,
+        mut b: cimloop_spec::HierarchyBuilder,
+    ) -> cimloop_spec::HierarchyBuilder {
         // Digital shift-add accumulator merging slice partials across
         // cycles; owns the input-bit-serial loop unless Macro C's analog
         // accumulator takes it.
@@ -455,7 +459,10 @@ impl ArrayMacro {
     }
 
     /// Digital CiM readout: a per-column adder tree instead of an ADC.
-    fn digital_inner(&self, mut b: cimloop_spec::HierarchyBuilder) -> cimloop_spec::HierarchyBuilder {
+    fn digital_inner(
+        &self,
+        mut b: cimloop_spec::HierarchyBuilder,
+    ) -> cimloop_spec::HierarchyBuilder {
         let accumulator = Component::new("accumulator")
             .with_class("shift_add")
             .with_attr("bits", 24i64)
@@ -556,16 +563,27 @@ mod tests {
         let plain = ArrayMacro::new("t", 45.0, 8, 8);
         let h = plain.hierarchy().unwrap();
         assert_eq!(
-            h.component("accumulator").unwrap().attributes().str("temporal_dims"),
+            h.component("accumulator")
+                .unwrap()
+                .attributes()
+                .str("temporal_dims"),
             Some("Is")
         );
         let c_style = plain.with_output_combine(OutputCombine::AnalogAccumulator);
         let h = c_style.hierarchy().unwrap();
         assert_eq!(
-            h.component("analog_accumulator").unwrap().attributes().str("temporal_dims"),
+            h.component("analog_accumulator")
+                .unwrap()
+                .attributes()
+                .str("temporal_dims"),
             Some("Is")
         );
-        assert!(h.component("accumulator").unwrap().attributes().str("temporal_dims").is_none());
+        assert!(h
+            .component("accumulator")
+            .unwrap()
+            .attributes()
+            .str("temporal_dims")
+            .is_none());
     }
 
     #[test]
@@ -573,7 +591,12 @@ mod tests {
         let m = ArrayMacro::new("t", 22.0, 8, 8).with_supply_voltage(0.7);
         let h = m.hierarchy().unwrap();
         for c in h.components() {
-            assert_eq!(c.attributes().float("supply_voltage"), Some(0.7), "{}", c.name());
+            assert_eq!(
+                c.attributes().float("supply_voltage"),
+                Some(0.7),
+                "{}",
+                c.name()
+            );
         }
     }
 
@@ -581,7 +604,13 @@ mod tests {
     fn storage_banks_scale_cell_area_only() {
         let m = ArrayMacro::new("t", 22.0, 64, 128).with_storage_banks(8);
         let h = m.hierarchy().unwrap();
-        assert_eq!(h.component("cell").unwrap().attributes().float("area_scale"), Some(8.0));
+        assert_eq!(
+            h.component("cell")
+                .unwrap()
+                .attributes()
+                .float("area_scale"),
+            Some(8.0)
+        );
         // Active compute stays 64 rows.
         assert_eq!(h.component("cell").unwrap().spatial().fanout(), 64);
     }

@@ -78,7 +78,9 @@ mod tests {
             .clone()
             .with_input_bits(anchor.input_bits)
             .with_weight_bits(anchor.weight_bits);
-        let report = evaluator.evaluate_layer(&layer, &m.representation()).unwrap();
+        let report = evaluator
+            .evaluate_layer(&layer, &m.representation())
+            .unwrap();
         // Calibration is computed at nominal voltage on this exact layer:
         // the anchor should be reproduced closely.
         assert!(

@@ -190,7 +190,9 @@ mod tests {
             .clone()
             .with_input_bits(in_bits)
             .with_weight_bits(w_bits);
-        let report = evaluator.evaluate_layer(&layer, &m.representation()).unwrap();
+        let report = evaluator
+            .evaluate_layer(&layer, &m.representation())
+            .unwrap();
         (report.tops_per_watt(), report.gops())
     }
 

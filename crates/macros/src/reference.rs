@@ -1,6 +1,6 @@
 //! Published reference data for the validation experiments (paper §V-A).
 //!
-//! **Substitution note (DESIGN.md §1):** the paper validates against
+//! **Substitution note:** the paper validates against
 //! silicon measurements read from the macro publications. We do not have
 //! the authors' raw data; the series below are *approximations of the
 //! published plots* encoded from the papers' headline numbers and
@@ -219,25 +219,16 @@ pub const MACRO_C_INPUT_BITS: &[InputBitsPoint] = &[
 pub type Breakdown = &'static [(&'static str, f64)];
 
 /// Macro C published energy breakdown at 1-bit inputs.
-pub const MACRO_C_ENERGY_1B: Breakdown = &[
-    ("ADC+Accumulate", 42.0),
-    ("DAC", 28.0),
-    ("Control", 30.0),
-];
+pub const MACRO_C_ENERGY_1B: Breakdown =
+    &[("ADC+Accumulate", 42.0), ("DAC", 28.0), ("Control", 30.0)];
 
 /// Macro C published energy breakdown at 4-bit inputs.
-pub const MACRO_C_ENERGY_4B: Breakdown = &[
-    ("ADC+Accumulate", 25.0),
-    ("DAC", 42.0),
-    ("Control", 33.0),
-];
+pub const MACRO_C_ENERGY_4B: Breakdown =
+    &[("ADC+Accumulate", 25.0), ("DAC", 42.0), ("Control", 33.0)];
 
 /// Macro C published energy breakdown at 8-bit inputs.
-pub const MACRO_C_ENERGY_8B: Breakdown = &[
-    ("ADC+Accumulate", 16.0),
-    ("DAC", 48.0),
-    ("Control", 36.0),
-];
+pub const MACRO_C_ENERGY_8B: Breakdown =
+    &[("ADC+Accumulate", 16.0), ("DAC", 48.0), ("Control", 36.0)];
 
 /// Macro D published energy breakdown.
 pub const MACRO_D_ENERGY: Breakdown = &[

@@ -175,10 +175,7 @@ pub fn analyze(
         }
     }
 
-    let padded_macs: u64 = Dim::ALL
-        .iter()
-        .map(|&d| mapping.padded_bound(d))
-        .product();
+    let padded_macs: u64 = Dim::ALL.iter().map(|&d| mapping.padded_bound(d)).product();
 
     let mut components: BTreeMap<String, [Actions; 3]> = BTreeMap::new();
     for node in nodes {
@@ -232,20 +229,19 @@ pub fn analyze(
             if let Node::Component(c) = node {
                 let reuse = c.reuse(tensor);
                 if reuse.is_active() {
-                    let bill = &mut components
-                        .get_mut(c.name())
-                        .expect("component registered")[tensor as usize];
+                    let bill = &mut components.get_mut(c.name()).expect("component registered")
+                        [tensor as usize];
                     match reuse {
                         Reuse::Temporal => {
                             let slice_granular =
                                 c.attributes().bool("slice_storage").unwrap_or(false);
-                            let fills =
-                                tile(i, slice_granular) * refetch(i) * instances[i] as f64;
+                            let fills = tile(i, slice_granular) * refetch(i) * instances[i] as f64;
                             if tensor == Tensor::Outputs {
                                 // Updates arrive from below; partials bounce
                                 // to/from the parent per the refetch rule.
-                                let distinct =
-                                    tile(i, slice_granular) * distinct_mult(i) * instances[i] as f64;
+                                let distinct = tile(i, slice_granular)
+                                    * distinct_mult(i)
+                                    * instances[i] as f64;
                                 bill.writes += traffic;
                                 bill.reads += (fills - distinct).max(0.0) + fills;
                             } else {
@@ -482,10 +478,7 @@ mod tests {
         let thrash = analyze(&h, shape, &weights_thrash).unwrap();
         // Stationary: each of the 8 weights programmed once per C-chunk: the
         // 2-row array holds C=2 × K=2 = 4 weights; 2 chunks → 8 programs.
-        assert_eq!(
-            stationary.actions("cell", Tensor::Weights).writes,
-            8.0
-        );
+        assert_eq!(stationary.actions("cell", Tensor::Weights).writes, 8.0);
         // Thrashing: reprogrammed for every N: 8 × 3 = 24.
         assert_eq!(thrash.actions("cell", Tensor::Weights).writes, 24.0);
         // MAC read counts are mapping-order-invariant.

@@ -1,7 +1,7 @@
 //! Loop-nest mapping representation, dataflow analysis, and mapper search.
 //!
-//! This crate is the Timeloop substrate of the reproduction (see DESIGN.md
-//! §1): CiMLoop needs, for any workload layer, hierarchy, and mapping, the
+//! This crate is the Timeloop substrate of the reproduction (see PAPER.md
+//! and ROADMAP.md): CiMLoop needs, for any workload layer, hierarchy, and mapping, the
 //! number of *actions* each component performs for each tensor. Per-action
 //! energies (which are mapping-invariant, paper §III-D3) come from the
 //! circuit plug-ins; multiplying the two yields system energy.

@@ -154,11 +154,7 @@ impl Mapper {
             .find(|l| l.kind() == LevelKind::Storage)
             .expect("map() succeeded, so a storage root exists");
         let root_name = root.name().to_owned();
-        let loops = base
-            .entry(&root_name)
-            .expect("aligned")
-            .temporal
-            .clone();
+        let loops = base.entry(&root_name).expect("aligned").temporal.clone();
 
         let mut result = Vec::new();
         permute(&loops, &mut Vec::new(), &mut |perm| {
@@ -309,7 +305,9 @@ mod tests {
     fn canonical_mapping_fills_array() {
         let h = cim_hierarchy(64, 64);
         let shape = Shape::linear(16, 64, 64).unwrap();
-        let m = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
+        let m = Mapper::new(Strategy::WeightStationary)
+            .map(&h, shape)
+            .unwrap();
         assert_eq!(m.entry("cell").unwrap().spatial_product(Dim::C), 64);
         assert_eq!(m.entry("column").unwrap().spatial_product(Dim::K), 64);
         assert_eq!(m.entry("buffer").unwrap().temporal_product(Dim::N), 16);
@@ -368,14 +366,21 @@ mod tests {
     fn strategies_change_loop_order() {
         let h = cim_hierarchy(8, 8);
         let shape = Shape::conv(16, 16, 4, 4, 1, 1).unwrap();
-        let ws = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
-        let os = Mapper::new(Strategy::OutputStationary).map(&h, shape).unwrap();
+        let ws = Mapper::new(Strategy::WeightStationary)
+            .map(&h, shape)
+            .unwrap();
+        let os = Mapper::new(Strategy::OutputStationary)
+            .map(&h, shape)
+            .unwrap();
         let first_ws = ws.entry("buffer").unwrap().temporal[0].0;
         let first_os = os.entry("buffer").unwrap().temporal[0].0;
         assert_ne!(ws, os);
         // Weight-stationary leads with a weight dim, output-stationary with
         // an output dim.
-        assert!(matches!(first_ws, Dim::K | Dim::C | Dim::R | Dim::S | Dim::Ws));
+        assert!(matches!(
+            first_ws,
+            Dim::K | Dim::C | Dim::R | Dim::S | Dim::Ws
+        ));
         assert!(matches!(first_os, Dim::N | Dim::K | Dim::P | Dim::Q));
     }
 
@@ -383,10 +388,20 @@ mod tests {
     fn weight_stationary_beats_thrashing_on_weight_fills() {
         let h = cim_hierarchy(16, 16);
         let shape = Shape::linear(32, 64, 64).unwrap();
-        let ws = Mapper::new(Strategy::WeightStationary).map(&h, shape).unwrap();
-        let os = Mapper::new(Strategy::OutputStationary).map(&h, shape).unwrap();
-        let ws_fills = analyze(&h, shape, &ws).unwrap().actions("cell", Tensor::Weights).writes;
-        let os_fills = analyze(&h, shape, &os).unwrap().actions("cell", Tensor::Weights).writes;
+        let ws = Mapper::new(Strategy::WeightStationary)
+            .map(&h, shape)
+            .unwrap();
+        let os = Mapper::new(Strategy::OutputStationary)
+            .map(&h, shape)
+            .unwrap();
+        let ws_fills = analyze(&h, shape, &ws)
+            .unwrap()
+            .actions("cell", Tensor::Weights)
+            .writes;
+        let os_fills = analyze(&h, shape, &os)
+            .unwrap()
+            .actions("cell", Tensor::Weights)
+            .writes;
         assert!(ws_fills <= os_fills, "ws {ws_fills} vs os {os_fills}");
     }
 

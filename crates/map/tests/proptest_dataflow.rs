@@ -1,4 +1,4 @@
-//! Property-based tests for the dataflow invariants of DESIGN.md §5.
+//! Property-based tests for the dataflow invariants of the paper’s action-count model (PAPER.md §III).
 
 use cimloop_map::{analyze, Mapper, Strategy as MapStrategy};
 use cimloop_spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
@@ -36,9 +36,16 @@ fn cim_hierarchy(rows: u64, cols: u64, multicast_inputs: bool) -> Hierarchy {
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
-    (1u64..6, 1u64..48, 1u64..48, 1u64..6, 1u64..6, 1u64..4, 1u64..4).prop_map(
-        |(n, k, c, p, q, r, s)| Shape::new(n, k, c, p, q, r, s).expect("non-zero bounds"),
+    (
+        1u64..6,
+        1u64..48,
+        1u64..48,
+        1u64..6,
+        1u64..6,
+        1u64..4,
+        1u64..4,
     )
+        .prop_map(|(n, k, c, p, q, r, s)| Shape::new(n, k, c, p, q, r, s).expect("non-zero bounds"))
 }
 
 proptest! {

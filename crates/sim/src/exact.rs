@@ -125,7 +125,10 @@ impl OperandSampler {
 
     fn sample(&self, rng: &mut StdRng) -> &[u64] {
         let u: f64 = rng.gen();
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.levels.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.levels.len() - 1);
         &self.levels[idx]
     }
 }
@@ -149,7 +152,6 @@ impl EnergyTables {
         let dac_levels = 1usize << m.dac_bits();
         let cell_levels = 1usize << m.cell_bits();
         let adc_bits = m.adc_bits().clamp(1, 16);
-
 
         let delta = |v: usize| Pmf::delta(v as f64).expect("finite");
 
@@ -192,12 +194,15 @@ impl EnergyTables {
         } else {
             Vec::new()
         };
-        let analog_accumulator =
-            if evaluator.hierarchy().component("analog_accumulator").is_some() {
-                table_over("analog_accumulator", adc_bits)
-            } else {
-                Vec::new()
-            };
+        let analog_accumulator = if evaluator
+            .hierarchy()
+            .component("analog_accumulator")
+            .is_some()
+        {
+            table_over("analog_accumulator", adc_bits)
+        } else {
+            Vec::new()
+        };
         // The digital shift-add accumulator sees the ADC output code; its
         // context width in the statistical pipeline is clamped to 16, and
         // we quantize to the ADC width here.
@@ -289,7 +294,7 @@ pub fn simulate_layer(
         ));
     } else {
         let per_thread = simulated.div_ceil(threads as u64);
-        let results: Vec<SimPartial> = crossbeam::thread::scope(|scope| {
+        let results: Vec<SimPartial> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let steps = per_thread.min(simulated.saturating_sub(t as u64 * per_thread));
@@ -301,7 +306,7 @@ pub fn simulate_layer(
                 let input_sampler = &input_sampler;
                 let weight_sampler = &weight_sampler;
                 let seed = cfg.seed.wrapping_add(t as u64 + 1);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     simulate_steps(
                         steps,
@@ -313,9 +318,11 @@ pub fn simulate_layer(
                     )
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
-        })
-        .expect("crossbeam scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sim thread"))
+                .collect()
+        });
         partials = results;
     }
 
@@ -334,7 +341,11 @@ pub fn simulate_layer(
     if evaluator.hierarchy().component("analog_adder").is_some() {
         per_component.insert("analog_adder".into(), sim.adder * scale);
     }
-    if evaluator.hierarchy().component("analog_accumulator").is_some() {
+    if evaluator
+        .hierarchy()
+        .component("analog_accumulator")
+        .is_some()
+    {
         per_component.insert("analog_accumulator".into(), sim.analog_accumulator * scale);
     }
     if evaluator.hierarchy().component("accumulator").is_some() {
@@ -390,11 +401,16 @@ impl Geometry {
         rep: &cimloop_core::Representation,
         layer: &Layer,
     ) -> Result<Self, CoreError> {
-        let cell = mapping.entry("cell").ok_or_else(|| CoreError::Representation {
-            message: "macro mapping lacks a `cell` entry".to_owned(),
-        })?;
+        let cell = mapping
+            .entry("cell")
+            .ok_or_else(|| CoreError::Representation {
+                message: "macro mapping lacks a `cell` entry".to_owned(),
+            })?;
         let rows = cell.used_fanout().max(1);
-        let col = mapping.entry("column").map(|e| e.used_fanout().max(1)).unwrap_or(1);
+        let col = mapping
+            .entry("column")
+            .map(|e| e.used_fanout().max(1))
+            .unwrap_or(1);
         let groups = mapping
             .entry("column_group")
             .map(|e| e.used_fanout().max(1))
@@ -530,8 +546,9 @@ fn simulate_steps(
                 }
                 combined_sum += col_sum;
             }
-            let code =
-                ((combined_sum as f64 / sum_max) * adc_max).round().clamp(0.0, adc_max) as usize;
+            let code = ((combined_sum as f64 / sum_max) * adc_max)
+                .round()
+                .clamp(0.0, adc_max) as usize;
 
             match g.combine {
                 OutputCombine::AnalogAdder { .. } => {

@@ -21,7 +21,10 @@ fn statistical_model_tracks_ground_truth_across_layers() {
         stat_errors.push(err);
     }
     let avg: f64 = stat_errors.iter().sum::<f64>() / stat_errors.len() as f64;
-    assert!(avg < 0.15, "average statistical error {avg:.3}: {stat_errors:?}");
+    assert!(
+        avg < 0.15,
+        "average statistical error {avg:.3}: {stat_errors:?}"
+    );
 }
 
 #[test]
@@ -40,9 +43,10 @@ fn fixed_energy_baseline_is_much_worse() {
         let exact = simulate_layer(&m, layer, &cfg).unwrap();
         let stat = evaluator.evaluate_layer(layer, &rep).unwrap();
         let mapping = evaluator.map_layer(layer, &rep).unwrap();
-        let fixed_report = evaluator.evaluate_mapping(layer, &rep, &fixed, &mapping).unwrap();
-        stat_err_sum +=
-            (stat.energy_total() - exact.energy_total()).abs() / exact.energy_total();
+        let fixed_report = evaluator
+            .evaluate_mapping(layer, &rep, &fixed, &mapping)
+            .unwrap();
+        stat_err_sum += (stat.energy_total() - exact.energy_total()).abs() / exact.energy_total();
         fixed_err_sum +=
             (fixed_report.energy_total() - exact.energy_total()).abs() / exact.energy_total();
         n += 1.0;
@@ -72,18 +76,10 @@ fn multithreaded_sim_matches_single_thread_statistically() {
     let m = base_macro();
     let net = models::resnet18();
     let layer = &net.layers()[3];
-    let single = simulate_layer(
-        &m,
-        layer,
-        &ExactConfig::fast().with_seed(7).with_threads(1),
-    )
-    .unwrap();
-    let multi = simulate_layer(
-        &m,
-        layer,
-        &ExactConfig::fast().with_seed(7).with_threads(4),
-    )
-    .unwrap();
+    let single =
+        simulate_layer(&m, layer, &ExactConfig::fast().with_seed(7).with_threads(1)).unwrap();
+    let multi =
+        simulate_layer(&m, layer, &ExactConfig::fast().with_seed(7).with_threads(4)).unwrap();
     let diff = (single.energy_total() - multi.energy_total()).abs() / single.energy_total();
     assert!(diff < 0.10, "thread split changed estimate by {diff:.3}");
 }

@@ -20,9 +20,7 @@ impl AttrValue {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             AttrValue::Int(v) => Some(*v),
-            AttrValue::Float(v) if v.fract() == 0.0 && v.abs() < i64::MAX as f64 => {
-                Some(*v as i64)
-            }
+            AttrValue::Float(v) if v.fract() == 0.0 && v.abs() < i64::MAX as f64 => Some(*v as i64),
             _ => None,
         }
     }
@@ -111,7 +109,11 @@ impl Attributes {
 
     /// Sets an attribute, replacing any previous value, and returns the
     /// previous value if there was one.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Option<AttrValue> {
+    pub fn set(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<AttrValue>,
+    ) -> Option<AttrValue> {
         self.map.insert(name.into(), value.into())
     }
 

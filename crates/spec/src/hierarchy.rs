@@ -137,10 +137,7 @@ impl Hierarchy {
 
     /// Total spatial instances of the innermost level's context.
     pub fn total_fanout(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(|n| n.spatial().fanout())
-            .product()
+        self.nodes.iter().map(|n| n.spatial().fanout()).product()
     }
 
     /// Concatenates another hierarchy inside this one (its nodes become the
@@ -308,7 +305,14 @@ mod tests {
         let names: Vec<&str> = h.nodes().iter().map(Node::name).collect();
         assert_eq!(
             names,
-            vec!["buffer", "macro", "DAC_bank", "column", "ADC", "memory_cell"]
+            vec![
+                "buffer",
+                "macro",
+                "DAC_bank",
+                "column",
+                "ADC",
+                "memory_cell"
+            ]
         );
     }
 
@@ -398,7 +402,10 @@ mod tests {
             .unwrap()
             .attributes_mut()
             .set("resolution", 8i64);
-        assert_eq!(h.component("ADC").unwrap().attributes().int("resolution"), Some(8));
+        assert_eq!(
+            h.component("ADC").unwrap().attributes().int("resolution"),
+            Some(8)
+        );
     }
 
     #[test]

@@ -201,7 +201,11 @@ impl Component {
     }
 
     /// Sets the same reuse directive for several tensors.
-    pub fn with_reuse_all(mut self, tensors: impl IntoIterator<Item = Tensor>, reuse: Reuse) -> Self {
+    pub fn with_reuse_all(
+        mut self,
+        tensors: impl IntoIterator<Item = Tensor>,
+        reuse: Reuse,
+    ) -> Self {
         for t in tensors {
             self.directives.set(t, reuse);
         }
@@ -222,7 +226,11 @@ impl Component {
     }
 
     /// Adds an attribute.
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<crate::AttrValue>) -> Self {
+    pub fn with_attr(
+        mut self,
+        name: impl Into<String>,
+        value: impl Into<crate::AttrValue>,
+    ) -> Self {
         self.attributes.set(name, value);
         self
     }
@@ -325,7 +333,11 @@ impl Container {
     }
 
     /// Adds an attribute.
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<crate::AttrValue>) -> Self {
+    pub fn with_attr(
+        mut self,
+        name: impl Into<String>,
+        value: impl Into<crate::AttrValue>,
+    ) -> Self {
         self.attributes.set(name, value);
         self
     }

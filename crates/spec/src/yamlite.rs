@@ -21,9 +21,7 @@
 //! `no_coalesce`, `bypass` (tensor lists), and `attributes` (inline map).
 //! Any other key is stored as an attribute. `#` starts a comment.
 
-use crate::{
-    AttrValue, Component, Container, Hierarchy, Node, Reuse, SpecError, Spatial, Tensor,
-};
+use crate::{AttrValue, Component, Container, Hierarchy, Node, Reuse, Spatial, SpecError, Tensor};
 
 /// Parses the text format into a validated [`Hierarchy`].
 ///
@@ -51,7 +49,9 @@ pub fn parse(text: &str) -> Result<Hierarchy, SpecError> {
                 other => {
                     return Err(SpecError::Parse {
                         line: line_no,
-                        message: format!("unknown tag `!{other}` (expected !Component or !Container)"),
+                        message: format!(
+                            "unknown tag `!{other}` (expected !Component or !Container)"
+                        ),
                     })
                 }
             });

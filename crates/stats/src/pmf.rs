@@ -47,9 +47,7 @@ impl Pmf {
     /// Returns [`StatsError::EmptySupport`] if `pairs` is empty,
     /// [`StatsError::InvalidValue`] / [`StatsError::InvalidWeight`] on
     /// non-finite input, and [`StatsError::ZeroMass`] if all weights are zero.
-    pub fn from_weights(
-        pairs: impl IntoIterator<Item = (f64, f64)>,
-    ) -> Result<Self, StatsError> {
+    pub fn from_weights(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, StatsError> {
         let mut pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
         if pairs.is_empty() {
             return Err(StatsError::EmptySupport);

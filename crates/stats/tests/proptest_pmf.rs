@@ -1,4 +1,4 @@
-//! Property-based tests for the PMF invariants listed in DESIGN.md §5.
+//! Property-based tests for the PMF invariants of the paper’s statistical model (PAPER.md §III-D).
 
 use cimloop_stats::{BitStats, Pmf};
 use proptest::prelude::*;

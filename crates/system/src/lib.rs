@@ -252,8 +252,16 @@ mod tests {
         assert!(ws.component("dram").is_some());
         assert!(on_chip.component("dram").is_none());
         // Weights only route through DRAM in the all-from-DRAM scenario.
-        assert!(all.component("dram").unwrap().reuse(Tensor::Weights).is_active());
-        assert!(!ws.component("dram").unwrap().reuse(Tensor::Weights).is_active());
+        assert!(all
+            .component("dram")
+            .unwrap()
+            .reuse(Tensor::Weights)
+            .is_active());
+        assert!(!ws
+            .component("dram")
+            .unwrap()
+            .reuse(Tensor::Weights)
+            .is_active());
     }
 
     #[test]
@@ -275,12 +283,12 @@ mod tests {
     fn fig15_breakdown_partitions_total() {
         let system = CimSystem::new(macro_d()).with_scenario(StorageScenario::WeightStationary);
         let e = system.evaluator().unwrap();
-        let report = e.evaluate_layer(&small_layer(), &system.representation()).unwrap();
+        let report = e
+            .evaluate_layer(&small_layer(), &system.representation())
+            .unwrap();
         let (on_chip, glb, dram) = CimSystem::fig15_breakdown(&report);
         assert!(on_chip > 0.0 && glb > 0.0 && dram > 0.0);
-        assert!(
-            ((on_chip + glb + dram) - report.energy_total()).abs() < 1e-15
-        );
+        assert!(((on_chip + glb + dram) - report.energy_total()).abs() < 1e-15);
     }
 
     #[test]

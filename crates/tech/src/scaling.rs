@@ -15,8 +15,7 @@ use crate::TechNode;
 /// `E ∝ C · V²` with `C ∝ feature size`.
 pub fn energy_factor(node: TechNode) -> f64 {
     let ref_node = TechNode::N45;
-    (node.nm() / ref_node.nm())
-        * (node.nominal_vdd() / ref_node.nominal_vdd()).powi(2)
+    (node.nm() / ref_node.nm()) * (node.nominal_vdd() / ref_node.nominal_vdd()).powi(2)
 }
 
 /// Relative area at `node`, normalized to 45 nm.

@@ -127,7 +127,15 @@ impl Shape {
     /// # Errors
     ///
     /// Returns [`WorkloadError::ZeroDim`] if any bound is zero.
-    pub fn new(n: u64, k: u64, c: u64, p: u64, q: u64, r: u64, s: u64) -> Result<Self, WorkloadError> {
+    pub fn new(
+        n: u64,
+        k: u64,
+        c: u64,
+        p: u64,
+        q: u64,
+        r: u64,
+        s: u64,
+    ) -> Result<Self, WorkloadError> {
         let bounds = [n, k, c, p, q, r, s, 1, 1];
         for (i, &b) in bounds.iter().enumerate() {
             if b == 0 {
@@ -165,7 +173,11 @@ impl Shape {
     /// # Errors
     ///
     /// Returns [`WorkloadError::ZeroDim`] if either count is zero.
-    pub fn with_slices(mut self, input_slices: u64, weight_slices: u64) -> Result<Self, WorkloadError> {
+    pub fn with_slices(
+        mut self,
+        input_slices: u64,
+        weight_slices: u64,
+    ) -> Result<Self, WorkloadError> {
         if input_slices == 0 {
             return Err(WorkloadError::ZeroDim { dim: "Is" });
         }
@@ -205,7 +217,9 @@ impl Shape {
     pub fn tensor_size(&self, tensor: Tensor) -> u64 {
         let b = |d: Dim| self.bound(d);
         match tensor {
-            Tensor::Inputs => b(Dim::N) * b(Dim::C) * (b(Dim::P) + b(Dim::R) - 1) * (b(Dim::Q) + b(Dim::S) - 1),
+            Tensor::Inputs => {
+                b(Dim::N) * b(Dim::C) * (b(Dim::P) + b(Dim::R) - 1) * (b(Dim::Q) + b(Dim::S) - 1)
+            }
             Tensor::Weights => b(Dim::K) * b(Dim::C) * b(Dim::R) * b(Dim::S),
             Tensor::Outputs => b(Dim::N) * b(Dim::K) * b(Dim::P) * b(Dim::Q),
         }
@@ -261,10 +275,7 @@ mod tests {
 
     #[test]
     fn slices_multiply_slice_macs_only() {
-        let s = Shape::linear(1, 16, 16)
-            .unwrap()
-            .with_slices(8, 2)
-            .unwrap();
+        let s = Shape::linear(1, 16, 16).unwrap().with_slices(8, 2).unwrap();
         assert_eq!(s.macs(), 256);
         assert_eq!(s.slice_macs(), 256 * 16);
         assert_eq!(s.bound(Dim::Is), 8);
@@ -313,9 +324,7 @@ mod tests {
     #[test]
     fn every_dim_is_relevant_to_some_tensor() {
         for dim in Dim::ALL {
-            let covered = Tensor::ALL
-                .iter()
-                .any(|&t| relevant_dims(t).contains(&dim));
+            let covered = Tensor::ALL.iter().any(|&t| relevant_dims(t).contains(&dim));
             assert!(covered, "{dim} is relevant to no tensor");
         }
     }

@@ -247,7 +247,9 @@ mod tests {
     fn invalid_parameters_rejected() {
         assert!(ValueProfile::UniformUnsigned.pmf(0, false).is_err());
         assert!(ValueProfile::UniformUnsigned.pmf(17, false).is_err());
-        assert!(ValueProfile::DenseSigned { sigma: 0.0 }.pmf(8, true).is_err());
+        assert!(ValueProfile::DenseSigned { sigma: 0.0 }
+            .pmf(8, true)
+            .is_err());
         assert!(ValueProfile::ReluActivations {
             sparsity: 1.5,
             sigma: 0.2
@@ -266,7 +268,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let samples = profile.sample(8, false, &mut rng, 20_000).unwrap();
         let sample_mean = samples.iter().sum::<i64>() as f64 / samples.len() as f64;
-        assert!((sample_mean - pmf.mean()).abs() < 2.0, "{sample_mean} vs {}", pmf.mean());
+        assert!(
+            (sample_mean - pmf.mean()).abs() < 2.0,
+            "{sample_mean} vs {}",
+            pmf.mean()
+        );
     }
 
     #[test]

@@ -189,7 +189,8 @@ impl Layer {
     ///
     /// Propagates [`ValueProfile::pmf`] errors.
     pub fn weight_pmf(&self) -> Result<Pmf, WorkloadError> {
-        self.weight_profile.pmf(self.weight_bits, self.weight_signed)
+        self.weight_profile
+            .pmf(self.weight_bits, self.weight_signed)
     }
 
     /// Size of one tensor of this layer (with the input halo).
@@ -299,11 +300,7 @@ mod tests {
     }
 
     fn layer2() -> Layer {
-        Layer::new(
-            "fc",
-            LayerKind::Linear,
-            Shape::linear(1, 10, 64).unwrap(),
-        )
+        Layer::new("fc", LayerKind::Linear, Shape::linear(1, 10, 64).unwrap())
     }
 
     #[test]

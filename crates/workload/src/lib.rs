@@ -14,7 +14,7 @@
 //!
 //! The paper profiles ImageNet/Wikipedia activations. This crate
 //! *synthesizes* per-layer distributions with the same relevant structure
-//! (see DESIGN.md §1): CNN activations are post-ReLU — unsigned, sparse,
+//! (see the substitution note in `cimloop_macros::reference`): CNN activations are post-ReLU — unsigned, sparse,
 //! folded-normal; transformer activations are dense and signed; weights are
 //! near-zero-heavy Gaussians. Per-layer parameters vary deterministically so
 //! that distribution shift across layers (which drives the paper's Fig 4 and

@@ -66,19 +66,36 @@ pub fn resnet18() -> Workload {
 
     push("conv1", conv(64, 3, 112, 7), &mut layers);
     for i in 0..4 {
-        push(&format!("layer1.{}.conv{}", i / 2, i % 2 + 1), conv(64, 64, 56, 3), &mut layers);
+        push(
+            &format!("layer1.{}.conv{}", i / 2, i % 2 + 1),
+            conv(64, 64, 56, 3),
+            &mut layers,
+        );
     }
     // Stages 2-4: first conv downsamples; a 1x1 projection matches channels.
     let stages: [(u64, u64, u64); 3] = [(128, 64, 28), (256, 128, 14), (512, 256, 7)];
     for (stage, &(k, c_in, pq)) in stages.iter().enumerate() {
         let s = stage + 2;
-        push(&format!("layer{s}.0.conv1"), conv(k, c_in, pq, 3), &mut layers);
+        push(
+            &format!("layer{s}.0.conv1"),
+            conv(k, c_in, pq, 3),
+            &mut layers,
+        );
         push(&format!("layer{s}.0.conv2"), conv(k, k, pq, 3), &mut layers);
-        push(&format!("layer{s}.0.downsample"), conv(k, c_in, pq, 1), &mut layers);
+        push(
+            &format!("layer{s}.0.downsample"),
+            conv(k, c_in, pq, 1),
+            &mut layers,
+        );
         push(&format!("layer{s}.1.conv1"), conv(k, k, pq, 3), &mut layers);
         push(&format!("layer{s}.1.conv2"), conv(k, k, pq, 3), &mut layers);
     }
-    let fc = cnn_layer("fc", LayerKind::Linear, Shape::linear(1, 1000, 512).expect("static"), idx);
+    let fc = cnn_layer(
+        "fc",
+        LayerKind::Linear,
+        Shape::linear(1, 1000, 512).expect("static"),
+        idx,
+    );
     layers.push(fc);
     Workload::new("resnet18", layers).expect("non-empty")
 }
@@ -89,12 +106,19 @@ pub fn mobilenet_v3_large() -> Workload {
     let mut layers: Vec<Layer> = Vec::new();
     let mut idx = 0u64;
 
-    let mut conv = |name: String, kind: LayerKind, shape: Shape, count: u64, layers: &mut Vec<Layer>| {
-        layers.push(cnn_layer(&name, kind, shape, idx).with_count(count));
-        idx += 1;
-    };
+    let mut conv =
+        |name: String, kind: LayerKind, shape: Shape, count: u64, layers: &mut Vec<Layer>| {
+            layers.push(cnn_layer(&name, kind, shape, idx).with_count(count));
+            idx += 1;
+        };
 
-    conv("stem".into(), LayerKind::Conv, Shape::conv(16, 3, 112, 112, 3, 3).expect("static"), 1, &mut layers);
+    conv(
+        "stem".into(),
+        LayerKind::Conv,
+        Shape::conv(16, 3, 112, 112, 3, 3).expect("static"),
+        1,
+        &mut layers,
+    );
 
     // (expansion, in_ch, out_ch, kernel, output map, repeat)
     let blocks: [(u64, u64, u64, u64, u64, u64); 12] = [
@@ -136,9 +160,27 @@ pub fn mobilenet_v3_large() -> Workload {
             &mut layers,
         );
     }
-    conv("conv_last".into(), LayerKind::Conv, Shape::conv(960, 160, 7, 7, 1, 1).expect("static"), 1, &mut layers);
-    conv("classifier.0".into(), LayerKind::Linear, Shape::linear(1, 1280, 960).expect("static"), 1, &mut layers);
-    conv("classifier.3".into(), LayerKind::Linear, Shape::linear(1, 1000, 1280).expect("static"), 1, &mut layers);
+    conv(
+        "conv_last".into(),
+        LayerKind::Conv,
+        Shape::conv(960, 160, 7, 7, 1, 1).expect("static"),
+        1,
+        &mut layers,
+    );
+    conv(
+        "classifier.0".into(),
+        LayerKind::Linear,
+        Shape::linear(1, 1280, 960).expect("static"),
+        1,
+        &mut layers,
+    );
+    conv(
+        "classifier.3".into(),
+        LayerKind::Linear,
+        Shape::linear(1, 1000, 1280).expect("static"),
+        1,
+        &mut layers,
+    );
     Workload::new("mobilenet_v3_large", layers).expect("non-empty")
 }
 
@@ -151,19 +193,54 @@ pub fn vit_base() -> Workload {
     let blocks = 12u64;
     let head_dim = d / heads;
     let mut layers = vec![
-        cnn_layer("patch_embed", LayerKind::Conv, Shape::conv(d, 3, 14, 14, 16, 16).expect("static"), 0),
-        transformer_layer("blocks.qkv", Shape::linear(tokens, 3 * d, d).expect("static"), 1).with_count(blocks),
-        transformer_layer("blocks.attn_scores", Shape::linear(tokens, tokens, head_dim).expect("static"), 2)
-            .with_count(blocks * heads),
-        transformer_layer("blocks.attn_values", Shape::linear(tokens, head_dim, tokens).expect("static"), 3)
-            .with_count(blocks * heads),
-        transformer_layer("blocks.proj", Shape::linear(tokens, d, d).expect("static"), 4).with_count(blocks),
-        transformer_layer("blocks.mlp.fc1", Shape::linear(tokens, 4 * d, d).expect("static"), 5).with_count(blocks),
-        transformer_layer("blocks.mlp.fc2", Shape::linear(tokens, d, 4 * d).expect("static"), 6).with_count(blocks),
+        cnn_layer(
+            "patch_embed",
+            LayerKind::Conv,
+            Shape::conv(d, 3, 14, 14, 16, 16).expect("static"),
+            0,
+        ),
+        transformer_layer(
+            "blocks.qkv",
+            Shape::linear(tokens, 3 * d, d).expect("static"),
+            1,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "blocks.attn_scores",
+            Shape::linear(tokens, tokens, head_dim).expect("static"),
+            2,
+        )
+        .with_count(blocks * heads),
+        transformer_layer(
+            "blocks.attn_values",
+            Shape::linear(tokens, head_dim, tokens).expect("static"),
+            3,
+        )
+        .with_count(blocks * heads),
+        transformer_layer(
+            "blocks.proj",
+            Shape::linear(tokens, d, d).expect("static"),
+            4,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "blocks.mlp.fc1",
+            Shape::linear(tokens, 4 * d, d).expect("static"),
+            5,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "blocks.mlp.fc2",
+            Shape::linear(tokens, d, 4 * d).expect("static"),
+            6,
+        )
+        .with_count(blocks),
         transformer_layer("head", Shape::linear(1, 1000, d).expect("static"), 7),
     ];
     // The patch embedding sees raw pixels (dense, unsigned).
-    layers[0] = layers[0].clone().with_input_profile(ValueProfile::UniformUnsigned);
+    layers[0] = layers[0]
+        .clone()
+        .with_input_profile(ValueProfile::UniformUnsigned);
     Workload::new("vit_base", layers).expect("non-empty")
 }
 
@@ -176,14 +253,34 @@ pub fn gpt2_small() -> Workload {
     let blocks = 12u64;
     let head_dim = d / heads;
     let layers = vec![
-        transformer_layer("h.qkv", Shape::linear(seq, 3 * d, d).expect("static"), 11).with_count(blocks),
-        transformer_layer("h.attn_scores", Shape::linear(seq, seq, head_dim).expect("static"), 12)
-            .with_count(blocks * heads),
-        transformer_layer("h.attn_values", Shape::linear(seq, head_dim, seq).expect("static"), 13)
-            .with_count(blocks * heads),
-        transformer_layer("h.proj", Shape::linear(seq, d, d).expect("static"), 14).with_count(blocks),
-        transformer_layer("h.mlp.fc1", Shape::linear(seq, 4 * d, d).expect("static"), 15).with_count(blocks),
-        transformer_layer("h.mlp.fc2", Shape::linear(seq, d, 4 * d).expect("static"), 16).with_count(blocks),
+        transformer_layer("h.qkv", Shape::linear(seq, 3 * d, d).expect("static"), 11)
+            .with_count(blocks),
+        transformer_layer(
+            "h.attn_scores",
+            Shape::linear(seq, seq, head_dim).expect("static"),
+            12,
+        )
+        .with_count(blocks * heads),
+        transformer_layer(
+            "h.attn_values",
+            Shape::linear(seq, head_dim, seq).expect("static"),
+            13,
+        )
+        .with_count(blocks * heads),
+        transformer_layer("h.proj", Shape::linear(seq, d, d).expect("static"), 14)
+            .with_count(blocks),
+        transformer_layer(
+            "h.mlp.fc1",
+            Shape::linear(seq, 4 * d, d).expect("static"),
+            15,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "h.mlp.fc2",
+            Shape::linear(seq, d, 4 * d).expect("static"),
+            16,
+        )
+        .with_count(blocks),
         transformer_layer("lm_head", Shape::linear(seq, 50257, d).expect("static"), 17),
     ];
     Workload::new("gpt2_small", layers).expect("non-empty")
@@ -193,14 +290,54 @@ pub fn gpt2_small() -> Workload {
 /// useful for quick experiments.
 pub fn alexnet() -> Workload {
     let layers = vec![
-        cnn_layer("conv1", LayerKind::Conv, Shape::conv(96, 3, 55, 55, 11, 11).expect("static"), 0),
-        cnn_layer("conv2", LayerKind::Conv, Shape::conv(256, 96, 27, 27, 5, 5).expect("static"), 1),
-        cnn_layer("conv3", LayerKind::Conv, Shape::conv(384, 256, 13, 13, 3, 3).expect("static"), 2),
-        cnn_layer("conv4", LayerKind::Conv, Shape::conv(384, 384, 13, 13, 3, 3).expect("static"), 3),
-        cnn_layer("conv5", LayerKind::Conv, Shape::conv(256, 384, 13, 13, 3, 3).expect("static"), 4),
-        cnn_layer("fc6", LayerKind::Linear, Shape::linear(1, 4096, 9216).expect("static"), 5),
-        cnn_layer("fc7", LayerKind::Linear, Shape::linear(1, 4096, 4096).expect("static"), 6),
-        cnn_layer("fc8", LayerKind::Linear, Shape::linear(1, 1000, 4096).expect("static"), 7),
+        cnn_layer(
+            "conv1",
+            LayerKind::Conv,
+            Shape::conv(96, 3, 55, 55, 11, 11).expect("static"),
+            0,
+        ),
+        cnn_layer(
+            "conv2",
+            LayerKind::Conv,
+            Shape::conv(256, 96, 27, 27, 5, 5).expect("static"),
+            1,
+        ),
+        cnn_layer(
+            "conv3",
+            LayerKind::Conv,
+            Shape::conv(384, 256, 13, 13, 3, 3).expect("static"),
+            2,
+        ),
+        cnn_layer(
+            "conv4",
+            LayerKind::Conv,
+            Shape::conv(384, 384, 13, 13, 3, 3).expect("static"),
+            3,
+        ),
+        cnn_layer(
+            "conv5",
+            LayerKind::Conv,
+            Shape::conv(256, 384, 13, 13, 3, 3).expect("static"),
+            4,
+        ),
+        cnn_layer(
+            "fc6",
+            LayerKind::Linear,
+            Shape::linear(1, 4096, 9216).expect("static"),
+            5,
+        ),
+        cnn_layer(
+            "fc7",
+            LayerKind::Linear,
+            Shape::linear(1, 4096, 4096).expect("static"),
+            6,
+        ),
+        cnn_layer(
+            "fc8",
+            LayerKind::Linear,
+            Shape::linear(1, 1000, 4096).expect("static"),
+            7,
+        ),
     ];
     Workload::new("alexnet", layers).expect("non-empty")
 }
@@ -214,8 +351,12 @@ pub fn bert_base() -> Workload {
     let blocks = 12u64;
     let head_dim = d / heads;
     let layers = vec![
-        transformer_layer("encoder.qkv", Shape::linear(seq, 3 * d, d).expect("static"), 21)
-            .with_count(blocks),
+        transformer_layer(
+            "encoder.qkv",
+            Shape::linear(seq, 3 * d, d).expect("static"),
+            21,
+        )
+        .with_count(blocks),
         transformer_layer(
             "encoder.attn_scores",
             Shape::linear(seq, seq, head_dim).expect("static"),
@@ -228,12 +369,24 @@ pub fn bert_base() -> Workload {
             23,
         )
         .with_count(blocks * heads),
-        transformer_layer("encoder.proj", Shape::linear(seq, d, d).expect("static"), 24)
-            .with_count(blocks),
-        transformer_layer("encoder.mlp.fc1", Shape::linear(seq, 4 * d, d).expect("static"), 25)
-            .with_count(blocks),
-        transformer_layer("encoder.mlp.fc2", Shape::linear(seq, d, 4 * d).expect("static"), 26)
-            .with_count(blocks),
+        transformer_layer(
+            "encoder.proj",
+            Shape::linear(seq, d, d).expect("static"),
+            24,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "encoder.mlp.fc1",
+            Shape::linear(seq, 4 * d, d).expect("static"),
+            25,
+        )
+        .with_count(blocks),
+        transformer_layer(
+            "encoder.mlp.fc2",
+            Shape::linear(seq, d, 4 * d).expect("static"),
+            26,
+        )
+        .with_count(blocks),
     ];
     Workload::new("bert_base", layers).expect("non-empty")
 }
@@ -287,7 +440,10 @@ mod tests {
         let net = resnet18();
         let p1 = net.layers()[1].input_pmf().unwrap();
         let p2 = net.layers()[10].input_pmf().unwrap();
-        assert!(p1.total_variation(&p2) > 0.01, "layer distributions should differ");
+        assert!(
+            p1.total_variation(&p2) > 0.01,
+            "layer distributions should differ"
+        );
     }
 
     #[test]
@@ -296,7 +452,10 @@ mod tests {
         // MobileNetV3-Large is ~0.22 GMACs.
         let g = net.total_macs() as f64 / 1e9;
         assert!((0.1..0.5).contains(&g), "total GMACs = {g}");
-        assert!(net.layers().iter().any(|l| l.kind() == LayerKind::DepthwiseConv));
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| l.kind() == LayerKind::DepthwiseConv));
     }
 
     #[test]

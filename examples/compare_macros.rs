@@ -9,9 +9,15 @@ use cimloop::workload::models;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resnet = models::resnet18();
-    let cnn_layer = resnet.layers()[6].clone().with_input_bits(4).with_weight_bits(4);
+    let cnn_layer = resnet.layers()[6]
+        .clone()
+        .with_input_bits(4)
+        .with_weight_bits(4);
     let gpt2 = models::gpt2_small();
-    let llm_layer = gpt2.layers()[0].clone().with_input_bits(4).with_weight_bits(4);
+    let llm_layer = gpt2.layers()[0]
+        .clone()
+        .with_input_bits(4)
+        .with_weight_bits(4);
 
     println!(
         "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",

@@ -66,11 +66,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = models::resnet18();
     let layer = &net.layers()[8];
 
-    println!("custom 128x128 ReRAM macro at 22nm, layer {}:", layer.name());
+    println!(
+        "custom 128x128 ReRAM macro at 22nm, layer {}:",
+        layer.name()
+    );
     println!("{:<46} {:>12} {:>10}", "configuration", "fJ/MAC", "TOPS/W");
     for (enc_name, weight_encoding) in [
         ("offset-encoded weights", Encoding::Offset),
-        ("differential weights (RAELLA-style)", Encoding::Differential),
+        (
+            "differential weights (RAELLA-style)",
+            Encoding::Differential,
+        ),
     ] {
         for value_aware in [false, true] {
             let evaluator = build(value_aware)?;
@@ -80,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{:<46} {:>12.2} {:>10.1}",
                 format!(
                     "{enc_name}{}",
-                    if value_aware { " + value-aware ADC" } else { "" }
+                    if value_aware {
+                        " + value-aware ADC"
+                    } else {
+                        ""
+                    }
                 ),
                 report.energy_per_mac() * 1e15,
                 report.tops_per_watt()

@@ -10,10 +10,7 @@ use cimloop::workload::models;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = models::resnet18();
     // Keep the example snappy: a representative slice of the network.
-    let subset = cimloop::workload::Workload::new(
-        "resnet18_subset",
-        net.layers()[4..10].to_vec(),
-    )?;
+    let subset = cimloop::workload::Workload::new("resnet18_subset", net.layers()[4..10].to_vec())?;
 
     println!("array    DAC bits   energy/MAC (pJ)   TOPS/W");
     let mut best: Option<(u64, u32, f64)> = None;

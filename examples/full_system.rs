@@ -9,10 +9,7 @@ use cimloop::workload::models;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = models::resnet18();
-    let subset = cimloop::workload::Workload::new(
-        "resnet18_subset",
-        net.layers()[4..10].to_vec(),
-    )?;
+    let subset = cimloop::workload::Workload::new("resnet18_subset", net.layers()[4..10].to_vec())?;
 
     println!("Macro D in a full system, ResNet18 subset:");
     println!(

@@ -73,7 +73,10 @@ slice_storage: true
     println!("  energy/MAC  : {:.2} fJ", report.energy_per_mac() * 1e15);
     println!("  throughput  : {:.1} GOPS", report.gops());
     println!("  efficiency  : {:.1} TOPS/W", report.tops_per_watt());
-    println!("  utilization : {:.1}%", report.spatial_utilization() * 100.0);
+    println!(
+        "  utilization : {:.1}%",
+        report.spatial_utilization() * 100.0
+    );
     println!("  breakdown:");
     for c in report.components() {
         println!(

@@ -1,5 +1,5 @@
 //! Cross-crate integration tests driven through the `cimloop` facade:
-//! the end-to-end invariants of DESIGN.md §5.
+//! the end-to-end invariants of the paper (see PAPER.md and ROADMAP.md).
 
 use cimloop::core::{Encoding, Representation};
 use cimloop::macros::{base_macro, macro_a, macro_b, macro_c, macro_d};
@@ -71,7 +71,10 @@ fn energy_is_monotone_in_precision() {
     let mut previous = 0.0;
     for bits in [1u32, 2, 4, 8] {
         let layer = base_layer.clone().with_input_bits(bits);
-        let energy = evaluator.evaluate_layer(&layer, &rep).unwrap().energy_total();
+        let energy = evaluator
+            .evaluate_layer(&layer, &rep)
+            .unwrap()
+            .energy_total();
         assert!(
             energy > previous,
             "energy must grow with input precision ({bits}b: {energy})"
@@ -94,8 +97,11 @@ fn scenarios_are_strictly_ordered_for_all_macros() {
                 .unwrap();
             energies.push(report.energy_total());
         }
-        assert!(energies[0] > energies[1] && energies[1] > energies[2],
-            "{}: {energies:?}", m.name());
+        assert!(
+            energies[0] > energies[1] && energies[1] > energies[2],
+            "{}: {energies:?}",
+            m.name()
+        );
     }
 }
 
@@ -143,12 +149,9 @@ fn statistical_and_exact_models_agree_on_small_layer() {
     let net = models::resnet18();
     let layer = &net.layers()[20]; // fc
     let stat = evaluator.evaluate_layer(layer, &rep).unwrap();
-    let exact = cimloop::sim::simulate_layer(
-        layer_macro(&m),
-        layer,
-        &cimloop::sim::ExactConfig::fast(),
-    )
-    .unwrap();
+    let exact =
+        cimloop::sim::simulate_layer(layer_macro(&m), layer, &cimloop::sim::ExactConfig::fast())
+            .unwrap();
     let err = (stat.energy_total() - exact.energy_total()).abs() / exact.energy_total();
     assert!(err < 0.2, "statistical vs exact error {err:.3}");
 }

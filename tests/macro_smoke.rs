@@ -1,0 +1,105 @@
+//! Workspace smoke test: every published macro model in `cimloop::macros`
+//! builds an evaluator and produces finite, positive energy, latency, and
+//! area on a tiny synthetic MVM layer.
+
+use cimloop::macros::{base_macro, digital_cim, macro_a, macro_b, macro_c, macro_d, ArrayMacro};
+use cimloop::workload::models;
+
+fn all_macros() -> Vec<ArrayMacro> {
+    vec![
+        base_macro(),
+        macro_a(),
+        macro_b(),
+        macro_c(),
+        macro_d(),
+        digital_cim(),
+    ]
+}
+
+#[test]
+fn every_macro_builds_an_evaluator_and_hierarchy() {
+    for m in all_macros() {
+        let evaluator = m
+            .evaluator()
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(
+            evaluator.hierarchy().components().next().is_some(),
+            "{}: hierarchy has no components",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn every_macro_yields_finite_positive_energy_on_a_tiny_layer() {
+    let tiny = models::mvm(8, 8);
+    let layer = &tiny.layers()[0];
+    for m in all_macros() {
+        let evaluator = m
+            .evaluator()
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let rep = m.representation();
+        let report = evaluator
+            .evaluate_layer(layer, &rep)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let energy = report.energy_total();
+        assert!(
+            energy.is_finite() && energy > 0.0,
+            "{}: energy {energy}",
+            m.name()
+        );
+        let per_mac = report.energy_per_mac();
+        assert!(
+            per_mac.is_finite() && per_mac > 0.0,
+            "{}: energy/MAC {per_mac}",
+            m.name()
+        );
+        let latency = report.latency();
+        assert!(
+            latency.is_finite() && latency > 0.0,
+            "{}: latency {latency}",
+            m.name()
+        );
+        assert_eq!(report.macs(), layer.macs(), "{}", m.name());
+        for component in report.components() {
+            assert!(
+                component.energy.is_finite() && component.energy >= 0.0,
+                "{} / {}: dynamic energy {}",
+                m.name(),
+                component.name,
+                component.energy
+            );
+            assert!(
+                component.leakage_energy.is_finite() && component.leakage_energy >= 0.0,
+                "{} / {}: leakage {}",
+                m.name(),
+                component.name,
+                component.leakage_energy
+            );
+        }
+    }
+}
+
+#[test]
+fn every_macro_reports_finite_positive_area() {
+    for m in all_macros() {
+        let evaluator = m
+            .evaluator()
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let area = evaluator.area();
+        let total = area.total();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "{}: area {total}",
+            m.name()
+        );
+        for (name, instances, component_area) in area.components() {
+            assert!(*instances >= 1, "{} / {name}: zero instances", m.name());
+            assert!(
+                component_area.is_finite() && *component_area >= 0.0,
+                "{} / {name}: area {component_area}",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion that CiMLoop's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple warmup + fixed measurement
+//! window reporting mean ns/iter to stdout — enough for relative
+//! comparisons; no statistics, plots, or baselines. Swap back to the real
+//! criterion by deleting `vendor/criterion` once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Passed to bench closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly for the measurement window and record total
+    /// elapsed time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/allocators settle and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.measurement_time / 4 {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement_time {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters.max(1)));
+    }
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The bench registry/driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards extra CLI args; honor a substring filter like
+        // the real harness so `cargo bench mapper` narrows the run.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.measurement_time, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample count (approximated here by shrinking the
+    /// measurement window for small sample sizes).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n < 50 {
+            self.measurement_time = Duration::from_millis(100);
+        }
+        self
+    }
+
+    /// Override the group's measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.measurement_time,
+            self.criterion.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.measurement_time,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement_time: Duration,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measured: None,
+        measurement_time,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iters)) => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+        }
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export of the standard black box (criterion's own is long deprecated
+/// in favor of this one).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_a_closure() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        // Filter comes from test-harness argv; clear it so this always runs.
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("map", 128).to_string(), "map/128");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
