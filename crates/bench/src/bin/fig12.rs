@@ -6,6 +6,7 @@
 use cimloop_bench::{fmt, frozen, ExperimentTable};
 use cimloop_core::RunReport;
 use cimloop_macros::{macro_a, OutputCombine};
+use cimloop_system::NetworkEngine;
 use cimloop_workload::{models, Shape, Workload};
 
 /// DAC / ADC+Accumulate / Other energy of a workload run, normalized later.
@@ -65,7 +66,11 @@ fn main() {
                     &owned
                 }
             };
-            let report = evaluator.evaluate(workload, &rep).expect("eval");
+            // Whole-network sweeps run through the amortized engine
+            // (energy-table cache + parallel layer fan-out); reports are
+            // bit-identical to the sequential evaluator.
+            let engine = NetworkEngine::new(&evaluator);
+            let report = engine.evaluate_network(workload, &rep).expect("eval");
             let (dac, adc, other) = energy_split(&report);
             // Average utilization across layers, weighted by MACs.
             let util: f64 = report

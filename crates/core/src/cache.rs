@@ -1,0 +1,243 @@
+//! Cross-layer amortization of the data-value-dependent pipeline.
+//!
+//! Algorithm 1's expensive work (lines 5–7: encoding, slicing, column-sum
+//! convolution, per-component energy reduction) depends only on a layer's
+//! *value-relevant signature* — operand precisions, signedness, and value
+//! profiles — plus the [`Representation`] and the hierarchy. It never
+//! depends on the layer's Einsum shape: the shape enters through the
+//! mapper and dataflow analysis (lines 9–10), which are cheap.
+//!
+//! DNN zoos repeat layer signatures ubiquitously (every transformer block,
+//! every same-precision CNN stage), so an [`EnergyTableCache`] lets a
+//! whole-network sweep derive each distinct [`ActionEnergyTable`] once and
+//! amortize it across all layers — and, via interior mutability, across
+//! the threads of a parallel network evaluation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cimloop_workload::{Layer, ValueProfile};
+
+use crate::{ActionEnergyTable, CoreError, Representation};
+
+/// The value-relevant identity of an `(evaluator, layer, representation)`
+/// triple: two layers with equal signatures are guaranteed to produce
+/// bit-identical [`ActionEnergyTable`]s on the same evaluator.
+///
+/// The signature captures exactly what the data-value-dependent pipeline
+/// reads: operand precisions and signedness, both operand value profiles,
+/// the representation (encodings and slice widths), and a fingerprint of
+/// the evaluator's hierarchy (so one cache can safely serve several
+/// evaluators).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableSignature {
+    hierarchy_fingerprint: u64,
+    input_bits: u32,
+    weight_bits: u32,
+    input_signed: bool,
+    weight_signed: bool,
+    rep: Representation,
+    input_profile: Vec<u64>,
+    weight_profile: Vec<u64>,
+}
+
+impl TableSignature {
+    /// Builds the signature of `layer` under `rep` for an evaluator whose
+    /// hierarchy hashes to `hierarchy_fingerprint`.
+    pub fn new(hierarchy_fingerprint: u64, layer: &Layer, rep: &Representation) -> Self {
+        TableSignature {
+            hierarchy_fingerprint,
+            input_bits: layer.input_bits(),
+            weight_bits: layer.weight_bits(),
+            input_signed: layer.input_signed(),
+            weight_signed: layer.weight_signed(),
+            rep: *rep,
+            input_profile: encode_profile(layer.input_profile()),
+            weight_profile: encode_profile(layer.weight_profile()),
+        }
+    }
+}
+
+/// Encodes a [`ValueProfile`] as a hashable word sequence: a variant tag
+/// followed by parameter bit patterns (f64s compared bit-for-bit, exactly
+/// matching when the realized PMFs are identical).
+fn encode_profile(profile: &ValueProfile) -> Vec<u64> {
+    match profile {
+        ValueProfile::ReluActivations { sparsity, sigma } => {
+            vec![0, sparsity.to_bits(), sigma.to_bits()]
+        }
+        ValueProfile::DenseSigned { sigma } => vec![1, sigma.to_bits()],
+        ValueProfile::GaussianWeights { sigma } => vec![2, sigma.to_bits()],
+        ValueProfile::UniformUnsigned => vec![3],
+        ValueProfile::UniformSigned => vec![4],
+        ValueProfile::Constant(v) => vec![5, *v as u64],
+        ValueProfile::Custom(pmf) => {
+            let mut words = Vec::with_capacity(1 + 2 * pmf.len());
+            words.push(6);
+            for (v, p) in pmf.iter() {
+                words.push(v.to_bits());
+                words.push(p.to_bits());
+            }
+            words
+        }
+    }
+}
+
+/// A thread-safe cache of [`ActionEnergyTable`]s keyed by
+/// [`TableSignature`].
+///
+/// Tables are handed out as [`Arc`]s so concurrent layer evaluations share
+/// one allocation. Lookups under concurrent misses may compute the same
+/// table twice (the computation runs outside the lock), but the result is
+/// deterministic, so whichever insertion wins is bit-identical.
+#[derive(Debug, Default)]
+pub struct EnergyTableCache {
+    entries: Mutex<HashMap<TableSignature, Arc<ActionEnergyTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EnergyTableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached table for `signature`, computing and inserting it
+    /// via `compute` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` errors; nothing is inserted on failure.
+    pub fn get_or_try_insert_with(
+        &self,
+        signature: TableSignature,
+        compute: impl FnOnce() -> Result<ActionEnergyTable, CoreError>,
+    ) -> Result<Arc<ActionEnergyTable>, CoreError> {
+        if let Some(table) = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&signature)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(table));
+        }
+        // Compute outside the lock: tables are expensive and other
+        // signatures should not serialize behind this miss.
+        let table = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        let entry = entries
+            .entry(signature)
+            .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of distinct tables held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute a table.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached tables and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoding;
+    use cimloop_workload::{LayerKind, Shape};
+
+    fn rep() -> Representation {
+        Representation::new(Encoding::TwosComplement, Encoding::Offset, 1, 4).unwrap()
+    }
+
+    fn layer(name: &str, k: u64) -> Layer {
+        Layer::new(name, LayerKind::Linear, Shape::linear(4, k, 32).unwrap())
+    }
+
+    #[test]
+    fn signature_ignores_shape_and_name() {
+        let a = TableSignature::new(7, &layer("a", 16), &rep());
+        let b = TableSignature::new(7, &layer("b", 256), &rep());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_tracks_value_relevant_fields() {
+        let base = TableSignature::new(7, &layer("l", 16), &rep());
+        let bits = TableSignature::new(7, &layer("l", 16).with_input_bits(4), &rep());
+        let signed = TableSignature::new(7, &layer("l", 16).with_input_signed(true), &rep());
+        let profile = TableSignature::new(
+            7,
+            &layer("l", 16).with_input_profile(ValueProfile::UniformUnsigned),
+            &rep(),
+        );
+        let other_rep = TableSignature::new(7, &layer("l", 16), &rep().with_slicing(2, 4).unwrap());
+        let other_hierarchy = TableSignature::new(8, &layer("l", 16), &rep());
+        for other in [bits, signed, profile, other_rep, other_hierarchy] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn profile_parameters_distinguish_signatures() {
+        let narrow =
+            layer("l", 16).with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.1 });
+        let wide = layer("l", 16).with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.2 });
+        assert_ne!(
+            TableSignature::new(1, &narrow, &rep()),
+            TableSignature::new(1, &wide, &rep())
+        );
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache = EnergyTableCache::new();
+        let sig = TableSignature::new(1, &layer("l", 16), &rep());
+        let make = || Ok(ActionEnergyTable::empty_for_tests());
+        let first = cache.get_or_try_insert_with(sig.clone(), make).unwrap();
+        let second = cache.get_or_try_insert_with(sig, make).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn failed_compute_inserts_nothing() {
+        let cache = EnergyTableCache::new();
+        let sig = TableSignature::new(1, &layer("l", 16), &rep());
+        let err = cache.get_or_try_insert_with(sig, || {
+            Err(CoreError::Representation {
+                message: "boom".to_owned(),
+            })
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+    }
+}

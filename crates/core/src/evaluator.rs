@@ -9,13 +9,15 @@
 //! mappings (Table II's amortization).
 
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use cimloop_circuits::{BoxedModel, Library, ValueContext};
 use cimloop_map::{analyze, Mapper, Mapping};
 use cimloop_spec::{Hierarchy, Reuse, Tensor};
 use cimloop_workload::{Layer, Shape, Workload};
 
-use crate::{CoreError, Pipeline, Representation};
+use crate::{CoreError, EnergyTableCache, Pipeline, Representation, TableSignature};
 
 /// Per-action energies for one component and tensor, joules.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -34,7 +36,17 @@ pub struct ActionEnergyTable {
 
 impl ActionEnergyTable {
     /// Average energy of one read-like action of `component` for `tensor`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `component` is not part of the hierarchy
+    /// the table was derived from (almost always a spec typo). Release
+    /// builds return `0.0` to keep the mapping-search hot path branch-lean.
     pub fn read_energy(&self, component: &str, tensor: Tensor) -> f64 {
+        debug_assert!(
+            self.entries.contains_key(component),
+            "unknown component {component:?} in ActionEnergyTable lookup (spec typo?)"
+        );
         self.entries
             .get(component)
             .map(|e| e[tensor as usize].read)
@@ -42,11 +54,33 @@ impl ActionEnergyTable {
     }
 
     /// Average energy of one write-like action of `component` for `tensor`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::read_energy`].
     pub fn write_energy(&self, component: &str, tensor: Tensor) -> f64 {
+        debug_assert!(
+            self.entries.contains_key(component),
+            "unknown component {component:?} in ActionEnergyTable lookup (spec typo?)"
+        );
         self.entries
             .get(component)
             .map(|e| e[tensor as usize].write)
             .unwrap_or(0.0)
+    }
+
+    /// Whether the table has an entry for `component` (fallible lookup for
+    /// callers probing outside the hierarchy).
+    pub fn contains(&self, component: &str) -> bool {
+        self.entries.contains_key(component)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn empty_for_tests() -> Self {
+        ActionEnergyTable {
+            entries: BTreeMap::new(),
+            cycle_time: 1e-9,
+        }
     }
 
     /// The macro cycle time implied by the slowest per-cycle component.
@@ -203,6 +237,19 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Assembles a report from per-layer results and their repeat counts,
+    /// in execution order. This is how external evaluation drivers (e.g.,
+    /// a parallel network engine) merge independently computed layers.
+    pub fn from_layer_reports(
+        workload_name: impl Into<String>,
+        layers: Vec<(u64, LayerReport)>,
+    ) -> Self {
+        RunReport {
+            workload_name: workload_name.into(),
+            layers,
+        }
+    }
+
     /// The per-layer reports with their repeat counts.
     pub fn layers(&self) -> &[(u64, LayerReport)] {
         &self.layers
@@ -299,6 +346,7 @@ pub struct Evaluator {
     hierarchy: Hierarchy,
     models: BTreeMap<String, BoxedModel>,
     mapper: Mapper,
+    hierarchy_fingerprint: u64,
 }
 
 impl Evaluator {
@@ -321,10 +369,16 @@ impl Evaluator {
                 })?;
             models.insert(component.name().to_owned(), model);
         }
+        // Fingerprint the full spec (serialized form) so energy-table
+        // cache entries from different hierarchies can never collide.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        cimloop_spec::yamlite::write(&hierarchy).hash(&mut hasher);
+        let hierarchy_fingerprint = hasher.finish();
         Ok(Evaluator {
             hierarchy,
             models,
             mapper: Mapper::default(),
+            hierarchy_fingerprint,
         })
     }
 
@@ -463,6 +517,30 @@ impl Evaluator {
         })
     }
 
+    /// The [`TableSignature`] of `layer` under `rep` on this evaluator:
+    /// layers with equal signatures share one [`ActionEnergyTable`].
+    pub fn table_signature(&self, layer: &Layer, rep: &Representation) -> TableSignature {
+        TableSignature::new(self.hierarchy_fingerprint, layer, rep)
+    }
+
+    /// Like [`Self::action_energies`], but served through `cache`: the
+    /// table is computed at most once per distinct [`TableSignature`] and
+    /// shared (bit-identically) by every layer with the same signature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn action_energies_cached(
+        &self,
+        layer: &Layer,
+        rep: &Representation,
+        cache: &EnergyTableCache,
+    ) -> Result<Arc<ActionEnergyTable>, CoreError> {
+        cache.get_or_try_insert_with(self.table_signature(layer, rep), || {
+            self.action_energies(layer, rep)
+        })
+    }
+
     /// Evaluates one layer end-to-end with the canonical mapping.
     ///
     /// # Errors
@@ -474,6 +552,23 @@ impl Evaluator {
         rep: &Representation,
     ) -> Result<LayerReport, CoreError> {
         let table = self.action_energies(layer, rep)?;
+        let mapping = self.map_layer(layer, rep)?;
+        self.evaluate_mapping(layer, rep, &table, &mapping)
+    }
+
+    /// Like [`Self::evaluate_layer`], amortizing the energy table through
+    /// `cache`. Produces bit-identical reports to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline, mapper, and dataflow errors.
+    pub fn evaluate_layer_cached(
+        &self,
+        layer: &Layer,
+        rep: &Representation,
+        cache: &EnergyTableCache,
+    ) -> Result<LayerReport, CoreError> {
+        let table = self.action_energies_cached(layer, rep, cache)?;
         let mapping = self.map_layer(layer, rep)?;
         self.evaluate_mapping(layer, rep, &table, &mapping)
     }
@@ -492,10 +587,29 @@ impl Evaluator {
         for layer in workload.layers() {
             layers.push((layer.count(), self.evaluate_layer(layer, rep)?));
         }
-        Ok(RunReport {
-            workload_name: workload.name().to_owned(),
-            layers,
-        })
+        Ok(RunReport::from_layer_reports(workload.name(), layers))
+    }
+
+    /// Like [`Self::evaluate`], sharing energy tables through `cache`.
+    /// Produces a bit-identical report to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer errors.
+    pub fn evaluate_cached(
+        &self,
+        workload: &Workload,
+        rep: &Representation,
+        cache: &EnergyTableCache,
+    ) -> Result<RunReport, CoreError> {
+        let mut layers = Vec::with_capacity(workload.layers().len());
+        for layer in workload.layers() {
+            layers.push((
+                layer.count(),
+                self.evaluate_layer_cached(layer, rep, cache)?,
+            ));
+        }
+        Ok(RunReport::from_layer_reports(workload.name(), layers))
     }
 
     /// Per-component and total area of the hierarchy.
@@ -636,6 +750,76 @@ slice_storage: true
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn misspelled_component_lookup_panics_in_debug() {
+        let e = Evaluator::new(base_macro(16, 16, 8)).unwrap();
+        let table = e.action_energies(&small_layer(), &rep()).unwrap();
+        // "ACD" is a typo for "ADC": a silent 0.0 here would hide the bug.
+        let _ = table.read_energy("ACD", Tensor::Outputs);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn misspelled_component_write_lookup_panics_in_debug() {
+        let e = Evaluator::new(base_macro(16, 16, 8)).unwrap();
+        let table = e.action_energies(&small_layer(), &rep()).unwrap();
+        let _ = table.write_energy("cel", Tensor::Weights);
+    }
+
+    #[test]
+    fn contains_is_the_fallible_lookup() {
+        let e = Evaluator::new(base_macro(16, 16, 8)).unwrap();
+        let table = e.action_energies(&small_layer(), &rep()).unwrap();
+        assert!(table.contains("ADC"));
+        assert!(!table.contains("ACD"));
+    }
+
+    #[test]
+    fn cached_evaluation_is_bit_identical_and_shares_tables() {
+        let e = Evaluator::new(base_macro(32, 32, 8)).unwrap();
+        let r = rep();
+        // Three layers, two distinct value signatures (shape is irrelevant
+        // to the signature; input precision is not).
+        let layers = vec![
+            small_layer(),
+            Layer::new(
+                "wide",
+                LayerKind::Linear,
+                Shape::linear(4, 128, 96).unwrap(),
+            ),
+            small_layer().with_input_bits(4),
+        ];
+        let net = cimloop_workload::Workload::new("net", layers).unwrap();
+        let cache = EnergyTableCache::new();
+        let cached = e.evaluate_cached(&net, &r, &cache).unwrap();
+        let uncached = e.evaluate(&net, &r).unwrap();
+        assert_eq!(cached, uncached);
+        assert_eq!(cache.misses(), 2, "two distinct signatures");
+        assert_eq!(cache.hits(), 1, "repeated signature served from cache");
+    }
+
+    #[test]
+    fn different_hierarchies_never_share_cache_entries() {
+        let e1 = Evaluator::new(base_macro(32, 32, 8)).unwrap();
+        let e2 = Evaluator::new(base_macro(64, 64, 8)).unwrap();
+        let layer = small_layer();
+        let r = rep();
+        let cache = EnergyTableCache::new();
+        // Equal layer + representation, different hierarchies: the
+        // fingerprint keeps the signatures (and cache slots) apart.
+        assert_ne!(
+            e1.table_signature(&layer, &r),
+            e2.table_signature(&layer, &r)
+        );
+        let _ = e1.action_energies_cached(&layer, &r, &cache).unwrap();
+        let _ = e2.action_energies_cached(&layer, &r, &cache).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
     }
 
     #[test]

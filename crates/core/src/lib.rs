@@ -79,12 +79,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod encoding;
 mod error;
 mod evaluator;
 mod pipeline;
 mod representation;
 
+pub use cache::{EnergyTableCache, TableSignature};
 pub use encoding::{EncodedOperand, EncodedStream, Encoding};
 pub use error::CoreError;
 pub use evaluator::{

@@ -22,7 +22,7 @@ use crate::{CoreError, Encoding};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Representation {
     input_encoding: Encoding,
     weight_encoding: Encoding,

@@ -131,12 +131,62 @@ impl Mapper {
         Ok(mapping)
     }
 
-    /// Generates up to `limit` distinct valid mappings by permuting the
-    /// temporal loop order at the outermost storage (each permutation
-    /// changes refetch behaviour, hence energy).
+    /// Streams up to `limit` distinct valid mappings, obtained by permuting
+    /// the temporal loop order at the outermost storage (each permutation
+    /// changes refetch behaviour, hence energy), to `visit` as they are
+    /// generated.
     ///
-    /// Used for mapping-space exploration and to reproduce the paper's
-    /// Table II amortization measurement.
+    /// This is the zero-materialization core of mapping-space exploration:
+    /// one scratch [`Mapping`] is reused for every candidate, so evaluating
+    /// thousands of permutations allocates nothing per candidate. `visit`
+    /// returns `false` to stop early; the borrowed mapping must be cloned
+    /// if it is to be kept. Returns the number of candidates visited
+    /// (0 when `limit == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::map`] errors — including at `limit == 0`, so the
+    /// error surface is uniform across limits.
+    pub fn stream(
+        &self,
+        hierarchy: &Hierarchy,
+        shape: Shape,
+        limit: usize,
+        mut visit: impl FnMut(&Mapping) -> bool,
+    ) -> Result<usize, MapError> {
+        let base = self.map(hierarchy, shape)?;
+        if limit == 0 {
+            return Ok(0);
+        }
+        let root = hierarchy
+            .levels()
+            .into_iter()
+            .find(|l| l.kind() == LevelKind::Storage)
+            .expect("map() succeeded, so a storage root exists");
+        let root_name = root.name().to_owned();
+        let loops = base.entry(&root_name).expect("aligned").temporal.clone();
+
+        let mut scratch = base;
+        let mut visited = 0usize;
+        permute(&loops, &mut Vec::new(), &mut |perm| {
+            if visited >= limit {
+                return false;
+            }
+            let entry = scratch.entry_mut(&root_name).expect("aligned");
+            entry.temporal.clear();
+            entry.temporal.extend_from_slice(perm);
+            visited += 1;
+            visit(&scratch)
+        });
+        Ok(visited)
+    }
+
+    /// Generates up to `limit` distinct valid mappings by permuting the
+    /// temporal loop order at the outermost storage. A `limit` of zero
+    /// yields an empty vector.
+    ///
+    /// Materializes every candidate; prefer [`Self::stream`] or
+    /// [`Self::search`] when candidates are consumed one at a time.
     ///
     /// # Errors
     ///
@@ -147,40 +197,26 @@ impl Mapper {
         shape: Shape,
         limit: usize,
     ) -> Result<Vec<Mapping>, MapError> {
-        let base = self.map(hierarchy, shape)?;
-        let root = hierarchy
-            .levels()
-            .into_iter()
-            .find(|l| l.kind() == LevelKind::Storage)
-            .expect("map() succeeded, so a storage root exists");
-        let root_name = root.name().to_owned();
-        let loops = base.entry(&root_name).expect("aligned").temporal.clone();
-
         let mut result = Vec::new();
-        permute(&loops, &mut Vec::new(), &mut |perm| {
-            if result.len() >= limit {
-                return false;
-            }
-            let mut m = base.clone();
-            m.entry_mut(&root_name).expect("aligned").temporal = perm.to_vec();
-            result.push(m);
+        self.stream(hierarchy, shape, limit, |m| {
+            result.push(m.clone());
             true
-        });
-        if result.is_empty() {
-            result.push(base);
-        }
+        })?;
         Ok(result)
     }
 
-    /// Searches up to `limit` enumerated mappings and returns the one
+    /// Searches up to `limit` streamed mappings and returns the one
     /// minimizing `cost` (e.g., energy from an amortized per-action table),
     /// together with its cost. This is the paper's mapping-search loop:
-    /// thousands of mappings evaluated against one precomputed energy table.
+    /// thousands of mappings evaluated against one precomputed energy
+    /// table. Candidates are evaluated as they are generated; only a new
+    /// best mapping is cloned.
     ///
     /// # Errors
     ///
-    /// Propagates enumeration errors; `cost` returning `None` skips a
-    /// mapping (e.g., capacity violations).
+    /// Propagates [`Self::map`] errors; returns
+    /// [`MapError::NoMappingFound`] if `cost` returns `None` for every
+    /// candidate (e.g., capacity violations) or `limit` is zero.
     pub fn search(
         &self,
         hierarchy: &Hierarchy,
@@ -188,16 +224,21 @@ impl Mapper {
         limit: usize,
         mut cost: impl FnMut(&Mapping) -> Option<f64>,
     ) -> Result<(Mapping, f64), MapError> {
-        let mappings = self.enumerate(hierarchy, shape, limit)?;
         let mut best: Option<(Mapping, f64)> = None;
-        for mapping in mappings {
-            let Some(c) = cost(&mapping) else { continue };
-            if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
-                best = Some((mapping, c));
+        let visited = self.stream(hierarchy, shape, limit, |mapping| {
+            if let Some(c) = cost(mapping) {
+                if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                    best = Some((mapping.clone(), c));
+                }
             }
-        }
+            true
+        })?;
         best.ok_or_else(|| MapError::NoMappingFound {
-            reason: "cost function rejected every enumerated mapping".to_owned(),
+            reason: if visited == 0 {
+                "candidate limit is zero; no mappings were generated".to_owned()
+            } else {
+                format!("cost function rejected all {visited} streamed mappings")
+            },
         })
     }
 
@@ -431,6 +472,70 @@ mod tests {
         let mappings = Mapper::default().enumerate(&h, shape, 50).unwrap();
         assert!(!mappings.is_empty());
         assert!(mappings.len() <= 50);
+    }
+
+    #[test]
+    fn zero_limit_yields_no_candidates() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::conv(32, 32, 8, 8, 3, 3).unwrap();
+        // The old fallback pushed the base mapping even at limit == 0.
+        assert!(Mapper::default()
+            .enumerate(&h, shape, 0)
+            .unwrap()
+            .is_empty());
+        let mut visited = 0;
+        let n = Mapper::default()
+            .stream(&h, shape, 0, |_| {
+                visited += 1;
+                true
+            })
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(visited, 0);
+        // And search over zero candidates is a NoMappingFound error, not a
+        // silently-returned base mapping.
+        assert!(matches!(
+            Mapper::default().search(&h, shape, 0, |_| Some(1.0)),
+            Err(MapError::NoMappingFound { .. })
+        ));
+        // Invalid inputs still error at limit == 0 (uniform error surface).
+        let no_storage = Hierarchy::builder()
+            .component(Component::new("DAC").with_reuse(Tensor::Inputs, Reuse::NoCoalesce))
+            .build()
+            .unwrap();
+        assert!(Mapper::default().enumerate(&no_storage, shape, 0).is_err());
+    }
+
+    #[test]
+    fn stream_matches_enumerate_order_and_count() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::conv(32, 32, 8, 8, 3, 3).unwrap();
+        let mapper = Mapper::default();
+        let materialized = mapper.enumerate(&h, shape, 40).unwrap();
+        let mut streamed = Vec::new();
+        let n = mapper
+            .stream(&h, shape, 40, |m| {
+                streamed.push(m.clone());
+                true
+            })
+            .unwrap();
+        assert_eq!(n, streamed.len());
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn stream_early_stop_respects_visitor() {
+        let h = cim_hierarchy(16, 16);
+        let shape = Shape::conv(32, 32, 8, 8, 3, 3).unwrap();
+        let mut seen = 0usize;
+        let n = Mapper::default()
+            .stream(&h, shape, 100, |_| {
+                seen += 1;
+                seen < 5
+            })
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(seen, 5);
     }
 
     #[test]

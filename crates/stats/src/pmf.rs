@@ -3,6 +3,14 @@ use crate::StatsError;
 /// Tolerance used when merging nearly-identical support values.
 const MERGE_EPS: f64 = 1e-12;
 
+/// Largest support a pairwise operand keeps before being coarsened
+/// in-line: bounds the materialized `(value, weight)` pairs of
+/// [`Pmf::convolve`] / [`Pmf::product`] to `MAX_PAIRWISE_SIDE²` (≈262k
+/// pairs, ~4 MiB) so adversarially large supports cannot blow memory
+/// before `from_weights` dedupes. Matches the pipeline's own column-sum
+/// support cap, so model fidelity is unchanged.
+const MAX_PAIRWISE_SIDE: usize = 512;
+
 /// A discrete probability distribution over `f64` values.
 ///
 /// The support is kept sorted by value, with duplicate values merged and
@@ -212,19 +220,46 @@ impl Pmf {
         self.map(|v| k * v)
     }
 
+    /// Combines two independent distributions through a pairwise operator,
+    /// coarsening the operands first if the pair count would exceed the
+    /// [`MAX_PAIRWISE_SIDE`] budget. Coarsening preserves each operand's
+    /// mean exactly, so means of sums and of independent products are
+    /// unaffected.
+    fn pairwise(&self, other: &Pmf, mut op: impl FnMut(f64, f64) -> f64) -> Pmf {
+        const BUDGET: usize = MAX_PAIRWISE_SIDE * MAX_PAIRWISE_SIDE;
+        let capped_a;
+        let capped_b;
+        let (a, b) = if self.len().saturating_mul(other.len()) > BUDGET {
+            // Coarsen each side only as far as the budget demands: against
+            // a small partner, a large operand keeps `BUDGET / partner`
+            // points (never fewer than MAX_PAIRWISE_SIDE), so asymmetric
+            // cases lose no more precision than the memory cap requires.
+            let cap_a = (BUDGET / other.len().max(1)).max(MAX_PAIRWISE_SIDE);
+            capped_a = self.coarsen(cap_a);
+            let cap_b = (BUDGET / capped_a.len().max(1)).max(MAX_PAIRWISE_SIDE);
+            capped_b = other.coarsen(cap_b);
+            (&capped_a, &capped_b)
+        } else {
+            (self, other)
+        };
+        let mut pairs = Vec::with_capacity(a.len() * b.len());
+        for (v1, p1) in a.iter() {
+            for (v2, p2) in b.iter() {
+                pairs.push((op(v1, v2), p1 * p2));
+            }
+        }
+        Self::from_weights(pairs).expect("combining valid pmfs yields a valid pmf")
+    }
+
     /// Distribution of `X + Y` for independent `X` (self) and `Y` (other).
     ///
     /// Support size is the product of the operands' support sizes before
     /// merging; use [`Self::coarsen`] to bound growth across repeated
-    /// convolutions.
+    /// convolutions. Operands so large that their pair count would exceed
+    /// an internal ~262k-pair budget are coarsened (mean-preserving) just
+    /// far enough to fit it first.
     pub fn convolve(&self, other: &Pmf) -> Self {
-        let mut pairs = Vec::with_capacity(self.len() * other.len());
-        for (v1, p1) in self.iter() {
-            for (v2, p2) in other.iter() {
-                pairs.push((v1 + v2, p1 * p2));
-            }
-        }
-        Self::from_weights(pairs).expect("convolving valid pmfs yields a valid pmf")
+        self.pairwise(other, |v1, v2| v1 + v2)
     }
 
     /// Distribution of the sum of `n` independent draws from this
@@ -256,14 +291,10 @@ impl Pmf {
     }
 
     /// Distribution of `X * Y` for independent `X` (self) and `Y` (other).
+    ///
+    /// Subject to the same pairwise budget as [`Self::convolve`].
     pub fn product(&self, other: &Pmf) -> Self {
-        let mut pairs = Vec::with_capacity(self.len() * other.len());
-        for (v1, p1) in self.iter() {
-            for (v2, p2) in other.iter() {
-                pairs.push((v1 * v2, p1 * p2));
-            }
-        }
-        Self::from_weights(pairs).expect("multiplying valid pmfs yields a valid pmf")
+        self.pairwise(other, |v1, v2| v1 * v2)
     }
 
     /// Mixture distribution: draws from each component with the given weight.
@@ -505,6 +536,53 @@ mod tests {
         let none = die.convolve_n(0, 0);
         assert_eq!(none.len(), 1);
         assert!(close(none.mean(), 0.0));
+    }
+
+    #[test]
+    fn huge_support_pairwise_ops_stay_bounded() {
+        // 3000 × 3000 = 9M raw pairs: far beyond the pairwise budget. The
+        // operands coarsen in-line, so support stays bounded and the means
+        // are still exact.
+        let a = Pmf::uniform_ints(0, 2999).unwrap();
+        let b = Pmf::uniform_ints(5000, 7999).unwrap();
+        let sum = a.convolve(&b);
+        assert!(sum.len() <= MAX_PAIRWISE_SIDE * MAX_PAIRWISE_SIDE);
+        assert!(
+            (sum.mean() - (a.mean() + b.mean())).abs() < 1e-6,
+            "convolve mean {}",
+            sum.mean()
+        );
+        let prod = a.product(&b);
+        assert!(prod.len() <= MAX_PAIRWISE_SIDE * MAX_PAIRWISE_SIDE);
+        let expected = a.mean() * b.mean();
+        assert!(
+            (prod.mean() - expected).abs() < 1e-6 * expected.abs(),
+            "product mean {} vs {expected}",
+            prod.mean()
+        );
+    }
+
+    #[test]
+    fn asymmetric_pairwise_coarsens_only_as_far_as_needed() {
+        // 300k × 2 = 600k raw pairs: over budget, but the small side means
+        // the large side only needs to drop to ~131k points — far gentler
+        // than the 512-point floor.
+        let a = Pmf::uniform((0..300_000).map(|i| i as f64)).unwrap();
+        let b = Pmf::uniform_ints(0, 1).unwrap();
+        let sum = a.convolve(&b);
+        assert!(sum.len() > 100_000, "over-coarsened to {}", sum.len());
+        assert!(sum.len() <= MAX_PAIRWISE_SIDE * MAX_PAIRWISE_SIDE);
+        assert!((sum.mean() - (a.mean() + b.mean())).abs() < 1e-6 * a.mean());
+    }
+
+    #[test]
+    fn small_support_pairwise_ops_are_exact() {
+        // Below the budget nothing coarsens: the dice convolution stays an
+        // exact 11-point distribution (regression guard for the cap).
+        let die = Pmf::uniform_ints(1, 6).unwrap();
+        let sum = die.convolve(&die);
+        assert_eq!(sum.len(), 11);
+        assert!((sum.prob_of(7.0) - 6.0 / 36.0).abs() < 1e-12);
     }
 
     #[test]

@@ -98,3 +98,34 @@ proptest! {
         prop_assert!((0.0..=bits as f64 + 1e-9).contains(&s));
     }
 }
+
+proptest! {
+    // Each case materializes a ~262k-pair convolution: keep the case count
+    // low so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn large_support_convolution_is_bounded_and_mean_preserving(
+        len_a in 700usize..1200,
+        len_b in 700usize..1200,
+        step in 1u32..4,
+        offset in -500i64..500,
+    ) {
+        // Supports large enough that the raw pair count (≥ 490k) exceeds
+        // the pairwise budget: the operands must coarsen in-line instead of
+        // materializing every pair. Means stay exact (coarsening is
+        // mean-preserving), mass stays one, and the result support is far
+        // below the raw product.
+        let a = Pmf::uniform((0..len_a).map(|i| (offset + i as i64 * step as i64) as f64))
+            .expect("non-empty support");
+        let b = Pmf::uniform((0..len_b).map(|i| i as f64 * 1.5)).expect("non-empty support");
+        let sum = a.convolve(&b);
+        prop_assert!(sum.len() < len_a * len_b);
+        prop_assert!((mass(&sum) - 1.0).abs() < 1e-9);
+        let expected = a.mean() + b.mean();
+        prop_assert!((sum.mean() - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+        // Bounds are conserved by coarsening (centroids stay in range).
+        prop_assert!(sum.min() >= a.min() + b.min() - 1e-9);
+        prop_assert!(sum.max() <= a.max() + b.max() + 1e-9);
+    }
+}

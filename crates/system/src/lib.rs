@@ -8,6 +8,11 @@
 //! evaluates the three storage scenarios of Fig 15 via
 //! [`StorageScenario`].
 //!
+//! For whole-network sweeps, [`NetworkEngine`] amortizes the
+//! data-value-dependent energy tables across layers with equal value
+//! signatures and fans layer evaluation out over a scoped thread pool,
+//! producing bit-identical reports to the sequential path.
+//!
 //! # Example
 //!
 //! ```
@@ -29,9 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cimloop_core::{CoreError, Evaluator, LayerReport, Representation};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use cimloop_core::{
+    CoreError, EnergyTableCache, Evaluator, LayerReport, Representation, RunReport,
+};
 use cimloop_macros::ArrayMacro;
 use cimloop_spec::{Component, Hierarchy, Reuse, Tensor};
+use cimloop_workload::Workload;
 
 /// Where tensors live between uses (the three scenarios of paper Fig 15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -223,6 +233,162 @@ impl CimSystem {
     }
 }
 
+/// The amortized network-evaluation engine (paper Table II at network
+/// scale): evaluates whole workloads by sharing [`ActionEnergyTable`]s
+/// across layers with equal value signatures and fanning layers out over a
+/// scoped thread pool.
+///
+/// Results are **bit-identical** to the sequential, uncached
+/// [`Evaluator::evaluate`] path: the energy-table computation is
+/// deterministic (so a shared table equals a recomputed one), each layer is
+/// evaluated by exactly the same code, and per-layer
+/// [`cimloop_core::ComponentReport`]s are merged back in workload order
+/// regardless of thread scheduling.
+///
+/// [`ActionEnergyTable`]: cimloop_core::ActionEnergyTable
+///
+/// # Example
+///
+/// ```
+/// use cimloop_macros::base_macro;
+/// use cimloop_system::NetworkEngine;
+/// use cimloop_workload::models;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = base_macro();
+/// let evaluator = m.evaluator()?;
+/// let engine = NetworkEngine::new(&evaluator);
+/// let report = engine.evaluate_network(&models::mvm(64, 64), &m.representation())?;
+/// assert!(report.energy_total() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkEngine<'a> {
+    evaluator: &'a Evaluator,
+    cache: EnergyTableCache,
+    threads: usize,
+}
+
+impl<'a> NetworkEngine<'a> {
+    /// Creates an engine over `evaluator` with an empty cache, using every
+    /// available core.
+    pub fn new(evaluator: &'a Evaluator) -> Self {
+        NetworkEngine {
+            evaluator,
+            cache: EnergyTableCache::new(),
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker-thread count. `0` (the default) resolves to
+    /// [`std::thread::available_parallelism`]; `1` evaluates layers
+    /// sequentially on the calling thread (still cached).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        self.evaluator
+    }
+
+    /// The engine's energy-table cache (for hit/miss introspection).
+    pub fn cache(&self) -> &EnergyTableCache {
+        &self.cache
+    }
+
+    /// The resolved worker count for a workload of `layers` layers.
+    fn resolved_threads(&self, layers: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, layers.max(1))
+    }
+
+    /// Evaluates one layer through the shared energy-table cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline, mapper, and dataflow errors.
+    pub fn evaluate_layer(
+        &self,
+        layer: &cimloop_workload::Layer,
+        rep: &Representation,
+    ) -> Result<LayerReport, CoreError> {
+        self.evaluator
+            .evaluate_layer_cached(layer, rep, &self.cache)
+    }
+
+    /// Evaluates a whole workload, amortizing energy tables across layers
+    /// and parallelizing layer evaluation over the thread pool. The merged
+    /// report is deterministic: layers appear in workload order with
+    /// bit-identical numbers to the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer errors. On the first failure the sweep aborts:
+    /// workers stop pulling layers, so unclaimed layers are never
+    /// evaluated, and the error of the earliest *claimed* failing layer is
+    /// returned.
+    pub fn evaluate_network(
+        &self,
+        workload: &Workload,
+        rep: &Representation,
+    ) -> Result<RunReport, CoreError> {
+        let layers = workload.layers();
+        let threads = self.resolved_threads(layers.len());
+        if threads == 1 {
+            return self.evaluator.evaluate_cached(workload, rep, &self.cache);
+        }
+
+        // Work-stealing over layer indices: workers pull the next index
+        // from a shared counter and tag results with it, so the merge
+        // below is independent of scheduling. A failure aborts the sweep
+        // promptly instead of paying for the remaining layers.
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let mut tagged: Vec<(usize, Result<LayerReport, CoreError>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let next = &next;
+                    let failed = &failed;
+                    let cache = &self.cache;
+                    let evaluator = self.evaluator;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(layer) = layers.get(i) else { break };
+                            let result = evaluator.evaluate_layer_cached(layer, rep, cache);
+                            if result.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            out.push((i, result));
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            });
+
+        tagged.sort_by_key(|&(i, _)| i);
+        let mut merged = Vec::with_capacity(layers.len());
+        for (i, result) in tagged {
+            merged.push((layers[i].count(), result?));
+        }
+        Ok(RunReport::from_layer_reports(workload.name(), merged))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +473,95 @@ mod tests {
             .evaluate_layer(&layer, &system.representation())
             .unwrap();
         assert!(system_report.energy_total() > macro_report.energy_total());
+    }
+
+    #[test]
+    fn parallel_network_is_bit_identical_to_sequential() {
+        let m = base_macro().uncalibrated();
+        let evaluator = m.raw_evaluator().unwrap();
+        let rep = m.representation();
+        // An unrolled transformer-style stack: 6 layers, distinct shapes,
+        // but only two distinct value signatures (shape is not part of the
+        // signature; precision is).
+        let layers: Vec<Layer> = (0..6)
+            .map(|i| {
+                let l = Layer::new(
+                    format!("block{i}"),
+                    LayerKind::Linear,
+                    Shape::linear(4, 32 + 16 * i, 64).unwrap(),
+                );
+                if i % 3 == 0 {
+                    l.with_input_bits(4)
+                } else {
+                    l
+                }
+            })
+            .collect();
+        let net = cimloop_workload::Workload::new("stack", layers).unwrap();
+
+        let sequential = evaluator.evaluate(&net, &rep).unwrap();
+        let engine = NetworkEngine::new(&evaluator).with_threads(4);
+        let parallel = engine.evaluate_network(&net, &rep).unwrap();
+        assert_eq!(sequential, parallel);
+        // Repeated signatures dedupe to two cached tables. (The hit/miss
+        // split is timing-dependent under concurrency — racing misses on
+        // one signature may each compute a bit-identical table — so only
+        // the lookup total and the deduped count are asserted.)
+        let stats = (engine.cache().hits(), engine.cache().misses());
+        assert_eq!(stats.0 + stats.1, 6);
+        assert_eq!(engine.cache().len(), 2);
+        // A second, warm sweep is all hits and still bit-identical.
+        let warm = engine.evaluate_network(&net, &rep).unwrap();
+        assert_eq!(sequential, warm);
+        assert_eq!(engine.cache().hits(), stats.0 + 6);
+    }
+
+    #[test]
+    fn unrolled_zoo_network_amortizes_tables() {
+        let m = base_macro().uncalibrated();
+        let evaluator = m.raw_evaluator().unwrap();
+        let rep = m.representation();
+        // The execution-order view of ViT's encoder: every repeat of a
+        // block shares its table with the other repeats.
+        let net = models::vit_base();
+        let unrolled = net.unrolled();
+        let subset =
+            cimloop_workload::Workload::new("vit-head", unrolled.layers()[..20].to_vec()).unwrap();
+        let engine = NetworkEngine::new(&evaluator);
+        let report = engine.evaluate_network(&subset, &rep).unwrap();
+        assert_eq!(report.layers().len(), 20);
+        assert!(
+            engine.cache().len() <= 4,
+            "expected few distinct signatures, got {}",
+            engine.cache().len()
+        );
+        assert_eq!(report, evaluator.evaluate(&subset, &rep).unwrap());
+    }
+
+    #[test]
+    fn single_thread_engine_matches_too() {
+        let m = base_macro().uncalibrated();
+        let evaluator = m.raw_evaluator().unwrap();
+        let rep = m.representation();
+        let net = models::mvm_batch(64, 64, 4);
+        let engine = NetworkEngine::new(&evaluator).with_threads(1);
+        let report = engine.evaluate_network(&net, &rep).unwrap();
+        assert_eq!(report, evaluator.evaluate(&net, &rep).unwrap());
+    }
+
+    #[test]
+    fn engine_layer_evaluation_uses_the_cache() {
+        let m = base_macro().uncalibrated();
+        let evaluator = m.raw_evaluator().unwrap();
+        let rep = m.representation();
+        let layer = small_layer();
+        let engine = NetworkEngine::new(&evaluator);
+        let a = engine.evaluate_layer(&layer, &rep).unwrap();
+        let b = engine.evaluate_layer(&layer, &rep).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.cache().misses(), 1);
+        assert_eq!(engine.cache().hits(), 1);
+        assert_eq!(a, evaluator.evaluate_layer(&layer, &rep).unwrap());
     }
 
     #[test]

@@ -237,6 +237,33 @@ impl Workload {
         self.layers.iter().find(|l| l.name() == name)
     }
 
+    /// Expands repeat counts into explicit per-instance layers: a layer
+    /// with `count() == c` becomes `c` layers named `{name}#{i}`, each with
+    /// count 1. This is the execution-order view of the network (e.g., 12
+    /// transformer blocks as 12 layers) used by whole-network sweeps,
+    /// where repeated layer signatures make energy-table caching and
+    /// parallel layer fan-out effective.
+    pub fn unrolled(&self) -> Workload {
+        let mut layers = Vec::new();
+        for layer in &self.layers {
+            let count = layer.count();
+            if count == 1 {
+                layers.push(layer.clone());
+                continue;
+            }
+            for i in 0..count {
+                let mut instance = layer.clone();
+                instance.name = format!("{}#{i}", layer.name);
+                instance.count = 1;
+                layers.push(instance);
+            }
+        }
+        Workload {
+            name: format!("{}-unrolled", self.name),
+            layers,
+        }
+    }
+
     /// Total MACs across all layers, including repeat counts.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(|l| l.macs() * l.count()).sum()
@@ -301,6 +328,21 @@ mod tests {
 
     fn layer2() -> Layer {
         Layer::new("fc", LayerKind::Linear, Shape::linear(1, 10, 64).unwrap())
+    }
+
+    #[test]
+    fn unrolled_expands_counts() {
+        let w = Workload::new("w", vec![layer().with_count(3), layer2()]).unwrap();
+        let u = w.unrolled();
+        assert_eq!(u.name(), "w-unrolled");
+        assert_eq!(u.layers().len(), 4);
+        assert!(u.layers().iter().all(|l| l.count() == 1));
+        assert_eq!(u.layers()[0].name(), "test#0");
+        assert_eq!(u.layers()[2].name(), "test#2");
+        assert_eq!(u.layers()[3].name(), "fc");
+        // Total work is preserved.
+        assert_eq!(u.total_macs(), w.total_macs());
+        assert_eq!(u.total_weights(), w.total_weights());
     }
 
     #[test]
