@@ -1,0 +1,107 @@
+//! Criterion bench for the Pareto design-space explorer: a co-design grid
+//! (array size × DAC resolution × ADC resolution × output-combining
+//! variant) evaluated three ways — naive sequential (fresh evaluator per
+//! design, no cache), explorer cold (shared two-level cache), and explorer
+//! warm — asserting bit-identical Pareto fronts and recording the derived
+//! naive/explorer speedup as a JSON metric (`CIMLOOP_BENCH_JSON`).
+//!
+//! The grid is sized for bench turnaround: 24 designs over a 6-layer
+//! ResNet18 prefix. The `dse_sweep` binary runs the full Fig 2 grid on the
+//! whole network.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use criterion::{black_box, entry_mean_ns, finalize, record_metric, Criterion};
+
+use cimloop_bench::{fig2_design_space, fig2_workload, naive_system_front, FIG2_SCENARIO};
+use cimloop_dse::{DesignReport, EvalScope, Explorer, FrontMember, ParetoFront};
+
+fn front_key(front: &ParetoFront<DesignReport>) -> Vec<(u64, [f64; 4])> {
+    front
+        .members()
+        .iter()
+        .map(|m: &FrontMember<DesignReport>| {
+            (
+                m.id,
+                [
+                    m.objectives.energy_per_mac,
+                    m.objectives.tops_per_watt,
+                    m.objectives.area_mm2,
+                    m.objectives.accuracy_proxy,
+                ],
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    // The same quick grid the `dse_sweep quick` smoke run and CI exercise.
+    let space = fig2_design_space(true);
+    let net = fig2_workload(true);
+
+    let naive_result = RefCell::new(None);
+    let explorer_result = RefCell::new(None);
+
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("sweep_naive_sequential", |b| {
+        b.iter(|| {
+            let front = naive_system_front(&space, &net, FIG2_SCENARIO);
+            *naive_result.borrow_mut() = Some(front_key(&front));
+            black_box(front.len())
+        })
+    });
+    group.bench_function("sweep_explorer_cold", |b| {
+        b.iter(|| {
+            // A fresh explorer per iteration: measures a cold sweep
+            // including all statistics and table computations.
+            let explorer = Explorer::new().with_scope(EvalScope::System(FIG2_SCENARIO));
+            let exploration = explorer.explore(&space, &net).expect("exploration");
+            *explorer_result.borrow_mut() = Some(front_key(&exploration.front));
+            black_box(exploration.front.len())
+        })
+    });
+    let warm = Explorer::new().with_scope(EvalScope::System(FIG2_SCENARIO));
+    group.bench_function("sweep_explorer_warm", |b| {
+        b.iter(|| {
+            let exploration = warm.explore(&space, &net).expect("exploration");
+            black_box(exploration.front.len())
+        })
+    });
+    group.finish();
+
+    // The engine guarantee, enforced on every bench run: the cached,
+    // parallel explorer's front is bit-identical to the naive sweep's.
+    // (Skipped when a CLI filter ran only one of the two sweeps.)
+    let naive = naive_result.borrow();
+    let explorer = explorer_result.borrow();
+    if let (Some(naive), Some(explorer)) = (naive.as_ref(), explorer.as_ref()) {
+        assert_eq!(
+            naive, explorer,
+            "explorer front diverged from the naive sequential sweep"
+        );
+        println!(
+            "fronts bit-identical across naive and explorer sweeps ({} members)",
+            naive.len()
+        );
+    }
+
+    if let (Some(naive_ns), Some(cold_ns)) = (
+        entry_mean_ns("dse/sweep_naive_sequential"),
+        entry_mean_ns("dse/sweep_explorer_cold"),
+    ) {
+        let speedup = naive_ns / cold_ns;
+        println!("dse speedup (naive sequential / explorer cold): {speedup:.1}x");
+        record_metric("dse_speedup_naive_over_explorer", speedup);
+    }
+    if let (Some(naive_ns), Some(warm_ns)) = (
+        entry_mean_ns("dse/sweep_naive_sequential"),
+        entry_mean_ns("dse/sweep_explorer_warm"),
+    ) {
+        record_metric("dse_speedup_naive_over_warm", naive_ns / warm_ns);
+    }
+    finalize();
+}

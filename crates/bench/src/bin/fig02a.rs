@@ -5,34 +5,46 @@
 //! full-DNN energy of the macro alone vs the full system (DRAM + global
 //! buffer + NoC + macro). The macro-optimal array is small (stays
 //! utilized); the system-optimal array is larger (fewer DRAM weight
-//! fetches).
+//! fetches). Both sweeps run through the DSE explorer and share one
+//! energy-table cache: the macro-scope and system-scope hierarchies have
+//! equal reduction widths, so every expensive column-sum statistic is
+//! computed once and reused across the two sweeps.
 
-use cimloop_bench::{fmt, frozen, ExperimentTable};
+use std::sync::Arc;
+
+use cimloop_bench::{explore_collect, fmt, frozen, ExperimentTable};
+use cimloop_core::EnergyTableCache;
+use cimloop_dse::{DesignSpace, EvalScope, Explorer};
 use cimloop_macros::macro_c;
-use cimloop_system::{CimSystem, StorageScenario};
+use cimloop_system::StorageScenario;
 use cimloop_workload::models;
 
 fn main() {
     let sizes = [64u64, 128, 256, 512, 1024];
     let net = models::resnet18();
 
-    let mut macro_energy = Vec::new();
-    let mut system_energy = Vec::new();
-    let base = frozen(&macro_c());
-    for &n in &sizes {
-        let m = base.clone().with_array(n, n);
-        let rep = m.representation();
+    let space = DesignSpace::new()
+        .variant("c", frozen(&macro_c()))
+        .square_arrays(sizes);
+    let cache = Arc::new(EnergyTableCache::new());
 
-        let macro_eval = m.evaluator().expect("macro evaluator");
-        let macro_report = macro_eval.evaluate(&net, &rep).expect("macro eval");
-        macro_energy.push(macro_report.energy_total());
+    let macro_reports = explore_collect(
+        &Explorer::new().with_cache(Arc::clone(&cache)),
+        &space,
+        &net,
+    )
+    .expect("macro sweep");
+    let system_reports = explore_collect(
+        &Explorer::new()
+            .with_scope(EvalScope::System(StorageScenario::AllTensorsFromDram))
+            .with_cache(Arc::clone(&cache)),
+        &space,
+        &net,
+    )
+    .expect("system sweep");
 
-        let system = CimSystem::new(m).with_scenario(StorageScenario::AllTensorsFromDram);
-        let sys_eval = system.evaluator().expect("system evaluator");
-        let sys_report = sys_eval.evaluate(&net, &rep).expect("system eval");
-        system_energy.push(sys_report.energy_total());
-    }
-
+    let macro_energy: Vec<f64> = macro_reports.iter().map(|r| r.energy_total).collect();
+    let system_energy: Vec<f64> = system_reports.iter().map(|r| r.energy_total).collect();
     let macro_max = macro_energy.iter().cloned().fold(0.0, f64::max);
     let sys_max = system_energy.iter().cloned().fold(0.0, f64::max);
 
@@ -57,6 +69,12 @@ fn main() {
         ]);
     }
     table.finish();
+    println!(
+        "  shared cache: {} tables ({} stats computed, {} served cached)",
+        cache.len(),
+        cache.stats_misses(),
+        cache.stats_hits()
+    );
 
     let macro_best = sizes[argmin(&macro_energy)];
     let system_best = sizes[argmin(&system_energy)];

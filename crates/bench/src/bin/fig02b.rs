@@ -6,46 +6,53 @@
 //! *Optimize Architecture* additionally grows the array (more MACs per
 //! activation, but high-resolution DACs hurt when underutilized);
 //! *Co-Optimize* grows the array while keeping a low-resolution DAC.
+//!
+//! The four corners are the {128, 512}×{1, 4} design grid, evaluated
+//! through the DSE explorer at system scope.
 
-use cimloop_bench::{fmt, frozen, ExperimentTable};
+use cimloop_bench::{explore_collect, fmt, frozen, ExperimentTable};
+use cimloop_dse::{DesignSpace, EvalScope, Explorer};
 use cimloop_macros::{macro_c, OutputCombine};
-use cimloop_system::{CimSystem, StorageScenario};
+use cimloop_system::StorageScenario;
 use cimloop_workload::models;
 
 fn main() {
     let net = models::resnet18();
 
-    // (label, array size, dac bits)
+    // The DAC-resolution axis only matters when ADC converts scale with
+    // array activations, so this sweep uses the accumulator-free variant
+    // (the paper's base-macro-style topology). The dac-bits axis picks the
+    // converter class itself: multi-bit DACs get a real capacitive
+    // converter, 1-bit inputs pulse drivers as in the published chip.
+    let space = DesignSpace::new()
+        .variant(
+            "c-direct",
+            frozen(&macro_c()).with_output_combine(OutputCombine::None),
+        )
+        .square_arrays([128, 512])
+        .dac_bits([1, 4]);
+
+    let explorer =
+        Explorer::new().with_scope(EvalScope::System(StorageScenario::AllTensorsFromDram));
+    let reports = explore_collect(&explorer, &space, &net).expect("fig 2b sweep");
+    let by_params = |size: u64, dac: u32| {
+        reports
+            .iter()
+            .find(|r| r.point.rows() == size && r.point.dac_bits() == dac)
+            .expect("grid covers all four corners")
+    };
+
+    // (label, array size, dac bits) — presentation order of the figure.
     let configs = [
         ("Baseline (Fig 2a macro-optimal)", 128u64, 1u32),
         ("Optimize Circuits", 128, 4),
         ("Optimize Arch.", 512, 4),
         ("Co-Optimize", 512, 1),
     ];
-
-    // The DAC-resolution axis only matters when ADC converts scale with
-    // array activations, so this sweep uses the accumulator-free variant
-    // (the paper's base-macro-style topology).
-    let base = frozen(&macro_c()).with_output_combine(OutputCombine::None);
-    let mut energies = Vec::new();
-    for &(_, size, dac_bits) in &configs {
-        // Multi-bit DACs need a real converter; 1-bit inputs use pulse
-        // drivers as in the published chip.
-        let m = base
-            .clone()
-            .with_array(size, size)
-            .with_dac_class(if dac_bits > 1 {
-                "capacitive_dac"
-            } else {
-                "pulse_driver"
-            })
-            .with_slicing(dac_bits, base.cell_bits());
-        let rep = m.representation();
-        let system = CimSystem::new(m).with_scenario(StorageScenario::AllTensorsFromDram);
-        let eval = system.evaluator().expect("system evaluator");
-        let report = eval.evaluate(&net, &rep).expect("eval");
-        energies.push(report.energy_total());
-    }
+    let energies: Vec<f64> = configs
+        .iter()
+        .map(|&(_, size, dac)| by_params(size, dac).energy_total)
+        .collect();
     let max = energies.iter().cloned().fold(0.0, f64::max);
 
     let mut table = ExperimentTable::new(

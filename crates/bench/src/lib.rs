@@ -6,8 +6,13 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
-use cimloop_macros::ArrayMacro;
+use cimloop_core::CoreError;
+use cimloop_dse::{summarize, DesignReport, DesignSpace, Explorer, ParetoFront};
+use cimloop_macros::{macro_c, ArrayMacro, OutputCombine};
+use cimloop_system::{CimSystem, StorageScenario};
+use cimloop_workload::{models, Workload};
 
 /// Freezes a macro's calibration: computes the energy/latency scales at the
 /// *published default* configuration once and bakes them in, so design
@@ -15,14 +20,8 @@ use cimloop_macros::ArrayMacro;
 /// re-anchoring every variant to the same headline number (which would
 /// erase the differences under study).
 pub fn frozen(m: &ArrayMacro) -> ArrayMacro {
-    match m.calibration() {
-        Some(anchor) => {
-            let (e, l) = cimloop_macros::calibrate::calibrate(m, anchor)
-                .expect("calibration of the default configuration");
-            m.clone().uncalibrated().with_scales(e, l)
-        }
-        None => m.clone(),
-    }
+    m.frozen()
+        .expect("calibration of the default configuration")
 }
 
 /// A simple experiment table: prints aligned columns to stdout and writes a
@@ -52,6 +51,19 @@ impl ExperimentTable {
 
     /// Prints the table and writes `results/<name>.tsv`.
     pub fn finish(&self) {
+        self.print();
+        self.write_tsv();
+    }
+
+    /// Prints the table without writing a TSV. Use this for *measured*
+    /// quantities (rates, wall times): TSVs under `results/` are treated
+    /// as goldens by the `golden-results` CI job, and timing numbers can
+    /// never be bit-stable.
+    pub fn finish_stdout(&self) {
+        self.print();
+    }
+
+    fn print(&self) {
         println!("\n=== {} — {} ===", self.name, self.title);
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -75,7 +87,9 @@ impl ExperimentTable {
         for row in &self.rows {
             print_row(row);
         }
+    }
 
+    fn write_tsv(&self) {
         let dir = results_dir();
         let _ = fs::create_dir_all(&dir);
         let mut tsv = String::new();
@@ -91,6 +105,130 @@ impl ExperimentTable {
         } else {
             println!("  [written {}]", path.display());
         }
+    }
+}
+
+/// The storage scenario of the Fig 2 co-design experiments (the full
+/// system around the macro; weights re-fetched from DRAM).
+pub const FIG2_SCENARIO: StorageScenario = StorageScenario::AllTensorsFromDram;
+
+/// The Fig 2 co-design space: two output-combining variants of the ReRAM
+/// macro (direct ADC readout vs Macro C's analog accumulator) × array
+/// sizes × DAC resolutions × ADC resolutions. The `quick` grid (24
+/// designs) is what CI smoke runs and the `dse` criterion bench measure;
+/// the full grid (54 designs) is the `dse_sweep` experiment. One
+/// definition serves both so the published speedup and the CI
+/// bit-identicality check always exercise the same experiment.
+pub fn fig2_design_space(quick: bool) -> DesignSpace {
+    let direct = frozen(&macro_c()).with_output_combine(OutputCombine::None);
+    let accum = frozen(&macro_c()).with_output_combine(OutputCombine::AnalogAccumulator);
+    let space = DesignSpace::new()
+        .variant("c-direct", direct)
+        .variant("c-accum", accum);
+    if quick {
+        space
+            .square_arrays([128, 256])
+            .dac_bits([1, 2])
+            .adc_bits([6, 8, 10])
+    } else {
+        space
+            .square_arrays([128, 256, 512])
+            .dac_bits([1, 2, 4])
+            .adc_bits([6, 8, 10])
+    }
+}
+
+/// The Fig 2 workload: the whole of ResNet18, or a 6-layer prefix for
+/// quick runs.
+pub fn fig2_workload(quick: bool) -> Workload {
+    let net = models::resnet18();
+    if quick {
+        Workload::new("resnet18-prefix", net.layers()[..6].to_vec()).expect("non-empty")
+    } else {
+        net
+    }
+}
+
+/// The hand-rolled sweep the DSE explorer replaces, kept as the speedup
+/// and bit-identicality baseline: fresh system evaluator per design,
+/// uncached evaluation, sequential.
+pub fn naive_system_front(
+    space: &DesignSpace,
+    net: &Workload,
+    scenario: StorageScenario,
+) -> ParetoFront<DesignReport> {
+    let mut front = ParetoFront::new();
+    for point in space.designs() {
+        let system = CimSystem::new(point.cim_macro().clone()).with_scenario(scenario);
+        let evaluator = system.evaluator().expect("system evaluator");
+        let run = evaluator
+            .evaluate(net, &system.representation())
+            .expect("naive evaluation");
+        let report = summarize(&point, &evaluator, &run);
+        front.insert(point.id(), report.objectives(), report);
+    }
+    front
+}
+
+/// Explores `space` on `workload` and returns *every* evaluated design's
+/// report in id order (not just the Pareto front) — the shape the figure
+/// binaries need for their row-per-design tables. Small grids only; big
+/// sweeps should stream through [`Explorer::explore`] instead.
+///
+/// # Errors
+///
+/// Propagates exploration errors.
+pub fn explore_collect(
+    explorer: &Explorer,
+    space: &DesignSpace,
+    workload: &Workload,
+) -> Result<Vec<DesignReport>, CoreError> {
+    let rows = Mutex::new(Vec::new());
+    explorer.explore_with(space, workload, |report| {
+        rows.lock()
+            .expect("rows lock poisoned")
+            .push(report.clone());
+    })?;
+    let mut rows = rows.into_inner().expect("rows lock poisoned");
+    rows.sort_by_key(|r| r.point.id());
+    Ok(rows)
+}
+
+/// Writes a `BENCH_*.json` perf artifact in the same schema the vendored
+/// criterion harness emits (`entries` with mean ns, plus derived scalar
+/// `metrics`), so experiment binaries can seed the perf trajectory without
+/// linking the bench harness. `quick` marks reduced-grid runs so they are
+/// machine-distinguishable from full baselines.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    quick: bool,
+    entries: &[(&str, f64)],
+    metrics: &[(&str, f64)],
+) {
+    let mut out = format!(
+        "{{\n  \"quick\": {},\n  \"entries\": [\n",
+        if quick { "true" } else { "false" }
+    );
+    for (i, (name, seconds)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": 1}}{}\n",
+            name,
+            seconds * 1e9,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{name}\": {value:.6}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    out.push_str("}\n}\n");
+    if let Err(e) = fs::write(path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  [written {}]", path.display());
     }
 }
 

@@ -19,20 +19,16 @@ use std::sync::{Arc, Mutex};
 
 use cimloop_workload::{Layer, ValueProfile};
 
+use crate::pipeline::ValueStats;
 use crate::{ActionEnergyTable, CoreError, Representation};
 
-/// The value-relevant identity of an `(evaluator, layer, representation)`
-/// triple: two layers with equal signatures are guaranteed to produce
-/// bit-identical [`ActionEnergyTable`]s on the same evaluator.
-///
-/// The signature captures exactly what the data-value-dependent pipeline
-/// reads: operand precisions and signedness, both operand value profiles,
-/// the representation (encodings and slice widths), and a fingerprint of
-/// the evaluator's hierarchy (so one cache can safely serve several
-/// evaluators).
+/// The value-relevant identity of a `(layer, representation)` pair: the
+/// fields the data-value-dependent pipeline reads — operand precisions and
+/// signedness, both operand value profiles, and the representation
+/// (encodings and slice widths). Deliberately excludes the layer's Einsum
+/// shape and name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct TableSignature {
-    hierarchy_fingerprint: u64,
+struct ValueSignature {
     input_bits: u32,
     weight_bits: u32,
     input_signed: bool,
@@ -42,12 +38,9 @@ pub struct TableSignature {
     weight_profile: Vec<u64>,
 }
 
-impl TableSignature {
-    /// Builds the signature of `layer` under `rep` for an evaluator whose
-    /// hierarchy hashes to `hierarchy_fingerprint`.
-    pub fn new(hierarchy_fingerprint: u64, layer: &Layer, rep: &Representation) -> Self {
-        TableSignature {
-            hierarchy_fingerprint,
+impl ValueSignature {
+    fn new(layer: &Layer, rep: &Representation) -> Self {
+        ValueSignature {
             input_bits: layer.input_bits(),
             weight_bits: layer.weight_bits(),
             input_signed: layer.input_signed(),
@@ -55,6 +48,57 @@ impl TableSignature {
             rep: *rep,
             input_profile: encode_profile(layer.input_profile()),
             weight_profile: encode_profile(layer.weight_profile()),
+        }
+    }
+}
+
+/// The value-relevant identity of an `(evaluator, layer, representation)`
+/// triple: two layers with equal signatures are guaranteed to produce
+/// bit-identical [`ActionEnergyTable`]s on the same evaluator.
+///
+/// The signature is the layer/representation [`ValueSignature`] plus a
+/// fingerprint of the evaluator's hierarchy (so one cache can safely serve
+/// several evaluators).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableSignature {
+    hierarchy_fingerprint: u64,
+    value: ValueSignature,
+}
+
+impl TableSignature {
+    /// Builds the signature of `layer` under `rep` for an evaluator whose
+    /// hierarchy hashes to `hierarchy_fingerprint`.
+    pub fn new(hierarchy_fingerprint: u64, layer: &Layer, rep: &Representation) -> Self {
+        TableSignature {
+            hierarchy_fingerprint,
+            value: ValueSignature::new(layer, rep),
+        }
+    }
+}
+
+/// The identity of a [`ValueStats`] computation: the layer/representation
+/// [`ValueSignature`] plus the hierarchy's output-reduction width — the
+/// *only* architectural parameter the statistics read.
+///
+/// Unlike [`TableSignature`], the full hierarchy fingerprint is absent:
+/// candidate designs that differ in ADC resolution, output-combining
+/// topology, cell technology, process node, or column count (but agree on
+/// reduction width and representation) share one bit-identical
+/// [`ValueStats`]. This is the cross-design amortization a design-space
+/// exploration leans on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StatsSignature {
+    reduction_rows: u64,
+    value: ValueSignature,
+}
+
+impl StatsSignature {
+    /// Builds the signature of `layer` under `rep` for a hierarchy with
+    /// output-reduction width `reduction_rows`.
+    pub fn new(reduction_rows: u64, layer: &Layer, rep: &Representation) -> Self {
+        StatsSignature {
+            reduction_rows,
+            value: ValueSignature::new(layer, rep),
         }
     }
 }
@@ -84,18 +128,30 @@ fn encode_profile(profile: &ValueProfile) -> Vec<u64> {
     }
 }
 
-/// A thread-safe cache of [`ActionEnergyTable`]s keyed by
-/// [`TableSignature`].
+/// A thread-safe, two-level cache for the amortizable halves of layer
+/// evaluation.
 ///
-/// Tables are handed out as [`Arc`]s so concurrent layer evaluations share
+/// - **Table level** ([`ActionEnergyTable`] keyed by [`TableSignature`]):
+///   shares finished per-action energy tables between layers with equal
+///   value signatures on the *same* hierarchy.
+/// - **Stats level** ([`ValueStats`] keyed by [`StatsSignature`]): shares
+///   the expensive hierarchy-independent statistics (encoded streams and
+///   the column-sum convolution) across *different* hierarchies — i.e.
+///   across the evaluators of a design-space sweep — whenever their
+///   reduction widths agree.
+///
+/// Entries are handed out as [`Arc`]s so concurrent layer evaluations share
 /// one allocation. Lookups under concurrent misses may compute the same
-/// table twice (the computation runs outside the lock), but the result is
+/// entry twice (the computation runs outside the lock), but the result is
 /// deterministic, so whichever insertion wins is bit-identical.
 #[derive(Debug, Default)]
 pub struct EnergyTableCache {
     entries: Mutex<HashMap<TableSignature, Arc<ActionEnergyTable>>>,
+    stats: Mutex<HashMap<StatsSignature, Arc<ValueStats>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stats_hits: AtomicU64,
+    stats_misses: AtomicU64,
 }
 
 impl EnergyTableCache {
@@ -135,6 +191,38 @@ impl EnergyTableCache {
         Ok(Arc::clone(entry))
     }
 
+    /// Returns the cached hierarchy-independent statistics for `signature`,
+    /// computing and inserting them via `compute` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` errors; nothing is inserted on failure.
+    pub fn stats_or_try_insert_with(
+        &self,
+        signature: StatsSignature,
+        compute: impl FnOnce() -> Result<ValueStats, CoreError>,
+    ) -> Result<Arc<ValueStats>, CoreError> {
+        if let Some(stats) = self
+            .stats
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&signature)
+        {
+            self.stats_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(stats));
+        }
+        // Compute outside the lock: the column-sum convolution is the most
+        // expensive step in the whole evaluation and other signatures
+        // should not serialize behind this miss.
+        let stats = Arc::new(compute()?);
+        self.stats_misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.stats.lock().expect("cache lock poisoned");
+        let entry = entries
+            .entry(signature)
+            .or_insert_with(|| Arc::clone(&stats));
+        Ok(Arc::clone(entry))
+    }
+
     /// Number of distinct tables held.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock poisoned").len()
@@ -145,21 +233,39 @@ impl EnergyTableCache {
         self.len() == 0
     }
 
-    /// Lookups served from the cache.
+    /// Table lookups served from the cache.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to compute a table.
+    /// Table lookups that had to compute a table.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops all cached tables and resets the hit/miss counters.
+    /// Number of distinct hierarchy-independent statistics held.
+    pub fn stats_len(&self) -> usize {
+        self.stats.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Statistics lookups served from the cache.
+    pub fn stats_hits(&self) -> u64 {
+        self.stats_hits.load(Ordering::Relaxed)
+    }
+
+    /// Statistics lookups that had to compute the statistics.
+    pub fn stats_misses(&self) -> u64 {
+        self.stats_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached tables and statistics and resets every counter.
     pub fn clear(&self) {
         self.entries.lock().expect("cache lock poisoned").clear();
+        self.stats.lock().expect("cache lock poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.stats_hits.store(0, Ordering::Relaxed);
+        self.stats_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -226,6 +332,46 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn stats_level_shares_across_hierarchy_fingerprints() {
+        // Two evaluator-level signatures differ (fingerprints 1 vs 2), but
+        // their stats signature — same reduction width, same values — is
+        // one entry.
+        let l = layer("l", 16);
+        let r = rep();
+        assert_ne!(
+            TableSignature::new(1, &l, &r),
+            TableSignature::new(2, &l, &r)
+        );
+        assert_eq!(
+            StatsSignature::new(64, &l, &r),
+            StatsSignature::new(64, &l, &r)
+        );
+        assert_ne!(
+            StatsSignature::new(64, &l, &r),
+            StatsSignature::new(128, &l, &r)
+        );
+
+        let cache = EnergyTableCache::new();
+        let make = || ValueStats::compute(&l, &r, 64);
+        let first = cache
+            .stats_or_try_insert_with(StatsSignature::new(64, &l, &r), make)
+            .unwrap();
+        let second = cache
+            .stats_or_try_insert_with(StatsSignature::new(64, &l, &r), make)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats_len(), 1);
+        assert_eq!(cache.stats_hits(), 1);
+        assert_eq!(cache.stats_misses(), 1);
+        // A fresh computation is bit-identical to the shared one.
+        let fresh = make().unwrap();
+        assert_eq!(format!("{:?}", fresh.sum()), format!("{:?}", first.sum()));
+        cache.clear();
+        assert_eq!(cache.stats_len(), 0);
+        assert_eq!(cache.stats_hits(), 0);
     }
 
     #[test]

@@ -17,7 +17,10 @@ use cimloop_map::{analyze, Mapper, Mapping};
 use cimloop_spec::{Hierarchy, Reuse, Tensor};
 use cimloop_workload::{Layer, Shape, Workload};
 
-use crate::{CoreError, EnergyTableCache, Pipeline, Representation, TableSignature};
+use crate::pipeline::{reduction_rows_of, ValueStats};
+use crate::{
+    CoreError, EnergyTableCache, Pipeline, Representation, StatsSignature, TableSignature,
+};
 
 /// Per-action energies for one component and tensor, joules.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -347,6 +350,7 @@ pub struct Evaluator {
     models: BTreeMap<String, BoxedModel>,
     mapper: Mapper,
     hierarchy_fingerprint: u64,
+    reduction_rows: u64,
 }
 
 impl Evaluator {
@@ -374,12 +378,20 @@ impl Evaluator {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         cimloop_spec::yamlite::write(&hierarchy).hash(&mut hasher);
         let hierarchy_fingerprint = hasher.finish();
+        let reduction_rows = reduction_rows_of(&hierarchy);
         Ok(Evaluator {
             hierarchy,
             models,
             mapper: Mapper::default(),
             hierarchy_fingerprint,
+            reduction_rows,
         })
+    }
+
+    /// The hierarchy's in-network output-reduction width (the column-sum
+    /// convolution length of the statistical pipeline).
+    pub fn reduction_rows(&self) -> u64 {
+        self.reduction_rows
     }
 
     /// Replaces the mapper (default: weight-stationary canonical).
@@ -427,6 +439,13 @@ impl Evaluator {
         rep: &Representation,
     ) -> Result<ActionEnergyTable, CoreError> {
         let pipeline = Pipeline::new(&self.hierarchy, layer, rep)?;
+        Ok(self.table_from_pipeline(&pipeline))
+    }
+
+    /// The component-model reduction of Algorithm 1's line 7: folds a
+    /// built [`Pipeline`] into per-action energies. Shared verbatim by the
+    /// cached and uncached paths so their tables are bit-identical.
+    fn table_from_pipeline(&self, pipeline: &Pipeline) -> ActionEnergyTable {
         let mut entries = BTreeMap::new();
         let mut cycle_time = 0.0f64;
         for component in self.hierarchy.components() {
@@ -450,10 +469,10 @@ impl Evaluator {
         if cycle_time == 0.0 {
             cycle_time = 1e-9;
         }
-        Ok(ActionEnergyTable {
+        ActionEnergyTable {
             entries,
             cycle_time,
-        })
+        }
     }
 
     /// Algorithm 1, lines 9–10: evaluates one mapping against a
@@ -523,9 +542,14 @@ impl Evaluator {
         TableSignature::new(self.hierarchy_fingerprint, layer, rep)
     }
 
-    /// Like [`Self::action_energies`], but served through `cache`: the
-    /// table is computed at most once per distinct [`TableSignature`] and
-    /// shared (bit-identically) by every layer with the same signature.
+    /// Like [`Self::action_energies`], but served through `cache` at both
+    /// levels: the finished table is computed at most once per distinct
+    /// [`TableSignature`] and shared (bit-identically) by every layer with
+    /// the same signature, and on a table miss the hierarchy-independent
+    /// [`ValueStats`] (the dominant cost) are themselves served from the
+    /// cache's stats level — so evaluators of *different* hierarchies with
+    /// equal reduction widths (e.g. the candidate designs of a sweep)
+    /// amortize the column-sum convolution across each other.
     ///
     /// # Errors
     ///
@@ -537,7 +561,12 @@ impl Evaluator {
         cache: &EnergyTableCache,
     ) -> Result<Arc<ActionEnergyTable>, CoreError> {
         cache.get_or_try_insert_with(self.table_signature(layer, rep), || {
-            self.action_energies(layer, rep)
+            let stats = cache.stats_or_try_insert_with(
+                StatsSignature::new(self.reduction_rows, layer, rep),
+                || ValueStats::compute(layer, rep, self.reduction_rows),
+            )?;
+            let pipeline = Pipeline::from_stats(&self.hierarchy, stats);
+            Ok(self.table_from_pipeline(&pipeline))
         })
     }
 

@@ -86,11 +86,11 @@ mod evaluator;
 mod pipeline;
 mod representation;
 
-pub use cache::{EnergyTableCache, TableSignature};
+pub use cache::{EnergyTableCache, StatsSignature, TableSignature};
 pub use encoding::{EncodedOperand, EncodedStream, Encoding};
 pub use error::CoreError;
 pub use evaluator::{
     ActionEnergyTable, AreaReport, ComponentReport, Evaluator, LayerReport, RunReport,
 };
-pub use pipeline::Pipeline;
+pub use pipeline::{reduction_rows_of, Pipeline, ValueStats};
 pub use representation::Representation;

@@ -16,6 +16,7 @@
 //! value-exact simulator quantifies in Fig 6.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cimloop_circuits::ValueContext;
 use cimloop_spec::{Component, Hierarchy, Reuse, Tensor};
@@ -30,28 +31,61 @@ const SUM_SUPPORT: usize = 512;
 /// Component classes that compute MACs against a stored operand.
 const CELL_CLASSES: [&str; 3] = ["sram_cim_cell", "reram_cim_cell", "c2c_mac"];
 
-/// Per-layer value distributions for every component of a hierarchy.
+/// The in-network output-reduction width of `hierarchy`: the product of
+/// mesh fanouts of nodes that spatially reduce outputs (typically the
+/// array rows). An architectural constant, which keeps per-action energy
+/// mapping-invariant.
+pub fn reduction_rows_of(hierarchy: &Hierarchy) -> u64 {
+    hierarchy
+        .nodes()
+        .iter()
+        .filter(|n| n.spatial_reuse(Tensor::Outputs))
+        .map(|n| n.spatial().fanout())
+        .product::<u64>()
+        .max(1)
+}
+
+/// The hierarchy-independent prefix of the data-value-dependent pipeline:
+/// encoded operand streams, slice streams, and the raw column-sum
+/// distribution over a given reduction width.
+///
+/// Everything here depends only on the layer's value-relevant fields, the
+/// [`Representation`], and `reduction_rows` — not on which components the
+/// hierarchy contains, their classes, or their resolutions. Two hierarchies
+/// with equal reduction width (e.g. two candidate designs in a sweep that
+/// differ only in ADC resolution, output-combining topology, cell
+/// technology, or column count) share these statistics bit-for-bit, which
+/// is what makes cross-design amortization in a design-space exploration
+/// sound. The column-sum convolution dominates the whole evaluation cost,
+/// so sharing it is where network- and sweep-scale speedups come from.
 #[derive(Debug, Clone)]
-pub struct Pipeline {
+pub struct ValueStats {
     input_word: EncodedStream,
     weight_word: EncodedStream,
     input_slice: EncodedStream,
     weight_slice: EncodedStream,
-    /// Normalized column-sum distribution per output-component width.
-    sums_by_bits: BTreeMap<u32, Pmf>,
+    /// Raw (unnormalized) column-sum distribution over `reduction_rows`.
+    sum: Pmf,
+    /// The largest possible column sum (normalization full scale).
+    sum_max: f64,
     reduction_rows: u64,
 }
 
-impl Pipeline {
-    /// Builds the pipeline for `layer` represented per `rep` on `hierarchy`.
+impl ValueStats {
+    /// Computes the statistics of `layer` under `rep` for a hierarchy whose
+    /// output-reduction width is `reduction_rows`.
+    ///
+    /// This is the single code path for these values: cached and uncached
+    /// evaluations both call it, so shared statistics are bit-identical to
+    /// freshly computed ones.
     ///
     /// # Errors
     ///
     /// Propagates distribution and encoding errors.
-    pub fn new(
-        hierarchy: &Hierarchy,
+    pub fn compute(
         layer: &Layer,
         rep: &Representation,
+        reduction_rows: u64,
     ) -> Result<Self, CoreError> {
         let input_encoded = rep.input_encoding().encode(
             &layer.input_pmf()?,
@@ -68,17 +102,7 @@ impl Pipeline {
         let input_slice = input_word.average_slice(rep.dac_bits());
         let weight_slice = weight_word.average_slice(rep.cell_bits());
 
-        // The in-network reduction width: product of mesh fanouts of nodes
-        // that spatially reduce outputs (typically the array rows). This is
-        // an architectural constant, keeping per-action energy
-        // mapping-invariant.
-        let reduction_rows = hierarchy
-            .nodes()
-            .iter()
-            .filter(|n| n.spatial_reuse(Tensor::Outputs))
-            .map(|n| n.spatial().fanout())
-            .product::<u64>()
-            .max(1);
+        let reduction_rows = reduction_rows.max(1);
 
         // Distribution of one slice-granular analog MAC product, then of
         // the column sum over the reduction rows.
@@ -90,6 +114,57 @@ impl Pipeline {
         let sum_max =
             (slice_max(rep.dac_bits()) * slice_max(rep.cell_bits())) * reduction_rows as f64;
 
+        Ok(ValueStats {
+            input_word,
+            weight_word,
+            input_slice,
+            weight_slice,
+            sum,
+            sum_max,
+            reduction_rows,
+        })
+    }
+
+    /// The reduction width the column sum was convolved over.
+    pub fn reduction_rows(&self) -> u64 {
+        self.reduction_rows
+    }
+
+    /// The raw column-sum distribution (before per-resolution
+    /// normalization).
+    pub fn sum(&self) -> &Pmf {
+        &self.sum
+    }
+}
+
+/// Per-layer value distributions for every component of a hierarchy.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    stats: Arc<ValueStats>,
+    /// Normalized column-sum distribution per output-component width.
+    sums_by_bits: BTreeMap<u32, Pmf>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline for `layer` represented per `rep` on `hierarchy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution and encoding errors.
+    pub fn new(
+        hierarchy: &Hierarchy,
+        layer: &Layer,
+        rep: &Representation,
+    ) -> Result<Self, CoreError> {
+        let reduction_rows = reduction_rows_of(hierarchy);
+        let stats = Arc::new(ValueStats::compute(layer, rep, reduction_rows)?);
+        Ok(Self::from_stats(hierarchy, stats))
+    }
+
+    /// Builds the pipeline from precomputed (possibly shared)
+    /// [`ValueStats`]: only the cheap per-resolution normalization of the
+    /// column sum remains hierarchy-specific.
+    pub fn from_stats(hierarchy: &Hierarchy, stats: Arc<ValueStats>) -> Self {
         // Pre-normalize the sum for every output-side resolution present in
         // the hierarchy.
         let mut sums_by_bits = BTreeMap::new();
@@ -98,47 +173,43 @@ impl Pipeline {
                 let bits = output_bits(component);
                 sums_by_bits
                     .entry(bits)
-                    .or_insert_with(|| normalize_sum(&sum, sum_max, bits));
+                    .or_insert_with(|| normalize_sum(&stats.sum, stats.sum_max, bits));
             }
         }
         // Always provide an 8-bit view for callers outside the hierarchy.
         sums_by_bits
             .entry(8)
-            .or_insert_with(|| normalize_sum(&sum, sum_max, 8));
+            .or_insert_with(|| normalize_sum(&stats.sum, stats.sum_max, 8));
 
-        Ok(Pipeline {
-            input_word,
-            weight_word,
-            input_slice,
-            weight_slice,
+        Pipeline {
+            stats,
             sums_by_bits,
-            reduction_rows,
-        })
+        }
     }
 
     /// The in-network output-reduction width used for column sums.
     pub fn reduction_rows(&self) -> u64 {
-        self.reduction_rows
+        self.stats.reduction_rows
     }
 
     /// Word-level encoded input stream.
     pub fn input_word(&self) -> &EncodedStream {
-        &self.input_word
+        &self.stats.input_word
     }
 
     /// Word-level encoded weight stream.
     pub fn weight_word(&self) -> &EncodedStream {
-        &self.weight_word
+        &self.stats.weight_word
     }
 
     /// Average input slice stream (what a DAC sees).
     pub fn input_slice(&self) -> &EncodedStream {
-        &self.input_slice
+        &self.stats.input_slice
     }
 
     /// Average weight slice stream (what a cell stores).
     pub fn weight_slice(&self) -> &EncodedStream {
-        &self.weight_slice
+        &self.stats.weight_slice
     }
 
     /// The column-sum distribution normalized to `bits` (what an ADC of
@@ -154,26 +225,27 @@ impl Pipeline {
     /// The value context `component` sees when acting on `tensor`
     /// (paper §III-C1c: each component uses the distributions differently).
     pub fn context_for(&self, component: &Component, tensor: Tensor) -> ValueContext<'_> {
+        let stats = &*self.stats;
         match tensor {
             Tensor::Inputs => {
                 if is_word_storage(component) {
-                    ValueContext::driven(self.input_word.pmf(), self.input_word.bits())
+                    ValueContext::driven(stats.input_word.pmf(), stats.input_word.bits())
                 } else {
-                    ValueContext::driven(self.input_slice.pmf(), self.input_slice.bits())
+                    ValueContext::driven(stats.input_slice.pmf(), stats.input_slice.bits())
                 }
             }
             Tensor::Weights => {
                 if CELL_CLASSES.contains(&component.class()) {
                     ValueContext::cell(
-                        self.input_slice.pmf(),
-                        self.input_slice.bits(),
-                        self.weight_slice.pmf(),
-                        self.weight_slice.bits(),
+                        stats.input_slice.pmf(),
+                        stats.input_slice.bits(),
+                        stats.weight_slice.pmf(),
+                        stats.weight_slice.bits(),
                     )
                 } else if is_word_storage(component) {
-                    ValueContext::driven(self.weight_word.pmf(), self.weight_word.bits())
+                    ValueContext::driven(stats.weight_word.pmf(), stats.weight_word.bits())
                 } else {
-                    ValueContext::driven(self.weight_slice.pmf(), self.weight_slice.bits())
+                    ValueContext::driven(stats.weight_slice.pmf(), stats.weight_slice.bits())
                 }
             }
             Tensor::Outputs => {

@@ -1,0 +1,425 @@
+//! The parallel design-space explorer.
+//!
+//! Candidate designs fan out over a scoped thread pool (work-stealing by
+//! design index, the same discipline as
+//! [`cimloop_system::NetworkEngine`]), all workers sharing one
+//! [`EnergyTableCache`]. Table signatures differ per design (each design
+//! is its own hierarchy), but the expensive hierarchy-independent value
+//! statistics are keyed only by `(layer values, representation, reduction
+//! width)` — so designs that differ in ADC resolution, output-combining
+//! topology, or cell technology amortize the column-sum convolution across
+//! each other, and layers within a design share finished tables.
+//!
+//! Results stream into a [`ParetoFront`] as workers finish; only the
+//! non-dominated [`DesignReport`]s are retained, so sweeps of 10k+
+//! designs never materialize all reports. The front is bit-identical to a
+//! naive sequential sweep without the cache: cached statistics are
+//! computed by the same code as fresh ones, and the front is
+//! insertion-order-independent.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cimloop_core::{CoreError, EnergyTableCache, Evaluator, Representation, RunReport};
+use cimloop_macros::ArrayMacro;
+use cimloop_system::{CimSystem, StorageScenario};
+use cimloop_workload::Workload;
+
+use crate::pareto::{Objectives, ParetoFront};
+use crate::space::{DesignPoint, DesignSpace};
+
+/// What each candidate design is evaluated as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalScope {
+    /// The bare macro (paper Fig 2a's "macro-optimal" view).
+    #[default]
+    MacroOnly,
+    /// The macro nested in a full [`CimSystem`] (DRAM + global buffer +
+    /// NoC) under the given storage scenario — the view in which Fig 2's
+    /// co-design conclusion holds.
+    System(StorageScenario),
+}
+
+/// The retained summary of one evaluated design: its configuration, the
+/// objective scalars, and workload-level aggregates. Deliberately *not*
+/// the full [`RunReport`] — a streaming sweep holds one of these per
+/// front member, not per design.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// The evaluated design point (configuration record).
+    pub point: DesignPoint,
+    /// Total workload energy, joules.
+    pub energy_total: f64,
+    /// Energy per useful word-level MAC, joules.
+    pub energy_per_mac: f64,
+    /// Energy efficiency, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Total workload latency, seconds.
+    pub latency: f64,
+    /// Total silicon area, mm².
+    pub area_mm2: f64,
+    /// The ADC-coverage accuracy proxy, in `[0, 1]`.
+    pub accuracy_proxy: f64,
+    /// Total useful MACs of the workload.
+    pub macs: u64,
+}
+
+impl DesignReport {
+    /// The design's objective vector for Pareto comparison.
+    pub fn objectives(&self) -> Objectives {
+        Objectives {
+            energy_per_mac: self.energy_per_mac,
+            tops_per_watt: self.tops_per_watt,
+            area_mm2: self.area_mm2,
+            accuracy_proxy: self.accuracy_proxy,
+        }
+    }
+}
+
+/// The accuracy proxy of a macro configuration: the fraction of the full
+/// column-sum bit-width the output converter resolves.
+///
+/// A column sum over `rows` products of `dac_bits`-bit inputs and
+/// `cell_bits`-bit weights spans `dac_bits + cell_bits + ⌈log₂ rows⌉`
+/// bits; an ADC of fewer bits quantizes it and loses output fidelity
+/// (paper §III-D3). Digital readout resolves every bit. This is a
+/// *proxy* — a monotone stand-in for simulated task accuracy, not a
+/// simulated accuracy itself.
+pub fn accuracy_proxy(m: &ArrayMacro) -> f64 {
+    let no_adc = m
+        .hierarchy()
+        .map(|h| h.component("adc").is_none())
+        .unwrap_or(false);
+    if no_adc {
+        return 1.0;
+    }
+    // ⌈log₂ rows⌉ extra bits to hold a `rows`-way sum without overflow.
+    let sum_carry_bits = 64 - m.rows().max(1).saturating_sub(1).leading_zeros();
+    let sum_bits = m.dac_bits() + m.cell_bits() + sum_carry_bits;
+    f64::from(m.adc_bits().min(sum_bits)) / f64::from(sum_bits)
+}
+
+/// The result of one exploration.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The non-dominated designs, ascending by design id.
+    pub front: ParetoFront<DesignReport>,
+    /// How many designs were evaluated (after filtering).
+    pub evaluated: usize,
+}
+
+/// A parallel, cache-amortized design-space explorer.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    scope: EvalScope,
+    threads: usize,
+    cache: Arc<EnergyTableCache>,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Explorer {
+    /// A macro-scope explorer using every available core and a fresh
+    /// cache.
+    pub fn new() -> Self {
+        Explorer {
+            scope: EvalScope::default(),
+            threads: 0,
+            cache: Arc::new(EnergyTableCache::new()),
+        }
+    }
+
+    /// Sets the evaluation scope.
+    pub fn with_scope(mut self, scope: EvalScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Sets the worker-thread count. `0` (the default) resolves to
+    /// [`std::thread::available_parallelism`]; `1` evaluates designs
+    /// sequentially on the calling thread (still cached).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares an existing cache (e.g. between a macro-scope and a
+    /// system-scope exploration of the same grid, which have equal
+    /// reduction widths and so share all value statistics).
+    pub fn with_cache(mut self, cache: Arc<EnergyTableCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The shared cache (for hit/miss introspection).
+    pub fn cache(&self) -> &EnergyTableCache {
+        &self.cache
+    }
+
+    /// Explores `space` on `workload`, streaming results into a Pareto
+    /// front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator and evaluation errors; on the first failure
+    /// the sweep aborts (workers stop pulling designs) and the error of
+    /// the earliest claimed failing design is returned.
+    pub fn explore(
+        &self,
+        space: &DesignSpace,
+        workload: &Workload,
+    ) -> Result<Exploration, CoreError> {
+        self.explore_with(space, workload, |_| {})
+    }
+
+    /// Like [`Self::explore`], additionally passing every finished
+    /// [`DesignReport`] to `sink` (called from worker threads, in
+    /// completion order — not id order).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::explore`].
+    pub fn explore_with(
+        &self,
+        space: &DesignSpace,
+        workload: &Workload,
+        sink: impl Fn(&DesignReport) + Sync,
+    ) -> Result<Exploration, CoreError> {
+        let designs = space.designs();
+        let threads = self.resolved_threads(designs.len());
+        let front = Mutex::new(ParetoFront::new());
+
+        if threads <= 1 {
+            for point in &designs {
+                let report = self.evaluate_design(point, workload)?;
+                sink(&report);
+                front.lock().expect("front lock poisoned").insert(
+                    point.id(),
+                    report.objectives(),
+                    report,
+                );
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let mut failures: Vec<(u64, CoreError)> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let next = &next;
+                    let failed = &failed;
+                    let designs = &designs;
+                    let front = &front;
+                    let sink = &sink;
+                    let this = self;
+                    handles.push(scope.spawn(move || {
+                        let mut errors = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(point) = designs.get(i) else { break };
+                            match this.evaluate_design(point, workload) {
+                                Ok(report) => {
+                                    sink(&report);
+                                    front.lock().expect("front lock poisoned").insert(
+                                        point.id(),
+                                        report.objectives(),
+                                        report,
+                                    );
+                                }
+                                Err(e) => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    errors.push((point.id(), e));
+                                }
+                            }
+                        }
+                        errors
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("explorer worker panicked"))
+                    .collect()
+            });
+            failures.sort_by_key(|&(id, _)| id);
+            if let Some((_, error)) = failures.into_iter().next() {
+                return Err(error);
+            }
+        }
+
+        Ok(Exploration {
+            front: front.into_inner().expect("front lock poisoned"),
+            evaluated: designs.len(),
+        })
+    }
+
+    /// Evaluates one design through the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction and evaluation errors.
+    pub fn evaluate_design(
+        &self,
+        point: &DesignPoint,
+        workload: &Workload,
+    ) -> Result<DesignReport, CoreError> {
+        let (evaluator, rep) = self.evaluator_for(point)?;
+        let run = evaluator.evaluate_cached(workload, &rep, &self.cache)?;
+        Ok(summarize(point, &evaluator, &run))
+    }
+
+    /// Builds the scoped evaluator and representation for one design.
+    fn evaluator_for(&self, point: &DesignPoint) -> Result<(Evaluator, Representation), CoreError> {
+        match self.scope {
+            EvalScope::MacroOnly => Ok((
+                point.cim_macro().evaluator()?,
+                point.cim_macro().representation(),
+            )),
+            EvalScope::System(scenario) => {
+                let system = CimSystem::new(point.cim_macro().clone()).with_scenario(scenario);
+                Ok((system.evaluator()?, system.representation()))
+            }
+        }
+    }
+
+    /// The resolved worker count for `designs` candidates.
+    fn resolved_threads(&self, designs: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, designs.max(1))
+    }
+}
+
+/// Folds a finished run into the retained per-design summary. Shared by
+/// the explorer and by naive sweeps that want comparable reports.
+pub fn summarize(point: &DesignPoint, evaluator: &Evaluator, run: &RunReport) -> DesignReport {
+    DesignReport {
+        point: point.clone(),
+        energy_total: run.energy_total(),
+        energy_per_mac: run.energy_per_mac(),
+        tops_per_watt: run.tops_per_watt(),
+        latency: run.latency_total(),
+        area_mm2: evaluator.area().total_mm2(),
+        accuracy_proxy: accuracy_proxy(point.cim_macro()),
+        macs: run.macs_total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use cimloop_macros::base_macro;
+    use cimloop_workload::{Layer, LayerKind, Shape};
+
+    fn tiny_workload() -> Workload {
+        Workload::new(
+            "tiny",
+            vec![
+                Layer::new("a", LayerKind::Linear, Shape::linear(2, 24, 24).unwrap()),
+                Layer::new("b", LayerKind::Linear, Shape::linear(2, 48, 24).unwrap())
+                    .with_input_bits(4),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .variant("adc4", base_macro().uncalibrated().with_adc_bits(4))
+            .square_arrays([16, 32])
+            .dac_bits([1, 2])
+    }
+
+    #[test]
+    fn explorer_matches_naive_sequential_sweep() {
+        let space = tiny_space();
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(2);
+        let exploration = explorer.explore(&space, &net).unwrap();
+        assert_eq!(exploration.evaluated, 8);
+
+        // Naive: fresh evaluator per design, no cache.
+        let mut naive = ParetoFront::new();
+        for point in space.designs() {
+            let evaluator = point.cim_macro().evaluator().unwrap();
+            let run = evaluator
+                .evaluate(&net, &point.cim_macro().representation())
+                .unwrap();
+            let report = summarize(&point, &evaluator, &run);
+            naive.insert(point.id(), report.objectives(), report);
+        }
+
+        assert_eq!(exploration.front.len(), naive.len());
+        for (a, b) in exploration.front.members().iter().zip(naive.members()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.objectives, b.objectives);
+            assert_eq!(a.value.energy_total, b.value.energy_total);
+        }
+    }
+
+    #[test]
+    fn stats_are_shared_across_designs() {
+        let space = tiny_space();
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(1);
+        let exploration = explorer.explore(&space, &net).unwrap();
+        assert_eq!(exploration.evaluated, 8);
+        // 8 designs × 2 layers = 16 table computations (every design is a
+        // distinct hierarchy) …
+        assert_eq!(explorer.cache().misses(), 16);
+        // … but the ADC variant shares all value statistics with the base
+        // variant: 2 sizes × 2 dacs × 2 layer signatures = 8 distinct.
+        assert_eq!(explorer.cache().stats_len(), 8);
+        assert_eq!(explorer.cache().stats_misses(), 8);
+        assert_eq!(explorer.cache().stats_hits(), 8);
+    }
+
+    #[test]
+    fn system_scope_exceeds_macro_scope_energy() {
+        let space = DesignSpace::new().variant("base", base_macro().uncalibrated());
+        let net = tiny_workload();
+        let macro_front = Explorer::new().explore(&space, &net).unwrap().front;
+        let system_front = Explorer::new()
+            .with_scope(EvalScope::System(StorageScenario::AllTensorsFromDram))
+            .explore(&space, &net)
+            .unwrap()
+            .front;
+        assert!(
+            system_front.members()[0].value.energy_total
+                > macro_front.members()[0].value.energy_total
+        );
+    }
+
+    #[test]
+    fn accuracy_proxy_tracks_adc_coverage() {
+        let m = base_macro().uncalibrated().with_array(256, 256);
+        // Full sum width: 1 (dac) + 2 (cell) + 8 (log2 rows) = 11 bits.
+        let full = m.clone().with_adc_bits(11);
+        let half = m.clone().with_adc_bits(5);
+        assert!((accuracy_proxy(&full) - 1.0).abs() < 1e-12);
+        assert!(accuracy_proxy(&half) < accuracy_proxy(&full));
+        assert!((accuracy_proxy(&half) - 5.0 / 11.0).abs() < 1e-12);
+        // Digital readout resolves every bit.
+        let digital = cimloop_macros::digital_cim().uncalibrated();
+        assert!((accuracy_proxy(&digital) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failing_design_aborts_the_sweep() {
+        // An ADC wider than the model supports → evaluator construction
+        // error. (Resolution 99 has no regression entry.)
+        let space =
+            DesignSpace::new().variant("bad", base_macro().uncalibrated().with_adc_bits(99));
+        let err = Explorer::new().explore(&space, &tiny_workload());
+        assert!(err.is_err());
+    }
+}

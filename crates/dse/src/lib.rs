@@ -1,0 +1,56 @@
+//! Pareto design-space exploration for CiM designs (the subsystem behind
+//! the paper's Fig 2 co-design result).
+//!
+//! The paper's headline architectural claim is that circuit parameters
+//! (DAC resolution) and architecture parameters (array size) must be
+//! chosen *together*: each one's optimum moves when the other changes.
+//! Answering such questions takes sweeps over many candidate designs, so
+//! this crate makes the sweep a first-class object instead of a
+//! hand-rolled nested loop:
+//!
+//! - [`DesignSpace`] — a declarative cartesian grid of parameter axes
+//!   (array dims, DAC/ADC resolution, cell width) over named
+//!   [`ArrayMacro`](cimloop_macros::ArrayMacro) variants, with stable
+//!   design ids and user filters.
+//! - [`Explorer`] — fans candidate designs over a scoped thread pool with
+//!   one shared [`EnergyTableCache`](cimloop_core::EnergyTableCache):
+//!   layers within a design share finished energy tables, and designs
+//!   that agree on reduction width and representation share the dominant
+//!   column-sum statistics across hierarchies.
+//! - [`ParetoFront`] — multi-objective (energy/MAC, TOPS/W, area,
+//!   accuracy proxy) with deterministic tie-breaking and streaming
+//!   insertion, so huge sweeps retain only the non-dominated designs.
+//!
+//! Results are bit-identical to a naive sequential sweep without the
+//! cache (property-tested): caching changes where numbers are computed,
+//! never what they are.
+//!
+//! # Example
+//!
+//! ```
+//! use cimloop_dse::{DesignSpace, Explorer};
+//! use cimloop_macros::base_macro;
+//! use cimloop_workload::models;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DesignSpace::new()
+//!     .variant("base", base_macro().frozen()?)
+//!     .square_arrays([64, 128])
+//!     .dac_bits([1, 2]);
+//! let net = models::mvm(64, 64);
+//! let exploration = Explorer::new().explore(&space, &net)?;
+//! assert!(!exploration.front.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod pareto;
+mod space;
+
+pub use explorer::{accuracy_proxy, summarize, DesignReport, EvalScope, Exploration, Explorer};
+pub use pareto::{FrontMember, Objectives, ParetoFront};
+pub use space::{DesignPoint, DesignSpace};

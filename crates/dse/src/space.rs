@@ -1,0 +1,283 @@
+//! Declarative design spaces: parameter axes over [`ArrayMacro`] builders.
+//!
+//! A [`DesignSpace`] is a cartesian grid — named macro *variants* crossed
+//! with array-dimension, DAC-resolution, ADC-resolution, and cell-width
+//! axes — optionally thinned by a user filter. Every grid cell gets a
+//! stable `id` (its cartesian index, assigned *before* filtering), which
+//! the explorer uses for deterministic ordering and Pareto tie-breaking:
+//! adding a filter never renumbers the surviving designs.
+
+use std::sync::Arc;
+
+use cimloop_macros::ArrayMacro;
+
+/// One fully-configured candidate design of a [`DesignSpace`].
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    id: u64,
+    variant: String,
+    cim_macro: ArrayMacro,
+}
+
+impl DesignPoint {
+    /// The design's stable cartesian index within its space.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The name of the variant the design was derived from.
+    pub fn variant(&self) -> &str {
+        &self.variant
+    }
+
+    /// The configured macro.
+    pub fn cim_macro(&self) -> &ArrayMacro {
+        &self.cim_macro
+    }
+
+    /// Array rows.
+    pub fn rows(&self) -> u64 {
+        self.cim_macro.rows()
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> u64 {
+        self.cim_macro.cols()
+    }
+
+    /// DAC resolution, bits.
+    pub fn dac_bits(&self) -> u32 {
+        self.cim_macro.dac_bits()
+    }
+
+    /// ADC resolution, bits.
+    pub fn adc_bits(&self) -> u32 {
+        self.cim_macro.adc_bits()
+    }
+
+    /// A compact human-readable label, e.g. `c-direct/256x256/dac2/adc8`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}x{}/dac{}/adc{}",
+            self.variant,
+            self.rows(),
+            self.cols(),
+            self.dac_bits(),
+            self.adc_bits()
+        )
+    }
+}
+
+type Filter = Arc<dyn Fn(&DesignPoint) -> bool + Send + Sync>;
+
+/// A declarative cartesian design space over macro builders.
+///
+/// Axes left empty keep the variant's own value. Iteration order (and the
+/// `id` numbering) is variants-outermost:
+/// `variant × array size × DAC bits × ADC bits × cell bits`.
+#[derive(Clone, Default)]
+pub struct DesignSpace {
+    variants: Vec<(String, ArrayMacro)>,
+    array_sizes: Vec<(u64, u64)>,
+    dac_bits: Vec<u32>,
+    adc_bits: Vec<u32>,
+    cell_bits: Vec<u32>,
+    filter: Option<Filter>,
+}
+
+impl std::fmt::Debug for DesignSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignSpace")
+            .field(
+                "variants",
+                &self.variants.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .field("array_sizes", &self.array_sizes)
+            .field("dac_bits", &self.dac_bits)
+            .field("adc_bits", &self.adc_bits)
+            .field("cell_bits", &self.cell_bits)
+            .field("filtered", &self.filter.is_some())
+            .finish()
+    }
+}
+
+impl DesignSpace {
+    /// An empty space (add at least one variant before exploring).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named base macro. Pass frozen macros
+    /// ([`ArrayMacro::frozen`]) when the variant carries a calibration
+    /// anchor: deriving candidates from one frozen base is what keeps a
+    /// sweep from re-anchoring every variant to the same headline number.
+    pub fn variant(mut self, name: impl Into<String>, cim_macro: ArrayMacro) -> Self {
+        self.variants.push((name.into(), cim_macro));
+        self
+    }
+
+    /// Adds square `n`×`n` array sizes to the array-dimension axis.
+    pub fn square_arrays(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.array_sizes.extend(sizes.into_iter().map(|n| (n, n)));
+        self
+    }
+
+    /// Adds explicit `(rows, cols)` entries to the array-dimension axis.
+    pub fn array_dims(mut self, dims: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        self.array_sizes.extend(dims);
+        self
+    }
+
+    /// Sets the DAC-resolution axis (applied via
+    /// [`ArrayMacro::with_dac_resolution`], which also picks the matching
+    /// converter class).
+    pub fn dac_bits(mut self, bits: impl IntoIterator<Item = u32>) -> Self {
+        self.dac_bits.extend(bits);
+        self
+    }
+
+    /// Sets the ADC-resolution axis.
+    pub fn adc_bits(mut self, bits: impl IntoIterator<Item = u32>) -> Self {
+        self.adc_bits.extend(bits);
+        self
+    }
+
+    /// Sets the cell-width (weight bits per device) axis.
+    pub fn cell_bits(mut self, bits: impl IntoIterator<Item = u32>) -> Self {
+        self.cell_bits.extend(bits);
+        self
+    }
+
+    /// Thins the grid: only designs for which `keep` returns `true` are
+    /// evaluated. Ids are assigned before filtering, so they are stable
+    /// across filter changes.
+    pub fn filter(mut self, keep: impl Fn(&DesignPoint) -> bool + Send + Sync + 'static) -> Self {
+        self.filter = Some(Arc::new(keep));
+        self
+    }
+
+    /// The size of the unfiltered cartesian grid.
+    pub fn grid_len(&self) -> usize {
+        let axis = |len: usize| len.max(1);
+        self.variants.len()
+            * axis(self.array_sizes.len())
+            * axis(self.dac_bits.len())
+            * axis(self.adc_bits.len())
+            * axis(self.cell_bits.len())
+    }
+
+    /// Materializes the (filtered) candidate designs in id order.
+    ///
+    /// Design *points* are small configuration records — it is the
+    /// evaluation *reports* that a streaming exploration avoids holding.
+    pub fn designs(&self) -> Vec<DesignPoint> {
+        // Empty axes keep the variant's own value, expressed as a single
+        // `None` entry so the cartesian product stays uniform.
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let sizes = axis(&self.array_sizes);
+        let dacs = axis(&self.dac_bits);
+        let adcs = axis(&self.adc_bits);
+        let cells = axis(&self.cell_bits);
+
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        for (name, base) in &self.variants {
+            for &size in &sizes {
+                for &dac in &dacs {
+                    for &adc in &adcs {
+                        for &cell in &cells {
+                            let mut m = base.clone();
+                            if let Some((rows, cols)) = size {
+                                m = m.with_array(rows, cols);
+                            }
+                            if let Some(bits) = cell {
+                                let dac_now = m.dac_bits();
+                                m = m.with_slicing(dac_now, bits);
+                            }
+                            if let Some(bits) = dac {
+                                m = m.with_dac_resolution(bits);
+                            }
+                            if let Some(bits) = adc {
+                                m = m.with_adc_bits(bits);
+                            }
+                            let point = DesignPoint {
+                                id,
+                                variant: name.clone(),
+                                cim_macro: m,
+                            };
+                            id += 1;
+                            let keep = match &self.filter {
+                                Some(keep) => keep(&point),
+                                None => true,
+                            };
+                            if keep {
+                                out.push(point);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_macros::base_macro;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .square_arrays([64, 128])
+            .dac_bits([1, 2, 4])
+    }
+
+    #[test]
+    fn cartesian_grid_in_id_order() {
+        let designs = space().designs();
+        assert_eq!(designs.len(), 6);
+        assert_eq!(space().grid_len(), 6);
+        let ids: Vec<u64> = designs.iter().map(DesignPoint::id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(designs[0].rows(), 64);
+        assert_eq!(designs[0].dac_bits(), 1);
+        assert_eq!(designs[5].rows(), 128);
+        assert_eq!(designs[5].dac_bits(), 4);
+        assert_eq!(designs[3].label(), "base/128x128/dac1/adc5");
+    }
+
+    #[test]
+    fn filter_keeps_ids_stable() {
+        let filtered = space().filter(|d| d.dac_bits() >= 2).designs();
+        assert_eq!(filtered.len(), 4);
+        let ids: Vec<u64> = filtered.iter().map(DesignPoint::id).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5], "ids keep their unfiltered slots");
+    }
+
+    #[test]
+    fn empty_axes_keep_variant_values() {
+        let designs = DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .designs();
+        assert_eq!(designs.len(), 1);
+        assert_eq!(designs[0].rows(), base_macro().rows());
+        assert_eq!(designs[0].adc_bits(), base_macro().adc_bits());
+    }
+
+    #[test]
+    fn dac_axis_swaps_converter_class() {
+        let designs = space().designs();
+        let h1 = designs[0].cim_macro().hierarchy().unwrap();
+        assert_eq!(h1.component("dac").unwrap().class(), "pulse_driver");
+        let h4 = designs[2].cim_macro().hierarchy().unwrap();
+        assert_eq!(h4.component("dac").unwrap().class(), "capacitive_dac");
+    }
+}

@@ -134,6 +134,20 @@ impl ArrayMacro {
         self
     }
 
+    /// Sets the DAC resolution alone (keeping the cell width) and picks the
+    /// matching converter class: multi-bit inputs need a real capacitive
+    /// DAC, 1-bit inputs use pulse drivers as in the published chips. This
+    /// is the circuits axis of Fig 2b, packaged for design sweeps.
+    pub fn with_dac_resolution(mut self, dac_bits: u32) -> Self {
+        self.dac_bits = dac_bits.max(1);
+        self.dac_class = if self.dac_bits > 1 {
+            "capacitive_dac".to_owned()
+        } else {
+            "pulse_driver".to_owned()
+        };
+        self
+    }
+
     /// Sets the operand encodings.
     pub fn with_encodings(mut self, input: Encoding, weight: Encoding) -> Self {
         self.input_encoding = input;
@@ -203,6 +217,29 @@ impl ArrayMacro {
     pub fn uncalibrated(mut self) -> Self {
         self.calibration = None;
         self
+    }
+
+    /// Freezes calibration: computes the energy/latency scales at the
+    /// *current* (published default) configuration once and bakes them in
+    /// as plain multipliers, dropping the anchor.
+    ///
+    /// Design sweeps must derive every candidate from one frozen base:
+    /// re-anchoring each variant to the same headline number would erase
+    /// exactly the differences under study, and freezing once also makes
+    /// calibration cost independent of sweep size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors. A macro without an anchor is
+    /// returned unchanged.
+    pub fn frozen(&self) -> Result<Self, CoreError> {
+        match self.calibration {
+            Some(anchor) => {
+                let (e, l) = calibrate::calibrate(self, anchor)?;
+                Ok(self.clone().uncalibrated().with_scales(e, l))
+            }
+            None => Ok(self.clone()),
+        }
     }
 
     /// Applies explicit energy/latency multipliers (used internally by
@@ -598,6 +635,47 @@ mod tests {
                 c.name()
             );
         }
+    }
+
+    #[test]
+    fn dac_resolution_picks_converter_class() {
+        let m = ArrayMacro::new("t", 45.0, 8, 8).with_slicing(1, 4);
+        let multi = m.clone().with_dac_resolution(4);
+        assert_eq!(multi.dac_bits(), 4);
+        assert_eq!(multi.cell_bits(), 4, "cell width untouched");
+        let h = multi.hierarchy().unwrap();
+        assert_eq!(h.component("dac").unwrap().class(), "capacitive_dac");
+        let single = m.with_dac_resolution(1);
+        let h = single.hierarchy().unwrap();
+        assert_eq!(h.component("dac").unwrap().class(), "pulse_driver");
+    }
+
+    #[test]
+    fn frozen_bakes_scales_and_drops_anchor() {
+        let m = crate::macro_c();
+        let f = m.frozen().unwrap();
+        assert!(f.calibration().is_none());
+        // Freezing an unanchored macro is the identity.
+        let raw = ArrayMacro::new("t", 45.0, 8, 8);
+        assert!(raw.frozen().unwrap().calibration().is_none());
+        // The frozen macro reproduces the calibrated macro at the default
+        // configuration (same evaluator output).
+        let layer = cimloop_workload::Layer::new(
+            "l",
+            cimloop_workload::LayerKind::Linear,
+            cimloop_workload::Shape::linear(2, 32, 32).unwrap(),
+        );
+        let a = m
+            .evaluator()
+            .unwrap()
+            .evaluate_layer(&layer, &m.representation())
+            .unwrap();
+        let b = f
+            .evaluator()
+            .unwrap()
+            .evaluate_layer(&layer, &f.representation())
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 pub use cimloop_circuits as circuits;
 pub use cimloop_core as core;
+pub use cimloop_dse as dse;
 pub use cimloop_macros as macros;
 pub use cimloop_map as map;
 pub use cimloop_sim as sim;

@@ -10,10 +10,130 @@
 //! comparisons; no statistics, plots, or baselines. Swap back to the real
 //! criterion by deleting `vendor/criterion` once a registry is reachable.
 
+//!
+//! Extensions over upstream criterion (driven by the repo's CI):
+//!
+//! - `CIMLOOP_BENCH_QUICK=1` caps every measurement window at 100 ms
+//!   (quick mode for CI baseline jobs).
+//! - `CIMLOOP_BENCH_JSON=<path>` writes a machine-readable summary of all
+//!   finished benchmarks — plus any [`record_metric`] values — as JSON
+//!   when [`finalize`] runs (`criterion_main!` calls it automatically).
+
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// The measurement window cap applied in quick mode.
+const QUICK_CAP: Duration = Duration::from_millis(100);
+
+/// Whether quick mode is on (`CIMLOOP_BENCH_QUICK` set to anything but
+/// `0` or empty).
+fn quick_mode() -> bool {
+    std::env::var("CIMLOOP_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Caps `t` at [`QUICK_CAP`] when quick mode is on.
+fn effective_window(t: Duration) -> Duration {
+    if quick_mode() {
+        t.min(QUICK_CAP)
+    } else {
+        t
+    }
+}
+
+/// One finished benchmark: name, mean ns/iter, iterations measured.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Registry of finished benchmarks and scalar metrics for the JSON report.
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn register(name: &str, mean_ns: f64, iters: u64) {
+    REGISTRY.lock().expect("registry poisoned").push(Entry {
+        name: name.to_owned(),
+        mean_ns,
+        iters,
+    });
+}
+
+/// Records a named scalar (e.g. a derived speedup) into the JSON report.
+pub fn record_metric(name: &str, value: f64) {
+    METRICS
+        .lock()
+        .expect("metrics poisoned")
+        .push((name.to_owned(), value));
+}
+
+/// Mean ns/iter of an already-run benchmark, if any (exact name match).
+pub fn entry_mean_ns(name: &str) -> Option<f64> {
+    REGISTRY
+        .lock()
+        .expect("registry poisoned")
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e.mean_ns)
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the JSON report to `CIMLOOP_BENCH_JSON` (if set) and clears the
+/// registry. `criterion_main!` calls this after running every group; a
+/// hand-written bench `main` should call it last.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CIMLOOP_BENCH_JSON") else {
+        REGISTRY.lock().expect("registry poisoned").clear();
+        METRICS.lock().expect("metrics poisoned").clear();
+        return;
+    };
+    let entries = std::mem::take(&mut *REGISTRY.lock().expect("registry poisoned"));
+    let metrics = std::mem::take(&mut *METRICS.lock().expect("metrics poisoned"));
+    let mut out = String::from("{\n  \"quick\": ");
+    out.push_str(if quick_mode() { "true" } else { "false" });
+    out.push_str(",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_escape(&e.name),
+            e.mean_ns,
+            e.iters,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {:.6}",
+            if i == 0 { "" } else { ", " },
+            json_escape(name),
+            value
+        ));
+    }
+    out.push_str("}\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON {path}: {e}");
+    } else {
+        println!("[bench JSON written to {path}]");
+    }
+}
 
 /// Passed to bench closures; [`Bencher::iter`] times the hot loop.
 pub struct Bencher {
@@ -188,13 +308,14 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
     let mut bencher = Bencher {
         measured: None,
-        measurement_time,
+        measurement_time: effective_window(measurement_time),
     };
     f(&mut bencher);
     match bencher.measured {
         Some((elapsed, iters)) => {
             let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
             println!("{name:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+            register(name, ns_per_iter, iters);
         }
         None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
     }
@@ -211,12 +332,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the listed groups.
+/// Emit `main` running the listed groups, then writing the optional JSON
+/// report ([`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -246,5 +369,24 @@ mod tests {
     fn benchmark_id_formats_name_and_parameter() {
         assert_eq!(BenchmarkId::new("map", 128).to_string(), "map/128");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn registry_records_runs_and_metrics() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        c.filter = None;
+        c.bench_function("registry_smoke", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        let mean = entry_mean_ns("registry_smoke").expect("recorded");
+        assert!(mean > 0.0);
+        record_metric("registry_metric", 42.5);
+        // finalize with no CIMLOOP_BENCH_JSON just clears the registries.
+        finalize();
+        assert!(entry_mean_ns("registry_smoke").is_none());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 }
