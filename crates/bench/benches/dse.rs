@@ -57,14 +57,17 @@ fn main() {
     group.bench_function("sweep_explorer_cold", |b| {
         b.iter(|| {
             // A fresh explorer per iteration: measures a cold sweep
-            // including all statistics and table computations.
-            let explorer = Explorer::new().with_scope(EvalScope::System(FIG2_SCENARIO));
+            // including all statistics and table computations. Scored
+            // with the legacy ADC-coverage accuracy so the front matches
+            // `naive_system_front`'s pre-noise objective bit-for-bit.
+            let explorer =
+                Explorer::with_adc_coverage_accuracy().with_scope(EvalScope::System(FIG2_SCENARIO));
             let exploration = explorer.explore(&space, &net).expect("exploration");
             *explorer_result.borrow_mut() = Some(front_key(&exploration.front));
             black_box(exploration.front.len())
         })
     });
-    let warm = Explorer::new().with_scope(EvalScope::System(FIG2_SCENARIO));
+    let warm = Explorer::with_adc_coverage_accuracy().with_scope(EvalScope::System(FIG2_SCENARIO));
     group.bench_function("sweep_explorer_warm", |b| {
         b.iter(|| {
             let exploration = warm.explore(&space, &net).expect("exploration");

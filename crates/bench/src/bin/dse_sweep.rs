@@ -52,7 +52,10 @@ fn main() {
     );
 
     let cache = Arc::new(EnergyTableCache::new());
-    let explorer = Explorer::new()
+    // Score accuracy with the legacy ADC-coverage proxy: the committed
+    // front (and the naive baseline below) predate the noise-derived SNR
+    // objective, and this sweep's job is bit-identical continuity.
+    let explorer = Explorer::with_adc_coverage_accuracy()
         .with_scope(EvalScope::System(FIG2_SCENARIO))
         .with_cache(Arc::clone(&cache));
     let start = Instant::now();

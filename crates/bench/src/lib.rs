@@ -8,9 +8,9 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use cimloop_core::CoreError;
+use cimloop_core::{CoreError, EnergyTableCache, NoiseSpec};
 use cimloop_dse::{summarize, DesignReport, DesignSpace, Explorer, ParetoFront};
-use cimloop_macros::{macro_c, ArrayMacro, OutputCombine};
+use cimloop_macros::{base_macro, macro_c, ArrayMacro, OutputCombine};
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::{models, Workload};
 
@@ -111,6 +111,62 @@ impl ExperimentTable {
 /// The storage scenario of the Fig 2 co-design experiments (the full
 /// system around the macro; weights re-fetched from DRAM).
 pub const FIG2_SCENARIO: StorageScenario = StorageScenario::AllTensorsFromDram;
+
+/// The cell-variation sigmas of the `fig09_noise` accuracy experiment
+/// (0 = ideal programming; 0.20 = poorly-programmed NVM).
+pub const NOISE_VARIATIONS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// The ADC resolutions of the `fig09_noise` accuracy experiment.
+pub const NOISE_ADC_BITS: [u32; 5] = [12, 10, 8, 6, 4];
+
+/// One cell of the `fig09_noise` accuracy grid: the expected output SNR
+/// and effective bit-count of one macro configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseAccuracyRow {
+    /// Relative cell programming-variation sigma.
+    pub variation: f64,
+    /// Output ADC resolution, bits.
+    pub adc_bits: u32,
+    /// Expected output SNR, dB.
+    pub snr_db: f64,
+    /// Effective number of bits.
+    pub enob: f64,
+}
+
+/// The `fig09_noise` experiment grid: accuracy (expected output SNR /
+/// ENOB) versus ADC resolution under several cell-variation levels, on
+/// the 256×256 ReRAM base macro driving a matched matrix-vector
+/// workload. Deterministic — the statistical noise model never samples —
+/// so the resulting TSV is a golden. Shared by the experiment binary and
+/// the trend-assertion test so both always describe the same experiment.
+pub fn noise_accuracy_rows() -> Vec<NoiseAccuracyRow> {
+    let cache = EnergyTableCache::new();
+    let mut rows = Vec::new();
+    for &variation in &NOISE_VARIATIONS {
+        for &adc_bits in &NOISE_ADC_BITS {
+            let m = base_macro()
+                .uncalibrated()
+                .with_array(256, 256)
+                .with_adc_bits(adc_bits)
+                .with_noise(NoiseSpec::new().with_cell_variation(variation));
+            let evaluator = m.evaluator().expect("evaluator");
+            let layer = models::mvm(m.rows(), m.cols()).layers()[0].clone();
+            let report = evaluator
+                .evaluate_layer_cached(&layer, &m.representation(), &cache)
+                .expect("evaluation");
+            let noise = report
+                .noise()
+                .expect("analog readout always carries a noise report");
+            rows.push(NoiseAccuracyRow {
+                variation,
+                adc_bits,
+                snr_db: noise.snr_db,
+                enob: noise.enob,
+            });
+        }
+    }
+    rows
+}
 
 /// The Fig 2 co-design space: two output-combining variants of the ReRAM
 /// macro (direct ADC readout vs Macro C's analog accumulator) × array

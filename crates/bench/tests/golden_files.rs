@@ -1,0 +1,81 @@
+//! Golden regression guard: the committed result TSVs must be byte-for-
+//! byte what this PR's code produces with the noise subsystem compiled in
+//! but disabled — the new code path cannot perturb existing results.
+//!
+//! Two layers of defense share this job: the `golden-results` CI job
+//! *regenerates* every golden with the release binaries and diffs it
+//! against the committed file, while this test pins the committed bytes
+//! themselves (FNV-1a hash + length), so an accidental local regeneration
+//! under different code is caught by plain `cargo test` without paying
+//! for the regeneration.
+//!
+//! If a hash mismatch is *intended* (a deliberate modeling change),
+//! regenerate the golden with its binary, update the constants here, and
+//! say why in the commit message.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// `(file, fnv1a64 hash, length in bytes)` for every enforced golden.
+const GOLDENS: [(&str, u64, usize); 4] = [
+    ("fig02b.tsv", 0x410b189704181cef, 224),
+    ("fig12.tsv", 0x0ab784e487bbb91c, 841),
+    ("table02.tsv", 0x43f49c10dce83097, 343),
+    ("fig09_noise.tsv", 0xa8673e0e8db5a8f1, 440),
+];
+
+/// FNV-1a, 64-bit: stable across platforms and Rust versions (unlike
+/// `DefaultHasher`, whose algorithm is unspecified).
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+#[test]
+fn committed_goldens_are_bit_identical() {
+    for (name, expected_hash, expected_len) in GOLDENS {
+        let path = results_dir().join(name);
+        let data =
+            fs::read(&path).unwrap_or_else(|e| panic!("golden {} must exist: {e}", path.display()));
+        assert_eq!(
+            data.len(),
+            expected_len,
+            "golden {name} changed length — regenerate deliberately or revert"
+        );
+        assert_eq!(
+            fnv1a64(&data),
+            expected_hash,
+            "golden {name} changed content — the noise subsystem (or other \
+             new code) perturbed a result that must stay bit-identical"
+        );
+    }
+}
+
+#[test]
+fn goldens_parse_as_tsv_tables() {
+    for (name, _, _) in GOLDENS {
+        let text = fs::read_to_string(results_dir().join(name)).expect("golden exists");
+        let mut lines = text.lines();
+        let header = lines.next().expect("non-empty golden");
+        let columns = header.split('\t').count();
+        assert!(columns >= 2, "{name}: header has {columns} column(s)");
+        for (i, line) in lines.enumerate() {
+            assert_eq!(
+                line.split('\t').count(),
+                columns,
+                "{name}: row {} is ragged",
+                i + 2
+            );
+        }
+    }
+}

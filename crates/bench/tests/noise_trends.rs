@@ -1,0 +1,87 @@
+//! The acceptance-criteria trends of the `fig09_noise` experiment,
+//! asserted on the exact grid the binary writes as a golden: accuracy
+//! degrades monotonically as ADC resolution drops, and degrades faster
+//! (further below the noise-free curve) at higher variation.
+
+use cimloop_bench::{noise_accuracy_rows, NoiseAccuracyRow, NOISE_ADC_BITS, NOISE_VARIATIONS};
+
+fn snr(rows: &[NoiseAccuracyRow], variation: f64, bits: u32) -> f64 {
+    rows.iter()
+        .find(|r| r.variation == variation && r.adc_bits == bits)
+        .expect("grid covers every (variation, bits) cell")
+        .snr_db
+}
+
+#[test]
+fn accuracy_degrades_monotonically_as_adc_resolution_drops() {
+    let rows = noise_accuracy_rows();
+    for &variation in &NOISE_VARIATIONS {
+        for pair in NOISE_ADC_BITS.windows(2) {
+            let (hi, lo) = (pair[0], pair[1]);
+            assert!(
+                snr(&rows, variation, hi) >= snr(&rows, variation, lo) - 1e-9,
+                "variation {variation}: SNR rose when dropping {hi}b -> {lo}b"
+            );
+        }
+        // And the degradation across the whole sweep is real, not flat.
+        assert!(
+            snr(&rows, variation, NOISE_ADC_BITS[0])
+                > snr(&rows, variation, *NOISE_ADC_BITS.last().unwrap()) + 3.0,
+            "variation {variation}: dropping 12b -> 4b should cost several dB"
+        );
+    }
+}
+
+#[test]
+fn accuracy_degrades_faster_at_higher_variation() {
+    let rows = noise_accuracy_rows();
+    let ideal = NOISE_VARIATIONS[0];
+    for &bits in &NOISE_ADC_BITS {
+        let baseline = snr(&rows, ideal, bits);
+        let mut last_loss = 0.0;
+        for &variation in &NOISE_VARIATIONS[1..] {
+            // Degradation relative to the noise-free curve grows with
+            // variation at every resolution: noisier cells always sit
+            // further below the quantization-limited ceiling.
+            let loss = baseline - snr(&rows, variation, bits);
+            assert!(
+                loss > last_loss - 1e-9,
+                "at {bits}b, loss {loss:.3} dB did not grow past {last_loss:.3} at variation {variation}"
+            );
+            last_loss = loss;
+        }
+        // The highest variation level must cost a measurable amount even
+        // at this resolution.
+        assert!(
+            last_loss > 0.1,
+            "at {bits}b, {:.2} variation cost only {last_loss:.3} dB",
+            NOISE_VARIATIONS.last().unwrap()
+        );
+    }
+    // Variation matters most where quantization is not the bottleneck:
+    // the gap to the noise-free curve is wider at the highest resolution
+    // than at the lowest.
+    let noisy = *NOISE_VARIATIONS.last().unwrap();
+    let hi_bits = NOISE_ADC_BITS[0];
+    let lo_bits = *NOISE_ADC_BITS.last().unwrap();
+    let gap_hi = snr(&rows, ideal, hi_bits) - snr(&rows, noisy, hi_bits);
+    let gap_lo = snr(&rows, ideal, lo_bits) - snr(&rows, noisy, lo_bits);
+    assert!(
+        gap_hi > gap_lo,
+        "variation gap should widen with resolution: {gap_hi:.3} vs {gap_lo:.3} dB"
+    );
+}
+
+#[test]
+fn enob_never_exceeds_the_converter_resolution() {
+    for r in noise_accuracy_rows() {
+        assert!(
+            r.enob <= f64::from(r.adc_bits) + 0.5,
+            "{}b ADC reported {:.2} effective bits",
+            r.adc_bits,
+            r.enob
+        );
+        assert!(r.enob >= 0.0);
+        assert!(r.snr_db.is_finite());
+    }
+}

@@ -11,7 +11,7 @@
 
 use cimloop_tech::TechNode;
 
-use crate::{CircuitError, ComponentModel, ValueContext};
+use crate::{CircuitError, ComponentModel, NoiseParams, ValueContext};
 
 /// One row of the embedded ADC survey: (resolution bits, node nm,
 /// energy per conversion in femtojoules, area in mm²).
@@ -129,6 +129,8 @@ pub struct SarAdc {
     sample_rate: f64,
     supply_factor: f64,
     value_aware: bool,
+    read_sigma: f64,
+    offset_sigma_lsb: f64,
     energy_coef: [f64; 3],
     area_coef: [f64; 3],
 }
@@ -154,9 +156,30 @@ impl SarAdc {
             sample_rate,
             supply_factor: 1.0,
             value_aware: false,
+            read_sigma: 0.0,
+            offset_sigma_lsb: 0.0,
             energy_coef: fit_energy_regression(),
             area_coef: fit_area_regression(),
         })
+    }
+
+    /// Declares the converter's statistical non-idealities: additive read
+    /// noise at its input (sigma as a fraction of full scale) and input
+    /// offset (sigma in LSBs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if either sigma is
+    /// negative or non-finite.
+    pub fn with_noise_sigmas(
+        mut self,
+        read_sigma: f64,
+        offset_sigma_lsb: f64,
+    ) -> Result<Self, CircuitError> {
+        self.read_sigma = crate::model::validate_sigma("noise_read_sigma", read_sigma)?;
+        self.offset_sigma_lsb =
+            crate::model::validate_sigma("noise_offset_sigma", offset_sigma_lsb)?;
+        Ok(self)
     }
 
     /// Scales energy by `(v / v_nominal)²` for supply-voltage sweeps.
@@ -223,6 +246,14 @@ impl ComponentModel for SarAdc {
         // Comparator/reference leakage: a small fraction of active power,
         // assuming idle converters are mostly power-gated.
         0.002 * self.base_energy() * self.sample_rate
+    }
+
+    fn noise(&self) -> NoiseParams {
+        NoiseParams {
+            variation_sigma: 0.0,
+            read_sigma: self.read_sigma,
+            offset_sigma_lsb: self.offset_sigma_lsb,
+        }
     }
 }
 

@@ -4,7 +4,8 @@
 use cimloop_tech::device::{ReramCell, SramBitcell};
 use cimloop_tech::{scaling, TechNode};
 
-use crate::{CircuitError, ComponentModel, ValueContext};
+use crate::model::validate_sigma;
+use crate::{CircuitError, ComponentModel, NoiseParams, ValueContext};
 
 /// An SRAM-based CiM cell computing one analog MAC per activation
 /// (Macros A, B, D store weights in SRAM bitcells).
@@ -17,6 +18,7 @@ pub struct SramCimCell {
     bitcell: SramBitcell,
     supply: f64,
     supply_factor: f64,
+    variation_sigma: f64,
 }
 
 impl SramCimCell {
@@ -30,6 +32,7 @@ impl SramCimCell {
             bitcell: SramBitcell::new(node),
             supply: node.nominal_vdd(),
             supply_factor: 1.0,
+            variation_sigma: 0.0,
         }
     }
 
@@ -37,6 +40,18 @@ impl SramCimCell {
     pub fn with_supply_factor(mut self, factor: f64) -> Self {
         self.supply_factor = factor;
         self
+    }
+
+    /// Declares the relative sigma of the cell's stored-value
+    /// (threshold/mismatch) variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `sigma` is negative
+    /// or non-finite.
+    pub fn with_variation_sigma(mut self, sigma: f64) -> Result<Self, CircuitError> {
+        self.variation_sigma = validate_sigma("noise_variation_sigma", sigma)?;
+        Ok(self)
     }
 
     fn mac_full_scale(&self) -> f64 {
@@ -70,6 +85,13 @@ impl ComponentModel for SramCimCell {
     fn leakage(&self) -> f64 {
         self.bitcell.leakage_power(self.supply)
     }
+
+    fn noise(&self) -> NoiseParams {
+        NoiseParams {
+            variation_sigma: self.variation_sigma,
+            ..NoiseParams::NONE
+        }
+    }
 }
 
 /// A ReRAM CiM cell: analog MAC via Ohm's law, `E = G·V²·t_read`
@@ -78,6 +100,7 @@ impl ComponentModel for SramCimCell {
 pub struct ReramCimCell {
     device: ReramCell,
     supply_factor: f64,
+    variation_sigma: f64,
 }
 
 impl ReramCimCell {
@@ -86,7 +109,20 @@ impl ReramCimCell {
         ReramCimCell {
             device,
             supply_factor: 1.0,
+            variation_sigma: 0.0,
         }
+    }
+
+    /// Declares the relative sigma of the cell's conductance programming
+    /// variation (NVM devices typically publish 3–20%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `sigma` is negative
+    /// or non-finite.
+    pub fn with_variation_sigma(mut self, sigma: f64) -> Result<Self, CircuitError> {
+        self.variation_sigma = validate_sigma("noise_variation_sigma", sigma)?;
+        Ok(self)
     }
 
     /// A typical 130 nm-era device: 1–100 µS, 0.3 V reads, 10 ns pulses.
@@ -137,6 +173,13 @@ impl ComponentModel for ReramCimCell {
         // nodes.
         let f = 130e-9;
         30.0 * f * f
+    }
+
+    fn noise(&self) -> NoiseParams {
+        NoiseParams {
+            variation_sigma: self.variation_sigma,
+            ..NoiseParams::NONE
+        }
     }
 }
 

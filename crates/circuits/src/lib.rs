@@ -65,5 +65,5 @@ pub mod memory;
 mod model;
 
 pub use error::CircuitError;
-pub use library::Library;
-pub use model::{BoxedModel, ComponentModel, ValueContext};
+pub use library::{converter_resolution, is_adc_class, Library};
+pub use model::{BoxedModel, ComponentModel, NoiseParams, ValueContext};

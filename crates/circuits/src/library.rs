@@ -12,6 +12,20 @@ use crate::model::Calibrated;
 use crate::{BoxedModel, CircuitError, ComponentModel, ValueContext};
 use cimloop_tech::device::ReramCell;
 
+/// Whether `class` resolves to an output ADC model in this library.
+/// Exposed so evaluators detect the quantizing converter with the same
+/// class list the model builder uses.
+pub fn is_adc_class(class: &str) -> bool {
+    matches!(class, "sar_adc" | "adc")
+}
+
+/// The converter resolution the library reads for a component:
+/// `resolution`, or its accepted alias `bits`. Exposed for the same
+/// lockstep reason as [`is_adc_class`].
+pub fn converter_resolution(attrs: &Attributes) -> Option<i64> {
+    attrs.int("resolution").or_else(|| attrs.int("bits"))
+}
+
 /// A component that consumes no energy and no area (for abstract nodes).
 #[derive(Debug, Clone, Default)]
 struct FreeModel;
@@ -40,9 +54,11 @@ impl ComponentModel for FreeModel {
 /// | `energy_scale` / `area_scale` / `latency_scale` | calibration multipliers | 1 |
 ///
 /// Class-specific attributes: `resolution`/`bits`, `sample_rate`,
-/// `value_aware` (ADCs); `entries`, `width` (memories); `cols`, `rows`
-/// (drivers/muxes); `operands` (analog adder); `length_mm` (wire);
-/// `energy_per_bit` (DRAM); `g_min`, `g_max`, `v_read`, `t_read` (ReRAM).
+/// `value_aware`, `noise_read_sigma`, `noise_offset_sigma` (ADCs);
+/// `entries`, `width` (memories); `cols`, `rows` (drivers/muxes);
+/// `operands` (analog adder); `length_mm` (wire); `energy_per_bit`
+/// (DRAM); `g_min`, `g_max`, `v_read`, `t_read`,
+/// `noise_variation_sigma` (CiM cells).
 #[derive(Debug, Clone, Default)]
 pub struct Library {
     _private: (),
@@ -110,16 +126,20 @@ impl Library {
                 .map_err(|e| CircuitError::param("supply_voltage", e.to_string()))?;
         }
 
-        let bits = attrs
-            .int("resolution")
-            .or_else(|| attrs.int("bits"))
-            .unwrap_or(8) as u32;
+        let bits = converter_resolution(attrs).unwrap_or(8) as u32;
 
         let inner: BoxedModel = match class {
             "sar_adc" | "adc" => {
                 let rate = attrs.float_or("sample_rate", 100e6);
                 let value_aware = attrs.bool("value_aware").unwrap_or(false);
-                Box::new(SarAdc::new(bits, node, rate)?.with_value_aware(value_aware))
+                Box::new(
+                    SarAdc::new(bits, node, rate)?
+                        .with_value_aware(value_aware)
+                        .with_noise_sigmas(
+                            attrs.float_or("noise_read_sigma", 0.0),
+                            attrs.float_or("noise_offset_sigma", 0.0),
+                        )?,
+                )
             }
             "capacitive_dac" | "dac" => Box::new(CapacitiveDac::new(bits, node)?),
             "current_dac" => Box::new(CurrentDac::new(bits, node)?),
@@ -127,7 +147,10 @@ impl Library {
                 let cols = attrs.int_or("cols", 256).max(1) as u64;
                 Box::new(PulseDriver::for_row(cols, node)?)
             }
-            "sram_cim_cell" => Box::new(SramCimCell::new(node)),
+            "sram_cim_cell" => Box::new(
+                SramCimCell::new(node)
+                    .with_variation_sigma(attrs.float_or("noise_variation_sigma", 0.0))?,
+            ),
             "reram_cim_cell" => {
                 let g_min = attrs.float_or("g_min", 1e-6);
                 let g_max = attrs.float_or("g_max", 100e-6);
@@ -135,7 +158,10 @@ impl Library {
                 let t_read = attrs.float_or("t_read", 10e-9);
                 let device = ReramCell::new(g_min, g_max, v_read, t_read)
                     .map_err(|e| CircuitError::param("reram device", e.to_string()))?;
-                Box::new(ReramCimCell::new(device))
+                Box::new(
+                    ReramCimCell::new(device)
+                        .with_variation_sigma(attrs.float_or("noise_variation_sigma", 0.0))?,
+                )
             }
             "analog_adder" => {
                 let operands = attrs.int_or("operands", 2).max(1) as u32;
@@ -299,6 +325,56 @@ mod tests {
         let adc8 = lib.build("sar_adc", &a).unwrap();
         let ctx = ValueContext::none();
         assert!(adc8.read_energy(&ctx) > 4.0 * adc4.read_energy(&ctx));
+    }
+
+    #[test]
+    fn noise_attributes_reach_models() {
+        let lib = Library::new();
+        let adc = lib
+            .build(
+                "sar_adc",
+                &attrs(&[("noise_read_sigma", 0.01), ("noise_offset_sigma", 0.5)]),
+            )
+            .unwrap();
+        assert_eq!(adc.noise().read_sigma, 0.01);
+        assert_eq!(adc.noise().offset_sigma_lsb, 0.5);
+        for cell_class in ["sram_cim_cell", "reram_cim_cell"] {
+            let cell = lib
+                .build(cell_class, &attrs(&[("noise_variation_sigma", 0.12)]))
+                .unwrap();
+            assert_eq!(cell.noise().variation_sigma, 0.12, "{cell_class}");
+        }
+        // Calibration wrappers forward the noise declaration.
+        let calibrated = lib
+            .build(
+                "sram_cim_cell",
+                &attrs(&[("noise_variation_sigma", 0.12), ("energy_scale", 2.0)]),
+            )
+            .unwrap();
+        assert_eq!(calibrated.noise().variation_sigma, 0.12);
+        // Defaults are ideal.
+        assert!(lib
+            .build("sar_adc", &Attributes::new())
+            .unwrap()
+            .noise()
+            .is_none());
+    }
+
+    #[test]
+    fn negative_noise_sigmas_rejected() {
+        let lib = Library::new();
+        assert!(lib
+            .build("sar_adc", &attrs(&[("noise_read_sigma", -0.1)]))
+            .is_err());
+        assert!(lib
+            .build("sram_cim_cell", &attrs(&[("noise_variation_sigma", -0.1)]))
+            .is_err());
+        assert!(lib
+            .build(
+                "reram_cim_cell",
+                &attrs(&[("noise_variation_sigma", f64::NAN)])
+            )
+            .is_err());
     }
 
     #[test]

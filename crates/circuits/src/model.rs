@@ -96,6 +96,50 @@ impl<'a> ValueContext<'a> {
     }
 }
 
+/// The statistical non-ideality parameters one component contributes to
+/// its macro's accuracy model (the noise-spec side of the plug-in
+/// interface; the `cimloop-noise` crate turns these into distribution
+/// transforms).
+///
+/// Each field is a standard deviation of an independent zero-mean
+/// perturbation: `variation_sigma` is the relative per-cell
+/// conductance/programming error (cells), `read_sigma` is additive
+/// column read noise as a fraction of full scale (converters), and
+/// `offset_sigma_lsb` is the converter input offset in LSBs (ADCs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NoiseParams {
+    /// Relative per-cell conductance/programming variation sigma.
+    pub variation_sigma: f64,
+    /// Column read-noise sigma, fraction of full scale.
+    pub read_sigma: f64,
+    /// Converter input-offset sigma, LSBs.
+    pub offset_sigma_lsb: f64,
+}
+
+impl NoiseParams {
+    /// No noise contribution (the default for every model).
+    pub const NONE: NoiseParams = NoiseParams {
+        variation_sigma: 0.0,
+        read_sigma: 0.0,
+        offset_sigma_lsb: 0.0,
+    };
+
+    /// Whether every sigma is zero.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+}
+
+/// Validates one declared noise sigma (shared by every model that
+/// accepts one): finite and non-negative, named in the error.
+pub(crate) fn validate_sigma(name: &'static str, sigma: f64) -> Result<f64, crate::CircuitError> {
+    if sigma.is_finite() && sigma >= 0.0 {
+        Ok(sigma)
+    } else {
+        Err(crate::CircuitError::param(name, "must be >= 0"))
+    }
+}
+
 /// A component area/energy/latency model (one Accelergy plug-in entry).
 ///
 /// Energies are joules per action; area is m²; latency is seconds per
@@ -128,6 +172,12 @@ pub trait ComponentModel: Send + Sync {
     /// Static leakage power of one instance, watts.
     fn leakage(&self) -> f64 {
         0.0
+    }
+
+    /// The component's statistical non-ideality contribution. Defaults
+    /// to no contribution (ideal component).
+    fn noise(&self) -> NoiseParams {
+        NoiseParams::NONE
     }
 }
 
@@ -178,6 +228,10 @@ impl ComponentModel for Calibrated {
 
     fn leakage(&self) -> f64 {
         self.inner.leakage() * self.energy_scale
+    }
+
+    fn noise(&self) -> NoiseParams {
+        self.inner.noise()
     }
 }
 

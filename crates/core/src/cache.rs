@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use cimloop_noise::NoiseSpec;
 use cimloop_workload::{Layer, ValueProfile};
 
 use crate::pipeline::ValueStats;
@@ -58,19 +59,30 @@ impl ValueSignature {
 ///
 /// The signature is the layer/representation [`ValueSignature`] plus a
 /// fingerprint of the evaluator's hierarchy (so one cache can safely serve
-/// several evaluators).
+/// several evaluators) plus the evaluator's resolved [`NoiseSpec`] — an
+/// evaluator whose noise was overridden after construction computes
+/// different accuracy metrics and must not share tables with the
+/// attr-derived configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TableSignature {
     hierarchy_fingerprint: u64,
+    noise: [u64; 3],
     value: ValueSignature,
 }
 
 impl TableSignature {
     /// Builds the signature of `layer` under `rep` for an evaluator whose
-    /// hierarchy hashes to `hierarchy_fingerprint`.
-    pub fn new(hierarchy_fingerprint: u64, layer: &Layer, rep: &Representation) -> Self {
+    /// hierarchy hashes to `hierarchy_fingerprint` and whose resolved
+    /// non-ideality spec is `noise`.
+    pub fn new(
+        hierarchy_fingerprint: u64,
+        layer: &Layer,
+        rep: &Representation,
+        noise: &NoiseSpec,
+    ) -> Self {
         TableSignature {
             hierarchy_fingerprint,
+            noise: noise.signature_bits(),
             value: ValueSignature::new(layer, rep),
         }
     }
@@ -285,23 +297,39 @@ mod tests {
 
     #[test]
     fn signature_ignores_shape_and_name() {
-        let a = TableSignature::new(7, &layer("a", 16), &rep());
-        let b = TableSignature::new(7, &layer("b", 256), &rep());
+        let a = TableSignature::new(7, &layer("a", 16), &rep(), &NoiseSpec::ideal());
+        let b = TableSignature::new(7, &layer("b", 256), &rep(), &NoiseSpec::ideal());
         assert_eq!(a, b);
     }
 
     #[test]
     fn signature_tracks_value_relevant_fields() {
-        let base = TableSignature::new(7, &layer("l", 16), &rep());
-        let bits = TableSignature::new(7, &layer("l", 16).with_input_bits(4), &rep());
-        let signed = TableSignature::new(7, &layer("l", 16).with_input_signed(true), &rep());
+        let base = TableSignature::new(7, &layer("l", 16), &rep(), &NoiseSpec::ideal());
+        let bits = TableSignature::new(
+            7,
+            &layer("l", 16).with_input_bits(4),
+            &rep(),
+            &NoiseSpec::ideal(),
+        );
+        let signed = TableSignature::new(
+            7,
+            &layer("l", 16).with_input_signed(true),
+            &rep(),
+            &NoiseSpec::ideal(),
+        );
         let profile = TableSignature::new(
             7,
             &layer("l", 16).with_input_profile(ValueProfile::UniformUnsigned),
             &rep(),
+            &NoiseSpec::ideal(),
         );
-        let other_rep = TableSignature::new(7, &layer("l", 16), &rep().with_slicing(2, 4).unwrap());
-        let other_hierarchy = TableSignature::new(8, &layer("l", 16), &rep());
+        let other_rep = TableSignature::new(
+            7,
+            &layer("l", 16),
+            &rep().with_slicing(2, 4).unwrap(),
+            &NoiseSpec::ideal(),
+        );
+        let other_hierarchy = TableSignature::new(8, &layer("l", 16), &rep(), &NoiseSpec::ideal());
         for other in [bits, signed, profile, other_rep, other_hierarchy] {
             assert_ne!(base, other);
         }
@@ -313,15 +341,15 @@ mod tests {
             layer("l", 16).with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.1 });
         let wide = layer("l", 16).with_weight_profile(ValueProfile::GaussianWeights { sigma: 0.2 });
         assert_ne!(
-            TableSignature::new(1, &narrow, &rep()),
-            TableSignature::new(1, &wide, &rep())
+            TableSignature::new(1, &narrow, &rep(), &NoiseSpec::ideal()),
+            TableSignature::new(1, &wide, &rep(), &NoiseSpec::ideal())
         );
     }
 
     #[test]
     fn cache_counts_hits_and_misses() {
         let cache = EnergyTableCache::new();
-        let sig = TableSignature::new(1, &layer("l", 16), &rep());
+        let sig = TableSignature::new(1, &layer("l", 16), &rep(), &NoiseSpec::ideal());
         let make = || Ok(ActionEnergyTable::empty_for_tests());
         let first = cache.get_or_try_insert_with(sig.clone(), make).unwrap();
         let second = cache.get_or_try_insert_with(sig, make).unwrap();
@@ -342,8 +370,8 @@ mod tests {
         let l = layer("l", 16);
         let r = rep();
         assert_ne!(
-            TableSignature::new(1, &l, &r),
-            TableSignature::new(2, &l, &r)
+            TableSignature::new(1, &l, &r, &NoiseSpec::ideal()),
+            TableSignature::new(2, &l, &r, &NoiseSpec::ideal())
         );
         assert_eq!(
             StatsSignature::new(64, &l, &r),
@@ -377,7 +405,7 @@ mod tests {
     #[test]
     fn failed_compute_inserts_nothing() {
         let cache = EnergyTableCache::new();
-        let sig = TableSignature::new(1, &layer("l", 16), &rep());
+        let sig = TableSignature::new(1, &layer("l", 16), &rep(), &NoiseSpec::ideal());
         let err = cache.get_or_try_insert_with(sig, || {
             Err(CoreError::Representation {
                 message: "boom".to_owned(),

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use cimloop_circuits::{BoxedModel, Library, ValueContext};
 use cimloop_map::{analyze, Mapper, Mapping};
+use cimloop_noise::{NoiseReport, NoiseSpec};
 use cimloop_spec::{Hierarchy, Reuse, Tensor};
 use cimloop_workload::{Layer, Shape, Workload};
 
@@ -35,6 +36,7 @@ struct ActionEnergy {
 pub struct ActionEnergyTable {
     entries: BTreeMap<String, [ActionEnergy; 3]>,
     cycle_time: f64,
+    noise: Option<NoiseReport>,
 }
 
 impl ActionEnergyTable {
@@ -83,12 +85,21 @@ impl ActionEnergyTable {
         ActionEnergyTable {
             entries: BTreeMap::new(),
             cycle_time: 1e-9,
+            noise: None,
         }
     }
 
     /// The macro cycle time implied by the slowest per-cycle component.
     pub fn cycle_time(&self) -> f64 {
         self.cycle_time
+    }
+
+    /// The statistical output-accuracy summary of the analog readout for
+    /// this (layer, representation) pair, or `None` for hierarchies with
+    /// no output converter and no declared noise (digital readout
+    /// resolves every bit exactly). Mapping-invariant, like the energies.
+    pub fn noise(&self) -> Option<NoiseReport> {
+        self.noise
     }
 }
 
@@ -131,6 +142,7 @@ pub struct LayerReport {
     spatial_utilization: f64,
     cycles: u64,
     cycle_time: f64,
+    noise: Option<NoiseReport>,
 }
 
 impl LayerReport {
@@ -230,6 +242,17 @@ impl LayerReport {
         }
         2.0 * self.macs as f64 / energy / 1e12
     }
+
+    /// The statistical output-accuracy summary of the analog readout
+    /// (`None` for digital readout with no declared noise).
+    pub fn noise(&self) -> Option<NoiseReport> {
+        self.noise
+    }
+
+    /// Expected output SNR of the analog readout in dB, if modeled.
+    pub fn output_snr_db(&self) -> Option<f64> {
+        self.noise.map(|n| n.snr_db)
+    }
 }
 
 /// Evaluation result for a whole workload.
@@ -309,6 +332,24 @@ impl RunReport {
             .map(|(count, l)| *count as f64 * l.energy_of(component))
             .sum()
     }
+
+    /// The workload's expected output SNR in dB: the *worst* per-layer
+    /// SNR, since a network's accuracy is gated by its noisiest layer.
+    /// `None` if no layer modeled an analog readout.
+    pub fn output_snr_db(&self) -> Option<f64> {
+        self.layers
+            .iter()
+            .filter_map(|(_, l)| l.output_snr_db())
+            .min_by(f64::total_cmp)
+    }
+
+    /// The workload's effective number of output bits (worst layer).
+    pub fn output_enob(&self) -> Option<f64> {
+        self.layers
+            .iter()
+            .filter_map(|(_, l)| l.noise().map(|n| n.enob))
+            .min_by(f64::total_cmp)
+    }
 }
 
 /// Per-component area summary.
@@ -351,6 +392,8 @@ pub struct Evaluator {
     mapper: Mapper,
     hierarchy_fingerprint: u64,
     reduction_rows: u64,
+    noise: NoiseSpec,
+    output_adc_bits: Option<u32>,
 }
 
 impl Evaluator {
@@ -379,13 +422,59 @@ impl Evaluator {
         cimloop_spec::yamlite::write(&hierarchy).hash(&mut hasher);
         let hierarchy_fingerprint = hasher.finish();
         let reduction_rows = reduction_rows_of(&hierarchy);
+
+        // Resolve the macro-level noise spec from the per-component
+        // declarations (noise_* attributes parsed by the circuit library)
+        // and the output converter the accuracy analysis quantizes at.
+        let mut noise = NoiseSpec::ideal();
+        for model in models.values() {
+            let p = model.noise();
+            noise = noise.max(
+                &NoiseSpec::new()
+                    .with_cell_variation(p.variation_sigma)
+                    .with_read_noise(p.read_sigma)
+                    .with_adc_offset(p.offset_sigma_lsb),
+            );
+        }
+        // Detect the quantizing converter with the same class list and
+        // resolution aliases the circuit library's model builder uses.
+        let output_adc_bits = hierarchy
+            .components()
+            .filter(|c| cimloop_circuits::is_adc_class(c.class()))
+            .filter_map(|c| cimloop_circuits::converter_resolution(c.attributes()))
+            .map(|bits| bits.clamp(1, 24) as u32)
+            .min();
+
         Ok(Evaluator {
             hierarchy,
             models,
             mapper: Mapper::default(),
             hierarchy_fingerprint,
             reduction_rows,
+            noise,
+            output_adc_bits,
         })
+    }
+
+    /// Overrides the non-ideality spec resolved from the hierarchy's
+    /// `noise_*` attributes (e.g. to sweep variation tolerance without
+    /// rebuilding hierarchies). The override participates in the cache
+    /// signature, so overridden and attribute-derived evaluators never
+    /// share energy tables.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The resolved non-ideality spec.
+    pub fn noise(&self) -> NoiseSpec {
+        self.noise
+    }
+
+    /// The output converter resolution the accuracy analysis quantizes
+    /// at (`None` for digital readout).
+    pub fn output_adc_bits(&self) -> Option<u32> {
+        self.output_adc_bits
     }
 
     /// The hierarchy's in-network output-reduction width (the column-sum
@@ -469,9 +558,24 @@ impl Evaluator {
         if cycle_time == 0.0 {
             cycle_time = 1e-9;
         }
+        // The accuracy half of the statistical model: compose the
+        // non-ideality transforms after the column-sum convolution
+        // whenever there is an output converter to quantize at or any
+        // declared noise. Purely digital, noise-free readout is exact and
+        // carries no report.
+        let noise = if self.output_adc_bits.is_some() || !self.noise.is_ideal() {
+            Some(
+                pipeline
+                    .noise_analysis(&self.noise, self.output_adc_bits)
+                    .report(),
+            )
+        } else {
+            None
+        };
         ActionEnergyTable {
             entries,
             cycle_time,
+            noise,
         }
     }
 
@@ -533,13 +637,14 @@ impl Evaluator {
             spatial_utilization: counts.spatial_utilization(),
             cycles,
             cycle_time: table.cycle_time(),
+            noise: table.noise(),
         })
     }
 
     /// The [`TableSignature`] of `layer` under `rep` on this evaluator:
     /// layers with equal signatures share one [`ActionEnergyTable`].
     pub fn table_signature(&self, layer: &Layer, rep: &Representation) -> TableSignature {
-        TableSignature::new(self.hierarchy_fingerprint, layer, rep)
+        TableSignature::new(self.hierarchy_fingerprint, layer, rep, &self.noise)
     }
 
     /// Like [`Self::action_energies`], but served through `cache` at both
@@ -957,6 +1062,101 @@ slice_storage: true
         assert!((report.energy_total() - sum).abs() < 1e-18);
         assert!(report.tops_per_watt() > 0.0);
         assert!(report.energy_per_mac() > 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_noise_reports_are_bit_identical_to_ideal() {
+        // Hierarchies that declare all-zero noise attributes differ in
+        // their serialized spec (and thus cache fingerprint) but must
+        // produce bit-identical reports: the disabled noise path is an
+        // exact identity.
+        let ideal = Evaluator::new(base_macro(64, 64, 8)).unwrap();
+        let spec = cimloop_spec::yamlite::write(ideal.hierarchy()).replace(
+            "class: sram_cim_cell",
+            "class: sram_cim_cell\nnoise_variation_sigma: 0.0",
+        );
+        let zeroed = Evaluator::new(Hierarchy::from_yamlite(&spec).unwrap()).unwrap();
+        assert!(zeroed.noise().is_ideal());
+        let layer = small_layer();
+        let a = ideal.evaluate_layer(&layer, &rep()).unwrap();
+        let b = zeroed.evaluate_layer(&layer, &rep()).unwrap();
+        assert_eq!(a, b);
+        // The explicit zero-spec override is the same identity.
+        let overridden = Evaluator::new(base_macro(64, 64, 8))
+            .unwrap()
+            .with_noise(NoiseSpec::new().with_cell_variation(0.0));
+        let c = overridden.evaluate_layer(&layer, &rep()).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn adc_bits_alias_is_recognized() {
+        // The circuit library accepts `bits` as an alias for `resolution`
+        // on ADCs; the accuracy analysis must see the same converter.
+        let spec = cimloop_spec::yamlite::write(&base_macro(32, 32, 6))
+            .replace("resolution: 6", "bits: 6");
+        let e = Evaluator::new(Hierarchy::from_yamlite(&spec).unwrap()).unwrap();
+        assert_eq!(e.output_adc_bits(), Some(6));
+        let report = e.evaluate_layer(&small_layer(), &rep()).unwrap();
+        assert!(report.noise().is_some(), "aliased ADC must be quantized");
+    }
+
+    #[test]
+    fn noise_attributes_degrade_reported_snr_not_energy() {
+        let ideal = Evaluator::new(base_macro(64, 64, 8)).unwrap();
+        let noisy = Evaluator::new(base_macro(64, 64, 8))
+            .unwrap()
+            .with_noise(NoiseSpec::new().with_cell_variation(0.15));
+        let layer = small_layer();
+        let a = ideal.evaluate_layer(&layer, &rep()).unwrap();
+        let b = noisy.evaluate_layer(&layer, &rep()).unwrap();
+        // Energy is untouched: noise is an accuracy model, not an energy
+        // model.
+        assert_eq!(a.energy_total(), b.energy_total());
+        // Accuracy degrades below the quantization-limited ideal.
+        let snr_ideal = a.output_snr_db().expect("analog readout is modeled");
+        let snr_noisy = b.output_snr_db().expect("analog readout is modeled");
+        assert!(snr_noisy < snr_ideal, "{snr_noisy} vs {snr_ideal}");
+        assert!(b.noise().unwrap().enob <= a.noise().unwrap().enob);
+    }
+
+    #[test]
+    fn noise_override_splits_cache_signatures() {
+        let base = Evaluator::new(base_macro(32, 32, 8)).unwrap();
+        let noisy = Evaluator::new(base_macro(32, 32, 8))
+            .unwrap()
+            .with_noise(NoiseSpec::new().with_read_noise(0.01));
+        let layer = small_layer();
+        let r = rep();
+        assert_ne!(
+            base.table_signature(&layer, &r),
+            noisy.table_signature(&layer, &r)
+        );
+        let cache = EnergyTableCache::new();
+        let _ = base.action_energies_cached(&layer, &r, &cache).unwrap();
+        let _ = noisy.action_energies_cached(&layer, &r, &cache).unwrap();
+        assert_eq!(cache.misses(), 2, "noise spec must split table entries");
+        // But the expensive value statistics are noise-independent and
+        // shared.
+        assert_eq!(cache.stats_len(), 1);
+        assert_eq!(cache.stats_hits(), 1);
+    }
+
+    #[test]
+    fn workload_snr_is_the_worst_layer() {
+        let e = Evaluator::new(base_macro(64, 64, 6))
+            .unwrap()
+            .with_noise(NoiseSpec::new().with_cell_variation(0.1));
+        let layers = vec![small_layer(), small_layer().with_input_bits(4)];
+        let net = cimloop_workload::Workload::new("net", layers).unwrap();
+        let report = e.evaluate(&net, &rep()).unwrap();
+        let min = report
+            .layers()
+            .iter()
+            .filter_map(|(_, l)| l.output_snr_db())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.output_snr_db(), Some(min));
+        assert!(report.output_enob().unwrap() >= 0.0);
     }
 
     #[test]

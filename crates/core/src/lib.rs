@@ -94,3 +94,9 @@ pub use evaluator::{
 };
 pub use pipeline::{reduction_rows_of, Pipeline, ValueStats};
 pub use representation::Representation;
+
+// The statistical non-ideality subsystem (cell variation, read noise,
+// ADC error) composes into the pipeline after the column-sum
+// convolution; re-exported so evaluator callers can configure it without
+// a direct `cimloop-noise` dependency.
+pub use cimloop_noise::{NoiseAnalysis, NoiseReport, NoiseSpec};

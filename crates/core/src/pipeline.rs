@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cimloop_circuits::ValueContext;
+use cimloop_noise::{NoiseAnalysis, NoiseSpec};
 use cimloop_spec::{Component, Hierarchy, Reuse, Tensor};
 use cimloop_stats::Pmf;
 use cimloop_workload::Layer;
@@ -68,6 +69,9 @@ pub struct ValueStats {
     sum: Pmf,
     /// The largest possible column sum (normalization full scale).
     sum_max: f64,
+    /// `E[p²]` of one slice-granular product — what one cell contributes
+    /// to the column sum; programming-variation noise scales with it.
+    product_sq_mean: f64,
     reduction_rows: u64,
 }
 
@@ -110,6 +114,7 @@ impl ValueStats {
             .pmf()
             .product(weight_slice.pmf())
             .coarsen(SUM_SUPPORT);
+        let product_sq_mean = product.second_moment();
         let sum = product.convolve_n(reduction_rows, SUM_SUPPORT);
         let sum_max =
             (slice_max(rep.dac_bits()) * slice_max(rep.cell_bits())) * reduction_rows as f64;
@@ -121,6 +126,7 @@ impl ValueStats {
             weight_slice,
             sum,
             sum_max,
+            product_sq_mean,
             reduction_rows,
         })
     }
@@ -134,6 +140,18 @@ impl ValueStats {
     /// normalization).
     pub fn sum(&self) -> &Pmf {
         &self.sum
+    }
+
+    /// The largest possible raw column sum (the normalization and ADC
+    /// full scale).
+    pub fn sum_max(&self) -> f64 {
+        self.sum_max
+    }
+
+    /// `E[p²]` of one slice-granular analog product (one cell's
+    /// contribution to the column sum).
+    pub fn product_second_moment(&self) -> f64 {
+        self.product_sq_mean
     }
 }
 
@@ -220,6 +238,28 @@ impl Pipeline {
             .get(&bits)
             .or_else(|| self.sums_by_bits.get(&8))
             .expect("8-bit view always present")
+    }
+
+    /// Composes the statistical non-ideality transforms into the
+    /// pipeline *after* the column-sum convolution: the raw column sum is
+    /// perturbed by the spec's (input-referred, data-value-scaled)
+    /// Gaussian sources and passed through the output converter's
+    /// clamp-and-quantize transfer, yielding the output-error
+    /// distribution and the derived SNR/ENOB accuracy metrics.
+    ///
+    /// `adc_bits` is the output converter resolution, or `None` for
+    /// digital readout (no quantization). Deterministic: equal pipelines
+    /// and specs give bit-identical analyses.
+    pub fn noise_analysis(&self, spec: &NoiseSpec, adc_bits: Option<u32>) -> NoiseAnalysis {
+        let stats = &*self.stats;
+        NoiseAnalysis::analyze(
+            &stats.sum,
+            stats.sum_max,
+            stats.reduction_rows,
+            stats.product_sq_mean,
+            adc_bits,
+            spec,
+        )
     }
 
     /// The value context `component` sees when acting on `tensor`
@@ -403,6 +443,20 @@ mod tests {
         let adc_ctx = p.context_for(h.component("ADC").unwrap(), Tensor::Outputs);
         assert_eq!(adc_ctx.bits, 6);
         assert!(adc_ctx.driven.unwrap().max() <= 63.0);
+    }
+
+    #[test]
+    fn noise_analysis_composes_after_column_sum() {
+        let p = Pipeline::new(&hierarchy(64), &layer(), &rep()).unwrap();
+        // Quantization-limited accuracy at the hierarchy's 6-bit ADC.
+        let clean = p.noise_analysis(&NoiseSpec::ideal(), Some(6));
+        // Adding programming variation can only lose fidelity.
+        let noisy = p.noise_analysis(&NoiseSpec::new().with_cell_variation(0.2), Some(6));
+        assert!(noisy.snr_db() < clean.snr_db());
+        assert!(noisy.enob() <= clean.enob());
+        // Digital readout with an ideal spec has zero output error.
+        let digital = p.noise_analysis(&NoiseSpec::ideal(), None);
+        assert_eq!(digital.noise_power(), 0.0);
     }
 
     #[test]

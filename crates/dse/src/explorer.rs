@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use cimloop_core::{CoreError, EnergyTableCache, Evaluator, Representation, RunReport};
 use cimloop_macros::ArrayMacro;
+use cimloop_noise::SNR_CAP_DB;
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::Workload;
 
@@ -38,6 +39,21 @@ pub enum EvalScope {
     /// NoC) under the given storage scenario — the view in which Fig 2's
     /// co-design conclusion holds.
     System(StorageScenario),
+}
+
+/// How a design's accuracy axis is scored for Pareto comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccuracyObjective {
+    /// The noise-derived expected output SNR (dB) from the statistical
+    /// non-ideality subsystem: quantization, cell variation, read noise,
+    /// and ADC offset, composed over the data-value distributions. The
+    /// default.
+    #[default]
+    OutputSnr,
+    /// The legacy ADC-coverage proxy (fraction of the column-sum
+    /// bit-width the converter resolves). Kept behind this constructor
+    /// for golden continuity with pre-noise sweeps.
+    AdcCoverage,
 }
 
 /// The retained summary of one evaluated design: its configuration, the
@@ -60,18 +76,39 @@ pub struct DesignReport {
     pub area_mm2: f64,
     /// The ADC-coverage accuracy proxy, in `[0, 1]`.
     pub accuracy_proxy: f64,
+    /// The workload's worst-layer expected output SNR in dB from the
+    /// noise subsystem (`None` when no analog readout is modeled, i.e.
+    /// digital designs that resolve every bit).
+    pub output_snr_db: Option<f64>,
     /// Total useful MACs of the workload.
     pub macs: u64,
 }
 
 impl DesignReport {
-    /// The design's objective vector for Pareto comparison.
+    /// The design's objective vector under the legacy ADC-coverage
+    /// accuracy proxy (what pre-noise sweeps scored).
+    ///
+    /// Note this is **not** the [`Explorer::new`] default
+    /// ([`AccuracyObjective::OutputSnr`]): when hand-building a baseline
+    /// front to compare against an explorer's, score both sides with
+    /// [`Self::objectives_for`] and one explicit objective.
     pub fn objectives(&self) -> Objectives {
+        self.objectives_for(AccuracyObjective::AdcCoverage)
+    }
+
+    /// The design's objective vector with the accuracy axis scored per
+    /// `accuracy`. Digital (no-ADC) designs resolve every bit, so under
+    /// [`AccuracyObjective::OutputSnr`] they score the SNR cap.
+    pub fn objectives_for(&self, accuracy: AccuracyObjective) -> Objectives {
+        let accuracy_proxy = match accuracy {
+            AccuracyObjective::AdcCoverage => self.accuracy_proxy,
+            AccuracyObjective::OutputSnr => self.output_snr_db.unwrap_or(SNR_CAP_DB),
+        };
         Objectives {
             energy_per_mac: self.energy_per_mac,
             tops_per_watt: self.tops_per_watt,
             area_mm2: self.area_mm2,
-            accuracy_proxy: self.accuracy_proxy,
+            accuracy_proxy,
         }
     }
 }
@@ -113,6 +150,7 @@ pub struct Exploration {
 pub struct Explorer {
     scope: EvalScope,
     threads: usize,
+    accuracy: AccuracyObjective,
     cache: Arc<EnergyTableCache>,
 }
 
@@ -123,20 +161,40 @@ impl Default for Explorer {
 }
 
 impl Explorer {
-    /// A macro-scope explorer using every available core and a fresh
-    /// cache.
+    /// A macro-scope explorer using every available core, a fresh cache,
+    /// and the noise-derived [`AccuracyObjective::OutputSnr`] accuracy
+    /// axis.
     pub fn new() -> Self {
         Explorer {
             scope: EvalScope::default(),
             threads: 0,
+            accuracy: AccuracyObjective::default(),
             cache: Arc::new(EnergyTableCache::new()),
         }
+    }
+
+    /// An explorer scoring accuracy with the legacy ADC-coverage proxy —
+    /// the pre-noise behaviour, kept for golden continuity (the committed
+    /// `dse_sweep` front was produced under this objective).
+    pub fn with_adc_coverage_accuracy() -> Self {
+        Self::new().with_accuracy(AccuracyObjective::AdcCoverage)
     }
 
     /// Sets the evaluation scope.
     pub fn with_scope(mut self, scope: EvalScope) -> Self {
         self.scope = scope;
         self
+    }
+
+    /// Sets the accuracy objective of the Pareto front's accuracy axis.
+    pub fn with_accuracy(mut self, accuracy: AccuracyObjective) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// The configured accuracy objective.
+    pub fn accuracy(&self) -> AccuracyObjective {
+        self.accuracy
     }
 
     /// Sets the worker-thread count. `0` (the default) resolves to
@@ -199,7 +257,7 @@ impl Explorer {
                 sink(&report);
                 front.lock().expect("front lock poisoned").insert(
                     point.id(),
-                    report.objectives(),
+                    report.objectives_for(self.accuracy),
                     report,
                 );
             }
@@ -225,7 +283,7 @@ impl Explorer {
                                     sink(&report);
                                     front.lock().expect("front lock poisoned").insert(
                                         point.id(),
-                                        report.objectives(),
+                                        report.objectives_for(this.accuracy),
                                         report,
                                     );
                                 }
@@ -308,6 +366,7 @@ pub fn summarize(point: &DesignPoint, evaluator: &Evaluator, run: &RunReport) ->
         latency: run.latency_total(),
         area_mm2: evaluator.area().total_mm2(),
         accuracy_proxy: accuracy_proxy(point.cim_macro()),
+        output_snr_db: run.output_snr_db(),
         macs: run.macs_total(),
     }
 }
@@ -343,27 +402,63 @@ mod tests {
     fn explorer_matches_naive_sequential_sweep() {
         let space = tiny_space();
         let net = tiny_workload();
-        let explorer = Explorer::new().with_threads(2);
-        let exploration = explorer.explore(&space, &net).unwrap();
-        assert_eq!(exploration.evaluated, 8);
+        // Both objectives must match a naive uncached sweep bit-for-bit.
+        for accuracy in [AccuracyObjective::AdcCoverage, AccuracyObjective::OutputSnr] {
+            let explorer = Explorer::new().with_accuracy(accuracy).with_threads(2);
+            let exploration = explorer.explore(&space, &net).unwrap();
+            assert_eq!(exploration.evaluated, 8);
 
-        // Naive: fresh evaluator per design, no cache.
-        let mut naive = ParetoFront::new();
+            // Naive: fresh evaluator per design, no cache.
+            let mut naive = ParetoFront::new();
+            for point in space.designs() {
+                let evaluator = point.cim_macro().evaluator().unwrap();
+                let run = evaluator
+                    .evaluate(&net, &point.cim_macro().representation())
+                    .unwrap();
+                let report = summarize(&point, &evaluator, &run);
+                naive.insert(point.id(), report.objectives_for(accuracy), report);
+            }
+
+            assert_eq!(exploration.front.len(), naive.len());
+            for (a, b) in exploration.front.members().iter().zip(naive.members()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.objectives, b.objectives);
+                assert_eq!(a.value.energy_total, b.value.energy_total);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_constructor_scores_adc_coverage() {
+        let explorer = Explorer::with_adc_coverage_accuracy();
+        assert_eq!(explorer.accuracy(), AccuracyObjective::AdcCoverage);
+        assert_eq!(Explorer::new().accuracy(), AccuracyObjective::OutputSnr);
+    }
+
+    #[test]
+    fn snr_objective_separates_noisy_designs_where_the_proxy_cannot() {
+        // Two designs identical except for cell variation: the ADC
+        // coverage proxy scores them equally, the SNR objective does not.
+        let quiet = base_macro().uncalibrated();
+        let noisy = base_macro()
+            .uncalibrated()
+            .with_noise(cimloop_noise::NoiseSpec::new().with_cell_variation(0.2));
+        let space = DesignSpace::new()
+            .variant("quiet", quiet)
+            .variant("noisy", noisy);
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(1);
+        let mut reports: Vec<DesignReport> = Vec::new();
         for point in space.designs() {
-            let evaluator = point.cim_macro().evaluator().unwrap();
-            let run = evaluator
-                .evaluate(&net, &point.cim_macro().representation())
-                .unwrap();
-            let report = summarize(&point, &evaluator, &run);
-            naive.insert(point.id(), report.objectives(), report);
+            reports.push(explorer.evaluate_design(&point, &net).unwrap());
         }
-
-        assert_eq!(exploration.front.len(), naive.len());
-        for (a, b) in exploration.front.members().iter().zip(naive.members()) {
-            assert_eq!(a.id, b.id);
-            assert_eq!(a.objectives, b.objectives);
-            assert_eq!(a.value.energy_total, b.value.energy_total);
-        }
+        assert_eq!(reports[0].accuracy_proxy, reports[1].accuracy_proxy);
+        let quiet_snr = reports[0].output_snr_db.unwrap();
+        let noisy_snr = reports[1].output_snr_db.unwrap();
+        assert!(noisy_snr < quiet_snr, "{noisy_snr} vs {quiet_snr}");
+        let o_quiet = reports[0].objectives_for(AccuracyObjective::OutputSnr);
+        let o_noisy = reports[1].objectives_for(AccuracyObjective::OutputSnr);
+        assert!(o_quiet.accuracy_proxy > o_noisy.accuracy_proxy);
     }
 
     #[test]

@@ -51,6 +51,12 @@ mod explorer;
 mod pareto;
 mod space;
 
-pub use explorer::{accuracy_proxy, summarize, DesignReport, EvalScope, Exploration, Explorer};
+pub use explorer::{
+    accuracy_proxy, summarize, AccuracyObjective, DesignReport, EvalScope, Exploration, Explorer,
+};
 pub use pareto::{FrontMember, Objectives, ParetoFront};
 pub use space::{DesignPoint, DesignSpace};
+
+// Noise-spec axes parameterize variation-tolerance sweeps; re-exported so
+// DSE callers need no direct `cimloop-noise` dependency.
+pub use cimloop_noise::NoiseSpec;

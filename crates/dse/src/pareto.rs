@@ -96,6 +96,28 @@ impl<T> ParetoFront<T> {
     /// Offers a candidate to the front. Returns `true` if it was retained
     /// (it may still be evicted by a later, dominating candidate).
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use cimloop_dse::{Objectives, ParetoFront};
+    ///
+    /// let obj = |energy: f64, accuracy: f64| Objectives {
+    ///     energy_per_mac: energy,
+    ///     tops_per_watt: 2.0 / (energy * 1e12),
+    ///     area_mm2: 1.0,
+    ///     accuracy_proxy: accuracy,
+    /// };
+    /// let mut front = ParetoFront::new();
+    /// assert!(front.insert(0, obj(2e-12, 0.5), "baseline"));
+    /// // Cheaper *and* more accurate: evicts the baseline.
+    /// assert!(front.insert(1, obj(1e-12, 0.8), "better"));
+    /// // Strictly worse than the survivor: rejected.
+    /// assert!(!front.insert(2, obj(3e-12, 0.1), "worse"));
+    /// // Incomparable trade-off (more energy, more accuracy): retained.
+    /// assert!(front.insert(3, obj(2e-12, 0.9), "accurate"));
+    /// assert_eq!(front.len(), 2);
+    /// ```
+    ///
     /// # Panics
     ///
     /// In debug builds, panics on non-finite objectives: a NaN axis would

@@ -1,8 +1,8 @@
 //! Declarative design spaces: parameter axes over [`ArrayMacro`] builders.
 //!
 //! A [`DesignSpace`] is a cartesian grid — named macro *variants* crossed
-//! with array-dimension, DAC-resolution, ADC-resolution, and cell-width
-//! axes — optionally thinned by a user filter. Every grid cell gets a
+//! with array-dimension, DAC-resolution, ADC-resolution, cell-width, and
+//! non-ideality (noise-spec) axes — optionally thinned by a user filter. Every grid cell gets a
 //! stable `id` (its cartesian index, assigned *before* filtering), which
 //! the explorer uses for deterministic ordering and Pareto tie-breaking:
 //! adding a filter never renumbers the surviving designs.
@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use cimloop_macros::ArrayMacro;
+use cimloop_noise::NoiseSpec;
 
 /// One fully-configured candidate design of a [`DesignSpace`].
 #[derive(Debug, Clone)]
@@ -55,16 +56,36 @@ impl DesignPoint {
         self.cim_macro.adc_bits()
     }
 
-    /// A compact human-readable label, e.g. `c-direct/256x256/dac2/adc8`.
+    /// The design's non-ideality spec (ideal unless set by the variant or
+    /// a [`DesignSpace::noise_specs`] axis).
+    pub fn noise(&self) -> NoiseSpec {
+        self.cim_macro.noise()
+    }
+
+    /// A compact human-readable label, e.g. `c-direct/256x256/dac2/adc8`;
+    /// designs with declared noise append each nonzero sigma, e.g.
+    /// `.../var0.1`, `.../rn0.005`, `.../off0.25`, so specs differing in
+    /// any source stay distinguishable.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}x{}/dac{}/adc{}",
             self.variant,
             self.rows(),
             self.cols(),
             self.dac_bits(),
             self.adc_bits()
-        )
+        );
+        let noise = self.noise();
+        if noise.cell_variation() > 0.0 {
+            label.push_str(&format!("/var{}", noise.cell_variation()));
+        }
+        if noise.read_noise() > 0.0 {
+            label.push_str(&format!("/rn{}", noise.read_noise()));
+        }
+        if noise.adc_offset() > 0.0 {
+            label.push_str(&format!("/off{}", noise.adc_offset()));
+        }
+        label
     }
 }
 
@@ -74,7 +95,7 @@ type Filter = Arc<dyn Fn(&DesignPoint) -> bool + Send + Sync>;
 ///
 /// Axes left empty keep the variant's own value. Iteration order (and the
 /// `id` numbering) is variants-outermost:
-/// `variant × array size × DAC bits × ADC bits × cell bits`.
+/// `variant × array size × DAC bits × ADC bits × cell bits × noise spec`.
 #[derive(Clone, Default)]
 pub struct DesignSpace {
     variants: Vec<(String, ArrayMacro)>,
@@ -82,6 +103,7 @@ pub struct DesignSpace {
     dac_bits: Vec<u32>,
     adc_bits: Vec<u32>,
     cell_bits: Vec<u32>,
+    noise_specs: Vec<NoiseSpec>,
     filter: Option<Filter>,
 }
 
@@ -96,6 +118,7 @@ impl std::fmt::Debug for DesignSpace {
             .field("dac_bits", &self.dac_bits)
             .field("adc_bits", &self.adc_bits)
             .field("cell_bits", &self.cell_bits)
+            .field("noise_specs", &self.noise_specs)
             .field("filtered", &self.filter.is_some())
             .finish()
     }
@@ -148,6 +171,14 @@ impl DesignSpace {
         self
     }
 
+    /// Sets the non-ideality axis (applied via [`ArrayMacro::with_noise`])
+    /// so sweeps can explore variation tolerance: how much accuracy each
+    /// design gives up as its cells and converters get noisier.
+    pub fn noise_specs(mut self, specs: impl IntoIterator<Item = NoiseSpec>) -> Self {
+        self.noise_specs.extend(specs);
+        self
+    }
+
     /// Thins the grid: only designs for which `keep` returns `true` are
     /// evaluated. Ids are assigned before filtering, so they are stable
     /// across filter changes.
@@ -164,6 +195,7 @@ impl DesignSpace {
             * axis(self.dac_bits.len())
             * axis(self.adc_bits.len())
             * axis(self.cell_bits.len())
+            * axis(self.noise_specs.len())
     }
 
     /// Materializes the (filtered) candidate designs in id order.
@@ -184,6 +216,7 @@ impl DesignSpace {
         let dacs = axis(&self.dac_bits);
         let adcs = axis(&self.adc_bits);
         let cells = axis(&self.cell_bits);
+        let noises = axis(&self.noise_specs);
 
         let mut out = Vec::new();
         let mut id = 0u64;
@@ -192,32 +225,37 @@ impl DesignSpace {
                 for &dac in &dacs {
                     for &adc in &adcs {
                         for &cell in &cells {
-                            let mut m = base.clone();
-                            if let Some((rows, cols)) = size {
-                                m = m.with_array(rows, cols);
-                            }
-                            if let Some(bits) = cell {
-                                let dac_now = m.dac_bits();
-                                m = m.with_slicing(dac_now, bits);
-                            }
-                            if let Some(bits) = dac {
-                                m = m.with_dac_resolution(bits);
-                            }
-                            if let Some(bits) = adc {
-                                m = m.with_adc_bits(bits);
-                            }
-                            let point = DesignPoint {
-                                id,
-                                variant: name.clone(),
-                                cim_macro: m,
-                            };
-                            id += 1;
-                            let keep = match &self.filter {
-                                Some(keep) => keep(&point),
-                                None => true,
-                            };
-                            if keep {
-                                out.push(point);
+                            for &noise in &noises {
+                                let mut m = base.clone();
+                                if let Some((rows, cols)) = size {
+                                    m = m.with_array(rows, cols);
+                                }
+                                if let Some(bits) = cell {
+                                    let dac_now = m.dac_bits();
+                                    m = m.with_slicing(dac_now, bits);
+                                }
+                                if let Some(bits) = dac {
+                                    m = m.with_dac_resolution(bits);
+                                }
+                                if let Some(bits) = adc {
+                                    m = m.with_adc_bits(bits);
+                                }
+                                if let Some(spec) = noise {
+                                    m = m.with_noise(spec);
+                                }
+                                let point = DesignPoint {
+                                    id,
+                                    variant: name.clone(),
+                                    cim_macro: m,
+                                };
+                                id += 1;
+                                let keep = match &self.filter {
+                                    Some(keep) => keep(&point),
+                                    None => true,
+                                };
+                                if keep {
+                                    out.push(point);
+                                }
                             }
                         }
                     }
@@ -270,6 +308,50 @@ mod tests {
         assert_eq!(designs.len(), 1);
         assert_eq!(designs[0].rows(), base_macro().rows());
         assert_eq!(designs[0].adc_bits(), base_macro().adc_bits());
+    }
+
+    #[test]
+    fn noise_axis_parameterizes_variation_tolerance() {
+        let quiet = NoiseSpec::ideal();
+        let noisy = NoiseSpec::new().with_cell_variation(0.1);
+        let designs = DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .adc_bits([4, 8])
+            .noise_specs([quiet, noisy])
+            .designs();
+        assert_eq!(designs.len(), 4);
+        assert!(designs[0].noise().is_ideal());
+        assert_eq!(designs[1].noise(), noisy);
+        assert_eq!(designs[1].label(), "base/128x128/dac1/adc4/var0.1");
+        assert_eq!(designs[0].label(), "base/128x128/dac1/adc4");
+        // The noise axis is innermost: ids interleave specs per ADC width.
+        assert!(designs[2].noise().is_ideal());
+        assert_eq!(designs[2].adc_bits(), 8);
+    }
+
+    #[test]
+    fn labels_distinguish_every_noise_source() {
+        let specs = [
+            NoiseSpec::new().with_read_noise(0.005),
+            NoiseSpec::new().with_read_noise(0.02),
+            NoiseSpec::new().with_adc_offset(0.25),
+            NoiseSpec::new()
+                .with_cell_variation(0.1)
+                .with_read_noise(0.01),
+        ];
+        let designs = DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .noise_specs(specs)
+            .designs();
+        let labels: Vec<String> = designs.iter().map(DesignPoint::label).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b, "noise specs must not collide in labels");
+            }
+        }
+        assert_eq!(labels[0], "base/128x128/dac1/adc5/rn0.005");
+        assert_eq!(labels[2], "base/128x128/dac1/adc5/off0.25");
+        assert_eq!(labels[3], "base/128x128/dac1/adc5/var0.1/rn0.01");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! cached/parallel explorer's front equals a naive sequential sweep
 //! without the cache.
 
-use cimloop_dse::{summarize, DesignSpace, Explorer, Objectives, ParetoFront};
+use cimloop_dse::{summarize, AccuracyObjective, DesignSpace, Explorer, Objectives, ParetoFront};
 use cimloop_macros::base_macro;
 use cimloop_workload::{Layer, LayerKind, Shape, Workload};
 use proptest::prelude::*;
@@ -138,31 +138,36 @@ fn explorer_front_equals_naive_sequential_front() {
     )
     .unwrap();
 
-    let exploration = Explorer::new()
-        .with_threads(4)
-        .explore(&space, &net)
-        .expect("explorer sweep");
+    // Both accuracy objectives (the noise-derived SNR default and the
+    // legacy ADC-coverage proxy) must reproduce the naive front.
+    for accuracy in [AccuracyObjective::OutputSnr, AccuracyObjective::AdcCoverage] {
+        let exploration = Explorer::new()
+            .with_accuracy(accuracy)
+            .with_threads(4)
+            .explore(&space, &net)
+            .expect("explorer sweep");
 
-    let mut naive = ParetoFront::new();
-    for point in space.designs() {
-        let evaluator = point.cim_macro().evaluator().expect("evaluator");
-        let run = evaluator
-            .evaluate(&net, &point.cim_macro().representation())
-            .expect("naive evaluation");
-        let report = summarize(&point, &evaluator, &run);
-        naive.insert(point.id(), report.objectives(), report);
-    }
+        let mut naive = ParetoFront::new();
+        for point in space.designs() {
+            let evaluator = point.cim_macro().evaluator().expect("evaluator");
+            let run = evaluator
+                .evaluate(&net, &point.cim_macro().representation())
+                .expect("naive evaluation");
+            let report = summarize(&point, &evaluator, &run);
+            naive.insert(point.id(), report.objectives_for(accuracy), report);
+        }
 
-    assert_eq!(exploration.front.len(), naive.len());
-    for (a, b) in exploration.front.members().iter().zip(naive.members()) {
-        assert_eq!(a.id, b.id);
-        assert_eq!(
-            a.objectives, b.objectives,
-            "objectives diverged for {}",
-            a.id
-        );
-        assert_eq!(a.value.energy_total, b.value.energy_total);
-        assert_eq!(a.value.latency, b.value.latency);
-        assert_eq!(a.value.area_mm2, b.value.area_mm2);
+        assert_eq!(exploration.front.len(), naive.len());
+        for (a, b) in exploration.front.members().iter().zip(naive.members()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.objectives, b.objectives,
+                "objectives diverged for {} under {accuracy:?}",
+                a.id
+            );
+            assert_eq!(a.value.energy_total, b.value.energy_total);
+            assert_eq!(a.value.latency, b.value.latency);
+            assert_eq!(a.value.area_mm2, b.value.area_mm2);
+        }
     }
 }

@@ -1,4 +1,5 @@
 use cimloop_core::{CoreError, Encoding, Evaluator, Representation};
+use cimloop_noise::NoiseSpec;
 use cimloop_spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
 
 use crate::calibrate;
@@ -57,6 +58,7 @@ pub struct ArrayMacro {
     component_energy: Vec<(String, f64)>,
     component_area: Vec<(String, f64)>,
     calibration: Option<Anchor>,
+    noise: NoiseSpec,
 }
 
 impl ArrayMacro {
@@ -85,7 +87,20 @@ impl ArrayMacro {
             component_energy: Vec::new(),
             component_area: Vec::new(),
             calibration: None,
+            noise: NoiseSpec::ideal(),
         }
+    }
+
+    /// Declares the macro's statistical non-idealities (cell
+    /// programming variation, column read noise, ADC offset). The spec is
+    /// attached to the hierarchy as `noise_*` component attributes — the
+    /// cells carry the variation, the ADC carries read noise and offset —
+    /// so it survives spec serialization and reaches the evaluator's
+    /// accuracy model. An ideal spec attaches nothing: the hierarchy (and
+    /// every evaluation result) is bit-identical to a noise-free build.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = noise;
+        self
     }
 
     /// Applies a per-component energy multiplier (the paper's component
@@ -298,6 +313,11 @@ impl ArrayMacro {
     /// The calibration anchor, if any.
     pub fn calibration(&self) -> Option<Anchor> {
         self.calibration
+    }
+
+    /// The macro's declared non-ideality spec.
+    pub fn noise(&self) -> NoiseSpec {
+        self.noise
     }
 
     /// The macro's data representation.
@@ -534,15 +554,22 @@ impl ArrayMacro {
     }
 
     fn adc(&self) -> Component {
-        Component::new("adc")
+        let mut c = Component::new("adc")
             .with_class("sar_adc")
             .with_attr("resolution", self.adc_bits as i64)
             .with_attr("sample_rate", self.adc_rate)
-            .with_reuse(Tensor::Outputs, Reuse::NoCoalesce)
+            .with_reuse(Tensor::Outputs, Reuse::NoCoalesce);
+        if self.noise.read_noise() > 0.0 {
+            c = c.with_attr("noise_read_sigma", self.noise.read_noise());
+        }
+        if self.noise.adc_offset() > 0.0 {
+            c = c.with_attr("noise_offset_sigma", self.noise.adc_offset());
+        }
+        c
     }
 
     fn cell(&self) -> Component {
-        Component::new("cell")
+        let mut c = Component::new("cell")
             .with_class(self.cell_class.as_str())
             .with_attr("bits", self.cell_bits as i64)
             .with_attr("slice_storage", true)
@@ -550,7 +577,11 @@ impl ArrayMacro {
             .with_spatial(Spatial::new(1, self.rows))
             .with_reuse(Tensor::Weights, Reuse::Temporal)
             .with_spatial_reuse(Tensor::Outputs)
-            .with_attr("spatial_dims", "C, R, S")
+            .with_attr("spatial_dims", "C, R, S");
+        if self.noise.cell_variation() > 0.0 {
+            c = c.with_attr("noise_variation_sigma", self.noise.cell_variation());
+        }
+        c
     }
 }
 
@@ -676,6 +707,56 @@ mod tests {
             .evaluate_layer(&layer, &f.representation())
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_noise_leaves_hierarchy_untouched() {
+        let base = ArrayMacro::new("t", 45.0, 64, 64);
+        let with_ideal = base.clone().with_noise(NoiseSpec::ideal());
+        assert_eq!(
+            cimloop_spec::yamlite::write(&base.hierarchy().unwrap()),
+            cimloop_spec::yamlite::write(&with_ideal.hierarchy().unwrap()),
+            "an ideal spec must not perturb the serialized hierarchy"
+        );
+    }
+
+    #[test]
+    fn noise_spec_attaches_attributes_and_reaches_the_evaluator() {
+        let spec = NoiseSpec::new()
+            .with_cell_variation(0.1)
+            .with_read_noise(0.005)
+            .with_adc_offset(0.25);
+        let m = ArrayMacro::new("t", 45.0, 64, 64).with_noise(spec);
+        assert_eq!(m.noise(), spec);
+        let h = m.hierarchy().unwrap();
+        assert_eq!(
+            h.component("cell")
+                .unwrap()
+                .attributes()
+                .float("noise_variation_sigma"),
+            Some(0.1)
+        );
+        let adc = h.component("adc").unwrap();
+        assert_eq!(adc.attributes().float("noise_read_sigma"), Some(0.005));
+        assert_eq!(adc.attributes().float("noise_offset_sigma"), Some(0.25));
+        // The evaluator resolves the same spec back from the attributes.
+        let e = m.evaluator().unwrap();
+        assert_eq!(e.noise(), spec);
+        assert_eq!(e.output_adc_bits(), Some(8));
+    }
+
+    #[test]
+    fn noise_survives_the_spec_round_trip() {
+        let spec = NoiseSpec::new()
+            .with_cell_variation(0.07)
+            .with_read_noise(0.01);
+        let m = ArrayMacro::new("t", 45.0, 32, 32)
+            .with_cell_class("reram_cim_cell")
+            .with_noise(spec);
+        let text = cimloop_spec::yamlite::write(&m.hierarchy().unwrap());
+        let parsed = Hierarchy::from_yamlite(&text).unwrap();
+        let e = Evaluator::new(parsed).unwrap();
+        assert_eq!(e.noise(), spec);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! The output-error distribution and the derived accuracy metrics.
+
+use cimloop_stats::Pmf;
+
+use crate::{gaussian, NoiseSpec};
+
+/// SNR values are capped here so a zero-error (perfectly resolved)
+/// output stays finite — required for Pareto-front axes, which reject
+/// non-finite objectives.
+pub const SNR_CAP_DB: f64 = 300.0;
+
+/// Support cap applied to the output-error distribution after the joint
+/// (sum × noise) enumeration; matches the pipeline's own column-sum cap.
+const ERROR_SUPPORT: usize = 512;
+
+/// The ideal transfer function of an output ADC: clamp to `[0,
+/// full_scale]`, then quantize to `2^bits` evenly spaced codes.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_noise::AdcTransfer;
+///
+/// let adc = AdcTransfer::new(15.0, 2); // 4 levels: 0, 5, 10, 15
+/// assert_eq!(adc.apply(6.2), 5.0);
+/// assert_eq!(adc.apply(-3.0), 0.0);
+/// assert_eq!(adc.apply(99.0), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcTransfer {
+    full_scale: f64,
+    bits: u32,
+    step: f64,
+}
+
+impl AdcTransfer {
+    /// A converter resolving `bits` bits over `[0, full_scale]`. `bits`
+    /// is clamped to `1..=24`; a non-positive full scale degenerates to a
+    /// single code at zero.
+    pub fn new(full_scale: f64, bits: u32) -> Self {
+        let bits = bits.clamp(1, 24);
+        let levels = (1u64 << bits) as f64;
+        let step = if full_scale > 0.0 {
+            full_scale / (levels - 1.0)
+        } else {
+            0.0
+        };
+        AdcTransfer {
+            full_scale: full_scale.max(0.0),
+            bits,
+            step,
+        }
+    }
+
+    /// The converter resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// One LSB in column-sum units.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The clamped, quantized readout of analog level `v`.
+    pub fn apply(&self, v: f64) -> f64 {
+        if self.step <= 0.0 {
+            return 0.0;
+        }
+        let clamped = v.clamp(0.0, self.full_scale);
+        (clamped / self.step).round() * self.step
+    }
+}
+
+/// Distribution of the output error of a noisy, quantized column
+/// readout: the exact quantization error `adc(S) − S` of the ideal sum
+/// `S`, convolved with the input-referred perturbation `N`.
+///
+/// Quantization and noise are composed as *independent* error sources —
+/// the standard converter-metrology model behind the ENOB formula. (The
+/// exact joint transfer `adc(S + N) − S` differs only near the noise
+/// floor, where a discretized `N` aliases against the code grid; the
+/// independent composition keeps error power exactly
+/// `E[q²] + Var(N)`, monotone in both resolution and sigma.)
+///
+/// Deterministic, no sampling; the result is coarsened to a bounded
+/// support. With `noise` a point mass at zero the quantization-error
+/// distribution is returned **unconvolved, bit-for-bit** — the zero-sigma
+/// identity the golden tests rely on — and without an ADC either input
+/// passes through untouched.
+pub fn output_error(sum: &Pmf, noise: &Pmf, adc: Option<&AdcTransfer>) -> Pmf {
+    let quantization = adc.map(|adc| sum.map(|s| adc.apply(s) - s));
+    let noiseless = noise.len() == 1 && noise.min() == 0.0;
+    match (quantization, noiseless) {
+        (Some(q), true) => q.coarsen(ERROR_SUPPORT),
+        (Some(q), false) => q.convolve(noise).coarsen(ERROR_SUPPORT),
+        (None, true) => Pmf::delta(0.0).expect("0 is finite"),
+        (None, false) => noise.clone(),
+    }
+}
+
+/// Input-referred standard deviations of each noise source, in raw
+/// column-sum units, plus their root-sum-square total.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SigmaBreakdown {
+    /// Aggregate programming-variation sigma of one column sum.
+    pub variation: f64,
+    /// Column read-noise sigma.
+    pub read: f64,
+    /// ADC input-offset sigma.
+    pub offset: f64,
+    /// Root-sum-square of the three independent sources.
+    pub total: f64,
+}
+
+impl SigmaBreakdown {
+    /// Combines the three independent sources.
+    fn from_sources(variation: f64, read: f64, offset: f64) -> Self {
+        SigmaBreakdown {
+            variation,
+            read,
+            offset,
+            total: (variation * variation + read * read + offset * offset).sqrt(),
+        }
+    }
+}
+
+/// The compact, report-friendly summary of a [`NoiseAnalysis`]:
+/// what `cimloop-core` threads through its evaluation reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseReport {
+    /// Expected output signal-to-noise ratio, dB (capped at
+    /// [`SNR_CAP_DB`]).
+    pub snr_db: f64,
+    /// Effective number of bits derived from the SNR.
+    pub enob: f64,
+    /// Total input-referred noise sigma, raw column-sum units.
+    pub sigma_total: f64,
+    /// RMS of the output-error distribution, raw column-sum units.
+    pub error_rms: f64,
+}
+
+/// The full statistical accuracy analysis of one macro evaluation: the
+/// output-error distribution of the analog column readout and the
+/// metrics derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseAnalysis {
+    sigma: SigmaBreakdown,
+    error: Pmf,
+    signal_power: f64,
+    noise_power: f64,
+    snr_db: f64,
+    enob: f64,
+}
+
+impl NoiseAnalysis {
+    /// Analyzes the output accuracy of a column readout.
+    ///
+    /// - `sum`: the ideal (raw, unnormalized) column-sum distribution.
+    /// - `full_scale`: the largest possible column sum.
+    /// - `rows`: the in-network reduction width the sum was convolved
+    ///   over.
+    /// - `product_second_moment`: `E[p²]` of one slice-granular product
+    ///   (what each cell contributes); programming variation scales with
+    ///   it.
+    /// - `adc_bits`: the output converter resolution, or `None` for
+    ///   digital readout (no quantization).
+    /// - `spec`: the non-ideality sigmas.
+    ///
+    /// Deterministic: equal inputs give bit-identical analyses.
+    pub fn analyze(
+        sum: &Pmf,
+        full_scale: f64,
+        rows: u64,
+        product_second_moment: f64,
+        adc_bits: Option<u32>,
+        spec: &NoiseSpec,
+    ) -> Self {
+        let adc = adc_bits.map(|bits| AdcTransfer::new(full_scale, bits));
+
+        // Programming variation: each of the `rows` cells contributes a
+        // multiplicative error `p·ε`, so the column-sum error variance is
+        // σ_c² · rows · E[p²] (independent cells).
+        let variation =
+            spec.cell_variation() * (rows as f64 * product_second_moment.max(0.0)).sqrt();
+        // Read noise is specified relative to full scale.
+        let read = spec.read_noise() * full_scale.max(0.0);
+        // ADC offset is specified in LSBs of the present converter.
+        let offset = spec.adc_offset() * adc.map(|a| a.step()).unwrap_or(0.0);
+        let sigma = SigmaBreakdown::from_sources(variation, read, offset);
+
+        let noise = gaussian(sigma.total);
+        let error = output_error(sum, &noise, adc.as_ref());
+
+        let signal_power = sum.variance();
+        let noise_power = error.second_moment();
+        let snr_db = if noise_power <= 0.0 {
+            SNR_CAP_DB
+        } else if signal_power <= 0.0 {
+            0.0
+        } else {
+            (10.0 * (signal_power / noise_power).log10()).clamp(-SNR_CAP_DB, SNR_CAP_DB)
+        };
+        let enob = ((snr_db - 1.76) / 6.02).max(0.0);
+
+        NoiseAnalysis {
+            sigma,
+            error,
+            signal_power,
+            noise_power,
+            snr_db,
+            enob,
+        }
+    }
+
+    /// Per-source input-referred sigmas.
+    pub fn sigma(&self) -> SigmaBreakdown {
+        self.sigma
+    }
+
+    /// The output-error distribution (`readout − ideal sum`), raw
+    /// column-sum units.
+    pub fn error(&self) -> &Pmf {
+        &self.error
+    }
+
+    /// Variance of the ideal column sum (the signal power).
+    pub fn signal_power(&self) -> f64 {
+        self.signal_power
+    }
+
+    /// Second moment of the output error (the noise power).
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// Expected output SNR in dB, capped at [`SNR_CAP_DB`].
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+
+    /// Effective number of bits, `(SNR_dB − 1.76) / 6.02`, floored at 0.
+    pub fn enob(&self) -> f64 {
+        self.enob
+    }
+
+    /// The compact summary carried by evaluation reports.
+    pub fn report(&self) -> NoiseReport {
+        NoiseReport {
+            snr_db: self.snr_db,
+            enob: self.enob,
+            sigma_total: self.sigma.total,
+            error_rms: self.noise_power.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column_sum(rows: u64) -> (Pmf, f64, f64) {
+        // 1-bit inputs (25% active) times 2-bit weights (uniform).
+        let product = Pmf::from_weights(vec![(0.0, 0.75), (1.0, 0.25)])
+            .unwrap()
+            .product(&Pmf::uniform_ints(0, 3).unwrap());
+        let sum = product.convolve_n(rows, 512);
+        (sum, 3.0 * rows as f64, product.second_moment())
+    }
+
+    #[test]
+    fn adc_transfer_quantizes_and_clamps() {
+        let adc = AdcTransfer::new(30.0, 4); // step = 2
+        assert_eq!(adc.bits(), 4);
+        assert_eq!(adc.step(), 2.0);
+        assert_eq!(adc.apply(3.2), 4.0);
+        assert_eq!(adc.apply(-5.0), 0.0);
+        assert_eq!(adc.apply(31.0), 30.0);
+        // Degenerate full scale reads zero.
+        assert_eq!(AdcTransfer::new(0.0, 8).apply(3.0), 0.0);
+    }
+
+    #[test]
+    fn no_adc_no_noise_is_zero_error() {
+        let (sum, _, _) = column_sum(16);
+        let err = output_error(&sum, &gaussian(0.0), None);
+        assert_eq!(err.support(), &[0.0]);
+    }
+
+    #[test]
+    fn quantization_alone_bounds_error_by_half_step() {
+        let (sum, fs, _) = column_sum(16);
+        let adc = AdcTransfer::new(fs, 4);
+        let err = output_error(&sum, &gaussian(0.0), Some(&adc));
+        assert!(err.max() <= adc.step() / 2.0 + 1e-9);
+        assert!(err.min() >= -adc.step() / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn snr_drops_with_fewer_adc_bits() {
+        let (sum, fs, psm) = column_sum(64);
+        let spec = NoiseSpec::ideal();
+        let mut last = f64::INFINITY;
+        for bits in [12u32, 8, 6, 4, 2] {
+            let a = NoiseAnalysis::analyze(&sum, fs, 64, psm, Some(bits), &spec);
+            assert!(
+                a.snr_db() <= last + 1e-9,
+                "snr rose from {last} to {} at {bits} bits",
+                a.snr_db()
+            );
+            last = a.snr_db();
+        }
+    }
+
+    #[test]
+    fn snr_drops_with_more_variation() {
+        let (sum, fs, psm) = column_sum(64);
+        let mut last = f64::INFINITY;
+        for sigma in [0.0, 0.05, 0.1, 0.2] {
+            let spec = NoiseSpec::new().with_cell_variation(sigma);
+            let a = NoiseAnalysis::analyze(&sum, fs, 64, psm, Some(8), &spec);
+            assert!(
+                a.snr_db() < last + 1e-9,
+                "snr did not drop at sigma {sigma}"
+            );
+            last = a.snr_db();
+        }
+    }
+
+    #[test]
+    fn ideal_digital_readout_hits_the_cap() {
+        let (sum, fs, psm) = column_sum(16);
+        let a = NoiseAnalysis::analyze(&sum, fs, 16, psm, None, &NoiseSpec::ideal());
+        assert_eq!(a.snr_db(), SNR_CAP_DB);
+        assert!(a.enob() > 0.0);
+        assert_eq!(a.noise_power(), 0.0);
+    }
+
+    #[test]
+    fn sigma_breakdown_composes_sources() {
+        let (sum, fs, psm) = column_sum(100);
+        let spec = NoiseSpec::new()
+            .with_cell_variation(0.1)
+            .with_read_noise(0.01)
+            .with_adc_offset(0.5);
+        let a = NoiseAnalysis::analyze(&sum, fs, 100, psm, Some(8), &spec);
+        let s = a.sigma();
+        assert!((s.variation - 0.1 * (100.0 * psm).sqrt()).abs() < 1e-12);
+        assert!((s.read - 0.01 * fs).abs() < 1e-12);
+        assert!(s.offset > 0.0);
+        let rss = (s.variation * s.variation + s.read * s.read + s.offset * s.offset).sqrt();
+        assert!((s.total - rss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let (sum, fs, psm) = column_sum(32);
+        let spec = NoiseSpec::new().with_cell_variation(0.07);
+        let a = NoiseAnalysis::analyze(&sum, fs, 32, psm, Some(6), &spec);
+        let b = NoiseAnalysis::analyze(&sum, fs, 32, psm, Some(6), &spec);
+        assert_eq!(a, b);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn report_summarizes_analysis() {
+        let (sum, fs, psm) = column_sum(32);
+        let spec = NoiseSpec::new().with_read_noise(0.01);
+        let a = NoiseAnalysis::analyze(&sum, fs, 32, psm, Some(6), &spec);
+        let r = a.report();
+        assert_eq!(r.snr_db, a.snr_db());
+        assert_eq!(r.enob, a.enob());
+        assert_eq!(r.sigma_total, a.sigma().total);
+        assert!((r.error_rms - a.noise_power().sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic discretization of Gaussian perturbations into [`Pmf`]s.
+
+use cimloop_stats::Pmf;
+
+/// Half-width of the discretization grid in sigmas. ±4σ keeps all but
+/// ~6·10⁻⁵ of the mass.
+const GRID_SIGMAS: f64 = 4.0;
+
+/// Grid points per side; the full grid has `2 * GRID_HALF_POINTS + 1`
+/// points. 16 per side keeps the joint supports of
+/// [`crate::output_error`] small (≈ 33 × column-sum support) while
+/// reproducing the requested sigma to well under 1%.
+const GRID_HALF_POINTS: i64 = 16;
+
+/// Discretizes a zero-mean Gaussian of standard deviation `sigma` into a
+/// symmetric 33-point [`Pmf`] spanning ±4σ.
+///
+/// Deterministic (no sampling): weights follow the Gaussian density on a
+/// fixed grid and are normalized by the `Pmf` constructor, so equal
+/// sigmas always produce bit-identical distributions. `sigma <= 0` (or
+/// non-finite) returns the exact point mass at zero — the identity
+/// element of convolution — so a disabled noise source cannot perturb
+/// anything.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_noise::gaussian;
+///
+/// let g = gaussian(2.0);
+/// assert!(g.mean().abs() < 1e-12);
+/// assert!((g.variance().sqrt() - 2.0).abs() < 0.02);
+/// // Zero sigma is the convolution identity.
+/// assert_eq!(gaussian(0.0).support(), &[0.0]);
+/// ```
+pub fn gaussian(sigma: f64) -> Pmf {
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return Pmf::delta(0.0).expect("0 is finite");
+    }
+    let step = GRID_SIGMAS * sigma / GRID_HALF_POINTS as f64;
+    let pairs = (-GRID_HALF_POINTS..=GRID_HALF_POINTS).map(|i| {
+        let x = i as f64 * step;
+        let z = x / sigma;
+        (x, (-0.5 * z * z).exp())
+    });
+    Pmf::from_weights(pairs).expect("gaussian weights are positive and finite")
+}
+
+/// The observable (pre-ADC) column value: the ideal sum perturbed by a
+/// zero-mean Gaussian of standard deviation `sigma`.
+///
+/// With `sigma <= 0` this is an **exact identity** — it returns a clone
+/// of `sum`, bit-for-bit — which is what lets the noise subsystem be
+/// compiled in but disabled without perturbing any golden result.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_noise::noisy_sum;
+/// use cimloop_stats::Pmf;
+///
+/// # fn main() -> Result<(), cimloop_stats::StatsError> {
+/// let sum = Pmf::uniform_ints(0, 15)?;
+/// // Zero sigma: bit-identical to the ideal sum.
+/// assert_eq!(noisy_sum(&sum, 0.0), sum);
+/// // Positive sigma: same mean, strictly more variance.
+/// let noisy = noisy_sum(&sum, 1.0);
+/// assert!((noisy.mean() - sum.mean()).abs() < 1e-9);
+/// assert!(noisy.variance() > sum.variance());
+/// # Ok(())
+/// # }
+/// ```
+pub fn noisy_sum(sum: &Pmf, sigma: f64) -> Pmf {
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return sum.clone();
+    }
+    sum.convolve(&gaussian(sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_is_symmetric_and_normalized() {
+        let g = gaussian(3.0);
+        assert_eq!(g.len(), 33);
+        let total: f64 = g.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(g.mean().abs() < 1e-12);
+        assert_eq!(g.min(), -g.max());
+    }
+
+    #[test]
+    fn gaussian_reproduces_sigma() {
+        for sigma in [0.01, 0.5, 2.0, 40.0] {
+            let g = gaussian(sigma);
+            let realized = g.variance().sqrt();
+            assert!(
+                (realized / sigma - 1.0).abs() < 0.01,
+                "sigma {sigma}: realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_invalid_sigma_are_point_masses() {
+        for sigma in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let g = gaussian(sigma);
+            assert_eq!(g.len(), 1);
+            assert_eq!(g.support(), &[0.0]);
+        }
+    }
+
+    #[test]
+    fn equal_sigmas_are_bit_identical() {
+        assert_eq!(gaussian(1.25), gaussian(1.25));
+    }
+
+    #[test]
+    fn noisy_sum_zero_sigma_is_identity() {
+        let sum = Pmf::uniform_ints(0, 255).unwrap();
+        let same = noisy_sum(&sum, 0.0);
+        assert_eq!(same, sum);
+    }
+
+    #[test]
+    fn noisy_sum_adds_variance() {
+        let sum = Pmf::uniform_ints(0, 15).unwrap();
+        let noisy = noisy_sum(&sum, 2.0);
+        assert!((noisy.variance() - (sum.variance() + 4.0)).abs() < 0.1);
+    }
+}

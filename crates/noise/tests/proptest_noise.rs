@@ -1,0 +1,90 @@
+//! Property tests for the Pmf transforms used by the noise path: mass
+//! conservation through convolve/product, mean preservation through
+//! coarsening, and the zero-sigma identity (a disabled noise model is
+//! bit-identical to the ideal path).
+
+use cimloop_noise::{gaussian, noisy_sum, output_error, AdcTransfer, NoiseAnalysis, NoiseSpec};
+use cimloop_stats::Pmf;
+use proptest::prelude::*;
+
+fn arb_sum() -> impl Strategy<Value = Pmf> {
+    // Non-negative integer supports, like real column sums.
+    prop::collection::vec((0u32..400, 1u32..100), 1..40).prop_map(|pairs| {
+        Pmf::from_weights(pairs.into_iter().map(|(v, w)| (v as f64, w as f64)))
+            .expect("generated weights are valid")
+    })
+}
+
+fn mass(pmf: &Pmf) -> f64 {
+    pmf.probs().iter().sum()
+}
+
+proptest! {
+    #[test]
+    fn gaussian_conserves_mass_and_is_centered(sigma in 0.001f64..100.0) {
+        let g = gaussian(sigma);
+        prop_assert!((mass(&g) - 1.0).abs() < 1e-9);
+        prop_assert!(g.mean().abs() < 1e-9 * sigma.max(1.0));
+    }
+
+    #[test]
+    fn noise_convolution_conserves_mass_and_mean(sum in arb_sum(), sigma in 0.0f64..20.0) {
+        let noisy = noisy_sum(&sum, sigma);
+        prop_assert!((mass(&noisy) - 1.0).abs() < 1e-9);
+        // A zero-mean perturbation leaves the mean where it was.
+        prop_assert!((noisy.mean() - sum.mean()).abs() < 1e-6 * (1.0 + sum.mean().abs()));
+    }
+
+    #[test]
+    fn noise_product_conserves_mass(sum in arb_sum(), sigma in 0.001f64..5.0) {
+        // The multiplicative-variation view: X · (1 + ε).
+        let one_plus_eps = gaussian(sigma).shift(1.0);
+        let perturbed = sum.product(&one_plus_eps);
+        prop_assert!((mass(&perturbed) - 1.0).abs() < 1e-9);
+        let expected = sum.mean() * one_plus_eps.mean();
+        prop_assert!((perturbed.mean() - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn coarsening_preserves_mean_within_budget(sum in arb_sum(), n in 4usize..64) {
+        let coarse = sum.coarsen(n);
+        prop_assert!(coarse.len() <= n);
+        prop_assert!((mass(&coarse) - 1.0).abs() < 1e-9);
+        // Centroid re-binning keeps the mean exact up to accumulation
+        // error, far inside the budgeted bin-width bound.
+        let width = (sum.max() - sum.min()) / n as f64;
+        let budget = 1e-9 * (1.0 + sum.mean().abs()) + 1e-12 * width;
+        prop_assert!((coarse.mean() - sum.mean()).abs() < budget.max(1e-9));
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_bit_identical_identity(sum in arb_sum()) {
+        // The transform itself: a clone, not a recomputation.
+        let same = noisy_sum(&sum, 0.0);
+        prop_assert_eq!(&same, &sum);
+        // And through the error path: no ADC, no noise, zero error.
+        let err = output_error(&sum, &gaussian(0.0), None);
+        prop_assert_eq!(err.support(), &[0.0][..]);
+    }
+
+    #[test]
+    fn zero_sigma_analyses_match_the_ideal_spec(sum in arb_sum(), bits in 2u32..12) {
+        // A spec whose sigmas are all zero must produce a bit-identical
+        // analysis to the ideal spec: same error distribution, same SNR.
+        let zeroed = NoiseSpec::new()
+            .with_cell_variation(0.0)
+            .with_read_noise(0.0)
+            .with_adc_offset(0.0);
+        let fs = sum.max().max(1.0);
+        let a = NoiseAnalysis::analyze(&sum, fs, 64, 1.0, Some(bits), &zeroed);
+        let b = NoiseAnalysis::analyze(&sum, fs, 64, 1.0, Some(bits), &NoiseSpec::ideal());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_error_conserves_mass(sum in arb_sum(), sigma in 0.0f64..10.0, bits in 2u32..12) {
+        let adc = AdcTransfer::new(sum.max().max(1.0), bits);
+        let err = output_error(&sum, &gaussian(sigma), Some(&adc));
+        prop_assert!((mass(&err) - 1.0).abs() < 1e-9);
+    }
+}

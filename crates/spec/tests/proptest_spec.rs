@@ -13,6 +13,22 @@ fn arb_reuse() -> impl Strategy<Value = Reuse> {
     ]
 }
 
+/// The noise-spec attribute names the circuit library understands; the
+/// round-trip suite exercises them explicitly so the accuracy model's
+/// parameters provably survive spec serialization.
+const NOISE_ATTRS: [&str; 3] = [
+    "noise_variation_sigma",
+    "noise_read_sigma",
+    "noise_offset_sigma",
+];
+
+/// A float attribute value that round-trips through the text format
+/// exactly: non-integral (so it re-parses as a float, not an int) and
+/// shortest-repr printable.
+fn arb_float_attr() -> impl Strategy<Value = f64> {
+    (0u32..2000).prop_map(|i| f64::from(i) + 0.5)
+}
+
 fn arb_component(idx: usize) -> impl Strategy<Value = Component> {
     (
         arb_reuse(),
@@ -22,20 +38,37 @@ fn arb_component(idx: usize) -> impl Strategy<Value = Component> {
         1u64..8,
         prop::collection::vec(0usize..3, 0..3),
         0i64..1000,
+        // Optional extra attributes of every scalar kind the format
+        // carries: a noise-spec float, a boolean, and a string (leading
+        // letter, so it can never re-parse as a number or bool).
+        (any::<bool>(), 0usize..NOISE_ATTRS.len(), arb_float_attr()),
+        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), 0u32..1000),
     )
-        .prop_map(move |(ri, rw, ro, mx, my, spatial_reuse, attr)| {
-            let mut c = Component::new(format!("comp_{idx}"))
-                .with_class("free")
-                .with_reuse(Tensor::Inputs, ri)
-                .with_reuse(Tensor::Weights, rw)
-                .with_reuse(Tensor::Outputs, ro)
-                .with_spatial(Spatial::new(mx, my))
-                .with_attr("param", attr);
-            for t in spatial_reuse {
-                c = c.with_spatial_reuse(Tensor::ALL[t]);
-            }
-            c
-        })
+        .prop_map(
+            move |(ri, rw, ro, mx, my, spatial_reuse, attr, noise, flag, tag)| {
+                let mut c = Component::new(format!("comp_{idx}"))
+                    .with_class("free")
+                    .with_reuse(Tensor::Inputs, ri)
+                    .with_reuse(Tensor::Weights, rw)
+                    .with_reuse(Tensor::Outputs, ro)
+                    .with_spatial(Spatial::new(mx, my))
+                    .with_attr("param", attr);
+                if let (true, which, sigma) = noise {
+                    c = c.with_attr(NOISE_ATTRS[which], sigma);
+                }
+                if let (true, value) = flag {
+                    c = c.with_attr("slice_storage", value);
+                }
+                if let (true, i) = tag {
+                    c = c.with_attr("device", format!("dev_{i}"));
+                }
+                for t in spatial_reuse {
+                    c = c.with_spatial_reuse(Tensor::ALL[t]);
+                }
+                c
+            },
+        )
 }
 
 fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
@@ -72,6 +105,18 @@ proptest! {
     }
 
     #[test]
+    fn parse_serialize_parse_is_a_fixpoint(h in arb_hierarchy()) {
+        // parse -> serialize -> parse equals the original parse: after one
+        // round the serialized text is a fixpoint of the loop, so noise
+        // attrs (and everything else) can be stored in specs losslessly.
+        let first = Hierarchy::from_yamlite(&yamlite::write(&h)).expect("first parse");
+        let text = yamlite::write(&first);
+        let second = Hierarchy::from_yamlite(&text).expect("second parse");
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(yamlite::write(&second), text);
+    }
+
+    #[test]
     fn levels_cover_all_nodes_in_order(h in arb_hierarchy()) {
         let levels = h.levels();
         prop_assert_eq!(levels.len(), h.len());
@@ -90,6 +135,30 @@ proptest! {
             expected = expected.saturating_mul(level.node().spatial().fanout());
         }
         prop_assert_eq!(expected, h.total_fanout());
+    }
+
+    #[test]
+    fn noise_attributes_round_trip_with_exact_bits(
+        sigma in arb_float_attr(),
+        which in 0usize..NOISE_ATTRS.len(),
+    ) {
+        let text = format!(
+            "!Component\nname: adc\nclass: sar_adc\nresolution: 8\n\
+             no_coalesce: [Outputs]\n{}: {sigma}\n",
+            NOISE_ATTRS[which]
+        );
+        let parsed = Hierarchy::from_yamlite(&text).expect("noise spec parses");
+        let reparsed =
+            Hierarchy::from_yamlite(&yamlite::write(&parsed)).expect("serialized spec parses");
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(
+            reparsed
+                .component("adc")
+                .unwrap()
+                .attributes()
+                .float(NOISE_ATTRS[which]),
+            Some(sigma)
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use cimloop_core as core;
 pub use cimloop_dse as dse;
 pub use cimloop_macros as macros;
 pub use cimloop_map as map;
+pub use cimloop_noise as noise;
 pub use cimloop_sim as sim;
 pub use cimloop_spec as spec;
 pub use cimloop_stats as stats;

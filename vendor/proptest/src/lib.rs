@@ -272,6 +272,8 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D, E, F);
     tuple_strategy!(A, B, C, D, E, F, G);
     tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 }
 
 pub mod collection {
