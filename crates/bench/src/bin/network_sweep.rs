@@ -109,8 +109,10 @@ fn main() {
     );
     println!("  bit-identical reports across all paths; {misses} tables computed, {hits} reused");
 
-    let mut table = ExperimentTable::new(
-        "network_sweep",
+    // Measured times are stdout-only: TSVs under results/ are goldens,
+    // and wall times can never be bit-stable.
+    let mut timing = ExperimentTable::new(
+        "network_sweep_timing",
         &format!(
             "amortized engine sweep of {} (seconds, speedup)",
             net.name()
@@ -123,14 +125,38 @@ fn main() {
         ("sequential, cached", t_cached),
         ("parallel, cached", t_par),
     ] {
-        table.row(vec![
+        timing.row(vec![
             path.to_owned(),
             format!("{t:.3}"),
             fmt(t_seq / t),
             fmt(layers / t),
         ]);
     }
-    table.finish();
+    timing.finish_stdout();
+
+    // The deterministic golden: what the sweep computed (work and energy),
+    // independent of machine speed and thread scheduling. `misses` comes
+    // from the single-threaded cached run, and the parallel run's
+    // distinct-table count equals it, so every quantity is bit-stable.
+    let mut golden = ExperimentTable::new(
+        "network_sweep",
+        &format!("deterministic record of the {} engine sweep", net.name()),
+        &[
+            "network",
+            "layers",
+            "distinct tables",
+            "total energy (J)",
+            "J/MAC",
+        ],
+    );
+    golden.row(vec![
+        net.name().to_owned(),
+        net.layers().len().to_string(),
+        misses.to_string(),
+        format!("{:.6e}", baseline.energy_total()),
+        format!("{:.6e}", baseline.energy_per_mac()),
+    ]);
+    golden.finish();
 
     let speedup = t_seq / t_par;
     println!(

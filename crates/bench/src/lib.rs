@@ -26,6 +26,7 @@ pub fn frozen(m: &ArrayMacro) -> ArrayMacro {
 
 /// A simple experiment table: prints aligned columns to stdout and writes a
 /// TSV copy into `results/` so EXPERIMENTS.md can reference stable outputs.
+#[derive(Debug)]
 pub struct ExperimentTable {
     name: String,
     title: String,
@@ -89,9 +90,11 @@ impl ExperimentTable {
         }
     }
 
-    fn write_tsv(&self) {
-        let dir = results_dir();
-        let _ = fs::create_dir_all(&dir);
+    /// The table as TSV bytes — exactly what [`Self::finish`] writes to
+    /// `results/<name>.tsv`. Exposed so alternative front-ends (the
+    /// `cimloop` CLI) and tests can produce/compare the same bytes
+    /// without touching the filesystem.
+    pub fn to_tsv(&self) -> String {
         let mut tsv = String::new();
         tsv.push_str(&self.headers.join("\t"));
         tsv.push('\n');
@@ -99,8 +102,28 @@ impl ExperimentTable {
             tsv.push_str(&row.join("\t"));
             tsv.push('\n');
         }
+        tsv
+    }
+
+    /// The table's name (the TSV file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Prints the table and writes `<dir>/<name>.tsv`.
+    pub fn finish_to(&self, dir: &std::path::Path) {
+        self.print();
+        self.write_tsv_to(dir);
+    }
+
+    fn write_tsv(&self) {
+        self.write_tsv_to(&results_dir());
+    }
+
+    fn write_tsv_to(&self, dir: &std::path::Path) {
+        let _ = fs::create_dir_all(dir);
         let path = dir.join(format!("{}.tsv", self.name));
-        if let Err(e) = fs::write(&path, tsv) {
+        if let Err(e) = fs::write(&path, self.to_tsv()) {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
             println!("  [written {}]", path.display());

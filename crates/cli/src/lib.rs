@@ -1,0 +1,218 @@
+//! The spec-driven experiment front-end behind the `cimloop` binary.
+//!
+//! Users describe architectures, workloads, data-value models, and run
+//! configuration in *scenario files* (the experiment-document extension
+//! of the yamlite dialect, [`cimloop_spec::scenario`]) instead of editing
+//! simulator code — the paper's flexibility claim, opened up as a front
+//! door. Subcommands:
+//!
+//! - `cimloop evaluate <spec>…` — run each scenario's experiment (any
+//!   kind) and write `results/<name>.tsv`.
+//! - `cimloop sweep <spec>…` — run sweep-family scenarios
+//!   (`experiment: sweep` / `output_reuse`) through the
+//!   [`cimloop_system::NetworkEngine`].
+//! - `cimloop dse <spec>…` — run design-space scenarios
+//!   (`experiment: dse` / `compare`) through the
+//!   [`cimloop_dse::Explorer`].
+//! - `cimloop validate <spec>…` — parse and resolve without running,
+//!   reporting the resolved configuration and configuration smells (the
+//!   [`cimloop_core::Evaluator::DEFAULT_CYCLE_TIME`] fallback).
+//!
+//! The committed `examples/specs/*.yaml` scenarios reproduce the
+//! committed `results/*.tsv` goldens **bit-identically** — the spec path
+//! and the programmatic path are the same engine, and CI diffs them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::Path;
+
+use cimloop_bench::ExperimentTable;
+use cimloop_core::CoreError;
+use cimloop_spec::{ScenarioDoc, SpecError};
+
+pub mod resolve;
+pub mod runners;
+
+/// Errors of the scenario front-end.
+#[derive(Debug)]
+pub enum CliError {
+    /// Scenario parse/validation problem.
+    Spec(SpecError),
+    /// Engine problem (evaluator, mapper, models).
+    Core(CoreError),
+    /// A scenario that parses but cannot be run as requested.
+    Usage(String),
+}
+
+impl CliError {
+    pub(crate) fn usage(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Spec(e) => write!(f, "{e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Usage(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Spec(e) => Some(e),
+            CliError::Core(e) => Some(e),
+            CliError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+/// The experiment kinds each subcommand may run (`evaluate` runs all).
+pub const SWEEP_KINDS: [&str; 2] = ["sweep", "output_reuse"];
+/// See [`SWEEP_KINDS`].
+pub const DSE_KINDS: [&str; 2] = ["dse", "compare"];
+
+/// Runs a scenario document and returns its result table.
+///
+/// # Errors
+///
+/// Propagates parse, resolution, and engine errors; unknown experiment
+/// kinds are a usage error.
+pub fn run_scenario(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    match doc.experiment() {
+        "evaluate" => runners::evaluate(doc),
+        "sweep" => runners::sweep(doc),
+        "dse" => runners::dse(doc),
+        "compare" => runners::compare(doc),
+        "output_reuse" => runners::output_reuse(doc),
+        "speed_record" => runners::speed_record(doc),
+        other => Err(CliError::usage(format!(
+            "unknown experiment kind `{other}` (expected evaluate, sweep, dse, compare, \
+             output_reuse, or speed_record)"
+        ))),
+    }
+}
+
+/// Parses a scenario source text and runs it, writing
+/// `<out_dir>/<name>.tsv` and printing the table.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_text(text: &str, out_dir: &Path) -> Result<ExperimentTable, CliError> {
+    let doc = ScenarioDoc::parse(text)?;
+    let table = run_scenario(&doc)?;
+    table.finish_to(out_dir);
+    Ok(table)
+}
+
+/// Validates a scenario without running its experiment: parses the
+/// document, resolves architectures/workload/noise, builds the scoped
+/// evaluator, and reports configuration smells. Returns warning lines
+/// (also printed) so tooling can assert on them.
+///
+/// # Errors
+///
+/// Returns the first parse/resolution error.
+pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
+    let doc = ScenarioDoc::parse(text)?;
+    let name = doc.name()?;
+    let kind = doc.experiment().to_owned();
+    let mut warnings = Vec::new();
+    println!("scenario `{name}` (experiment: {kind})");
+
+    if doc.architectures().is_empty() {
+        warnings.push("no !Architecture section — nothing to evaluate".to_owned());
+    }
+    let scope = resolve::scope(doc.scenario())?;
+    // Workload-less scenarios are valid for experiment kinds that derive
+    // their workloads from the !Sweep section (output_reuse builds a
+    // matched-utilization shape per grouping); everything else needs one.
+    let net = if doc.section("Workload").is_some() {
+        Some(resolve::workload(&doc)?)
+    } else if kind == "output_reuse" {
+        None
+    } else {
+        return Err(CliError::usage(
+            "scenario has no !Workload section".to_owned(),
+        ));
+    };
+    match &net {
+        Some(net) => println!(
+            "  workload: {} ({} layers, {:.3} GMACs)",
+            net.name(),
+            net.layers().len(),
+            net.total_macs() as f64 / 1e9
+        ),
+        None => println!("  workload: derived per sweep point (experiment: {kind})"),
+    }
+
+    for arch in doc.architectures() {
+        let m = resolve::architecture(&doc, arch)?;
+        let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
+        let hierarchy_len = evaluator.hierarchy().len();
+        println!(
+            "  architecture `{}`: {}x{} array, {} hierarchy nodes, ADC {:?} bits, noise {}",
+            m.name(),
+            m.rows(),
+            m.cols(),
+            hierarchy_len,
+            evaluator.output_adc_bits(),
+            if evaluator.noise().is_ideal() {
+                "ideal".to_owned()
+            } else {
+                format!(
+                    "var={} rn={} off={}",
+                    evaluator.noise().cell_variation(),
+                    evaluator.noise().read_noise(),
+                    evaluator.noise().adc_offset()
+                )
+            }
+        );
+        // Probe one layer's energy table for configuration smells: the
+        // workload's first layer, or a matched matrix-vector probe when
+        // the workload is sweep-derived.
+        let probe;
+        let layer = match &net {
+            Some(net) => &net.layers()[0],
+            None => {
+                probe = cimloop_workload::models::mvm(m.rows(), m.cols());
+                &probe.layers()[0]
+            }
+        };
+        let table = evaluator.action_energies(layer, &rep)?;
+        if table.cycle_time_defaulted() {
+            warnings.push(format!(
+                "architecture `{}`: no per-cycle component declares a latency; cycle time \
+                 fell back to DEFAULT_CYCLE_TIME = {:.0e} s, so GOPS/latency numbers are \
+                 placeholders",
+                m.name(),
+                cimloop_core::Evaluator::DEFAULT_CYCLE_TIME,
+            ));
+        }
+    }
+    for warning in &warnings {
+        println!("  warning: {warning}");
+    }
+    if warnings.is_empty() {
+        println!("  ok: no warnings");
+    }
+    Ok(warnings)
+}

@@ -1,0 +1,93 @@
+//! The `cimloop` binary: spec-driven experiments from scenario files.
+//!
+//! ```text
+//! cimloop evaluate <spec.yaml>… [--out DIR]   # run any scenario, write TSV
+//! cimloop sweep    <spec.yaml>… [--out DIR]   # sweep-family scenarios only
+//! cimloop dse      <spec.yaml>… [--out DIR]   # design-space scenarios only
+//! cimloop validate <spec.yaml>…               # resolve + report, don't run
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cimloop_cli::{run_scenario, validate_text, CliError, DSE_KINDS, SWEEP_KINDS};
+use cimloop_spec::ScenarioDoc;
+
+const USAGE: &str = "usage: cimloop <evaluate|sweep|dse|validate> <spec.yaml>... [--out DIR]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => specs.push(PathBuf::from(path)),
+        }
+    }
+    if specs.is_empty() {
+        eprintln!("no scenario files given\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    for spec in &specs {
+        let text = match std::fs::read_to_string(spec) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let result: Result<(), CliError> = match command.as_str() {
+            "validate" => validate_text(&text).map(|_| ()),
+            "evaluate" | "sweep" | "dse" => run_kind(&command, &text, &out_dir),
+            other => {
+                eprintln!("unknown subcommand `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("{}: {e}", spec.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_kind(command: &str, text: &str, out_dir: &std::path::Path) -> Result<(), CliError> {
+    let doc = ScenarioDoc::parse(text)?;
+    let kind = doc.experiment();
+    let allowed = match command {
+        "sweep" => SWEEP_KINDS.contains(&kind),
+        "dse" => DSE_KINDS.contains(&kind),
+        _ => true, // `evaluate` runs every kind
+    };
+    if !allowed {
+        return Err(CliError::Usage(format!(
+            "`cimloop {command}` cannot run an `experiment: {kind}` scenario \
+             (use `cimloop evaluate`)"
+        )));
+    }
+    let table = run_scenario(&doc)?;
+    table.finish_to(out_dir);
+    Ok(())
+}

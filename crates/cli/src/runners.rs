@@ -1,0 +1,611 @@
+//! The experiment runners behind the `cimloop` subcommands, one per
+//! scenario `experiment:` kind.
+//!
+//! Each runner drives exactly the engine the corresponding experiment
+//! binary drives (`NetworkEngine` for network evaluations, `Explorer`
+//! for design grids, the value-exact simulator for speed records), so a
+//! scenario spec and the programmatic path produce **bit-identical**
+//! TSVs — the committed `examples/specs/*.yaml` reproduce the committed
+//! `results/*.tsv` goldens byte for byte, and CI enforces it.
+
+use cimloop_bench::{fmt, ExperimentTable};
+use cimloop_core::EnergyTableCache;
+use cimloop_dse::{DesignSpace, EvalScope, Explorer};
+use cimloop_macros::{ArrayMacro, OutputCombine};
+use cimloop_sim::{simulate_layer, ExactConfig};
+use cimloop_spec::{ScenarioDoc, Section};
+use cimloop_system::NetworkEngine;
+use cimloop_workload::scenario::{display_name, zoo_model};
+use cimloop_workload::{Layer, LayerKind, Shape, Workload};
+
+use crate::resolve::{self, Scope};
+use crate::CliError;
+
+fn table(doc: &ScenarioDoc, headers: &[&str]) -> Result<ExperimentTable, CliError> {
+    let name = doc.name()?;
+    let title = doc.scenario().str_or("title", "scenario experiment");
+    Ok(ExperimentTable::new(name, title, headers))
+}
+
+fn sweep_section(doc: &ScenarioDoc) -> Result<&Section, CliError> {
+    doc.section("Sweep")
+        .ok_or_else(|| CliError::usage("this experiment needs a !Sweep section".to_owned()))
+}
+
+/// `experiment: evaluate` — one architecture, one workload, a per-layer
+/// report through the amortized [`NetworkEngine`].
+pub fn evaluate(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let arch = doc
+        .architecture()
+        .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
+    let m = resolve::architecture(doc, arch)?;
+    let scope = resolve::scope(doc.scenario())?;
+    let net = resolve::workload(doc)?;
+    let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
+    let engine = NetworkEngine::new(&evaluator);
+    let report = engine.evaluate_network(&net, &rep)?;
+
+    let mut out = table(
+        doc,
+        &[
+            "layer",
+            "count",
+            "energy (J)",
+            "J/MAC",
+            "GOPS",
+            "TOPS/W",
+            "utilization",
+        ],
+    )?;
+    for (count, layer) in report.layers() {
+        out.row(vec![
+            layer.layer_name().to_owned(),
+            count.to_string(),
+            format!("{:.6e}", layer.energy_total()),
+            format!("{:.6e}", layer.energy_per_mac()),
+            fmt(layer.gops()),
+            fmt(layer.tops_per_watt()),
+            fmt(layer.spatial_utilization()),
+        ]);
+    }
+    out.row(vec![
+        "TOTAL".to_owned(),
+        report
+            .layers()
+            .iter()
+            .map(|(c, _)| c)
+            .sum::<u64>()
+            .to_string(),
+        format!("{:.6e}", report.energy_total()),
+        format!("{:.6e}", report.energy_per_mac()),
+        "-".to_owned(),
+        fmt(report.tops_per_watt()),
+        "-".to_owned(),
+    ]);
+    if let Some(snr) = report.output_snr_db() {
+        println!("  worst-layer output SNR: {snr:.3} dB");
+    }
+    Ok(out)
+}
+
+/// One axis of a generic `!Sweep` grid: how each value configures the
+/// macro, and how it displays.
+struct Axis {
+    title: &'static str,
+    raws: Vec<String>,
+    values: Vec<f64>,
+    apply: fn(ArrayMacro, f64) -> ArrayMacro,
+}
+
+fn axis_for(section: &Section, key: &str) -> Result<Option<Axis>, CliError> {
+    // `variations` layers the swept cell-variation sigma onto whatever
+    // noise the scenario already declared (a !Noise section's read
+    // noise/ADC offset must not be silently dropped by sweeping).
+    let (title, integer, apply): (&'static str, bool, fn(ArrayMacro, f64) -> ArrayMacro) = match key
+    {
+        "variations" => ("variation", false, |m, v| {
+            let noise = m.noise().with_cell_variation(v);
+            m.with_noise(noise)
+        }),
+        "adc_bits" => ("ADC bits", true, |m, v| m.with_adc_bits(v as u32)),
+        "dac_bits" => ("DAC bits", true, |m, v| m.with_dac_resolution(v as u32)),
+        "square_arrays" => ("array", true, |m, v| m.with_array(v as u64, v as u64)),
+        _ => return Ok(None),
+    };
+    // Integer axes must parse as integers: `adc_bits: [6.5]` evaluating a
+    // truncated 6-bit design while the row echoes "6.5" would misstate
+    // the evaluated configuration.
+    let values: Vec<f64> = if integer {
+        section
+            .u64_list(key)?
+            .unwrap_or_default()
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    } else {
+        section.f64_list(key)?.unwrap_or_default()
+    };
+    if values.is_empty() {
+        return Err(CliError::usage(format!(
+            "!Sweep axis `{key}` is an empty list"
+        )));
+    }
+    let raws = section.str_list(key)?.unwrap_or_default();
+    Ok(Some(Axis {
+        title,
+        raws,
+        values,
+        apply,
+    }))
+}
+
+/// `experiment: sweep` — a cartesian grid of macro-axis values (declared
+/// nesting order, first axis outermost), each cell evaluated on the
+/// workload through one shared energy-table cache, reporting the declared
+/// metric columns. This is the generic form of the fig09_noise grid.
+pub fn sweep(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let arch = doc
+        .architecture()
+        .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
+    let base = resolve::architecture(doc, arch)?;
+    let scope = resolve::scope(doc.scenario())?;
+    let net = resolve::workload(doc)?;
+    let section = sweep_section(doc)?;
+
+    let mut axes: Vec<Axis> = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
+    for entry in section.entries() {
+        if entry.key == "metrics" {
+            metrics = section.str_list("metrics")?.unwrap_or_default();
+            continue;
+        }
+        match axis_for(section, &entry.key)? {
+            Some(axis) => axes.push(axis),
+            None => {
+                return Err(CliError::usage(format!(
+                    "unknown sweep key `{}` (expected variations, adc_bits, dac_bits, \
+                     square_arrays, or metrics)",
+                    entry.key
+                )))
+            }
+        }
+    }
+    if axes.is_empty() {
+        return Err(CliError::usage("!Sweep declares no axes".to_owned()));
+    }
+    if metrics.is_empty() {
+        metrics = vec!["energy".to_owned(), "tops_per_watt".to_owned()];
+    }
+
+    let metric_title = |key: &str| -> Result<&'static str, CliError> {
+        Ok(match key {
+            "snr_db" => "SNR (dB)",
+            "enob" => "ENOB",
+            "energy" => "energy (J)",
+            "energy_per_mac" => "J/MAC",
+            "tops_per_watt" => "TOPS/W",
+            "gops" => "GOPS",
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown metric `{other}` (expected snr_db, enob, energy, \
+                     energy_per_mac, tops_per_watt, or gops)"
+                )))
+            }
+        })
+    };
+    let mut headers: Vec<&str> = axes.iter().map(|a| a.title).collect();
+    for metric in &metrics {
+        headers.push(metric_title(metric)?);
+    }
+    let mut out = table(doc, &headers)?;
+
+    // Odometer over the axes (first axis outermost), all cells sharing
+    // one energy-table cache — values are bit-identical either way; the
+    // cache only amortizes the column-sum statistics across cells.
+    let cache = EnergyTableCache::new();
+    let mut index = vec![0usize; axes.len()];
+    'grid: loop {
+        let mut m = base.clone();
+        let mut cells: Vec<String> = Vec::new();
+        for (axis, &i) in axes.iter().zip(&index) {
+            m = (axis.apply)(m, axis.values[i]);
+            cells.push(axis.raws[i].clone());
+        }
+        let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
+        let report = evaluator.evaluate_cached(&net, &rep, &cache)?;
+        for metric in &metrics {
+            cells.push(match metric.as_str() {
+                "snr_db" => report
+                    .output_snr_db()
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                "enob" => report
+                    .output_enob()
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                "energy" => format!("{:.6e}", report.energy_total()),
+                "energy_per_mac" => format!("{:.6e}", report.energy_per_mac()),
+                "tops_per_watt" => fmt(report.tops_per_watt()),
+                "gops" => {
+                    let latency = report.latency_total();
+                    let gops = if latency > 0.0 {
+                        2.0 * report.macs_total() as f64 / latency / 1e9
+                    } else {
+                        0.0
+                    };
+                    fmt(gops)
+                }
+                _ => unreachable!("metric validated above"),
+            });
+        }
+        out.row(cells);
+
+        // Advance the odometer, last axis fastest.
+        for pos in (0..axes.len()).rev() {
+            index[pos] += 1;
+            if index[pos] < axes[pos].values.len() {
+                continue 'grid;
+            }
+            index[pos] = 0;
+        }
+        break;
+    }
+    Ok(out)
+}
+
+/// Builds the design space from the document's `!Architecture` variants
+/// and its `!Space` axes.
+fn space_for(doc: &ScenarioDoc) -> Result<DesignSpace, CliError> {
+    if doc.architectures().is_empty() {
+        return Err(CliError::usage(
+            "scenario has no !Architecture section".to_owned(),
+        ));
+    }
+    let mut space = DesignSpace::new();
+    for (i, arch) in doc.architectures().iter().enumerate() {
+        let name = arch
+            .settings
+            .str("name")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("design{i}"));
+        space = space.variant(name, resolve::architecture(doc, arch)?);
+    }
+    if let Some(section) = doc.section("Space") {
+        space = space.with_section(section)?;
+    }
+    Ok(space)
+}
+
+fn explorer_for(doc: &ScenarioDoc) -> Result<Explorer, CliError> {
+    let scope = match resolve::scope(doc.scenario())? {
+        Scope::Macro => EvalScope::MacroOnly,
+        Scope::System(storage) => EvalScope::System(storage),
+    };
+    let explorer = match doc.scenario().str_or("accuracy", "snr") {
+        "snr" => Explorer::new(),
+        "adc_coverage" => Explorer::with_adc_coverage_accuracy(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown accuracy objective `{other}` (expected snr or adc_coverage)"
+            )))
+        }
+    };
+    Ok(explorer.with_scope(scope))
+}
+
+/// `experiment: dse` — explore the design grid and report the Pareto
+/// front (ascending design id).
+pub fn dse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let space = space_for(doc)?;
+    let net = resolve::workload(doc)?;
+    let explorer = explorer_for(doc)?;
+    let exploration = explorer.explore(&space, &net)?;
+
+    let mut out = table(
+        doc,
+        &[
+            "design",
+            "J/MAC",
+            "TOPS/W",
+            "area (mm2)",
+            "SNR (dB)",
+            "energy (J)",
+        ],
+    )?;
+    for member in exploration.front.members() {
+        let r = &member.value;
+        out.row(vec![
+            r.point.label(),
+            format!("{:.6e}", r.energy_per_mac),
+            fmt(r.tops_per_watt),
+            fmt(r.area_mm2),
+            r.output_snr_db
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".to_owned()),
+            format!("{:.6e}", r.energy_total),
+        ]);
+    }
+    println!(
+        "  {} designs evaluated, {} on the Pareto front",
+        exploration.evaluated,
+        exploration.front.len()
+    );
+    Ok(out)
+}
+
+/// `experiment: compare` — labeled configurations (`!Row` sections)
+/// selected out of an explored design grid, energies normalized over the
+/// selected rows. This is the spec-driven form of the Fig 2b co-design
+/// experiment, through the same [`Explorer`].
+pub fn compare(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let space = space_for(doc)?;
+    let net = resolve::workload(doc)?;
+    let explorer = explorer_for(doc)?;
+    let reports = cimloop_bench::explore_collect(&explorer, &space, &net)?;
+
+    let rows: Vec<&Section> = doc.sections("Row").collect();
+    if rows.is_empty() {
+        return Err(CliError::usage(
+            "experiment `compare` needs at least one !Row section".to_owned(),
+        ));
+    }
+    let mut selected = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let label = row.require_str("label")?.to_owned();
+        let want_rows = row.u64("rows")?;
+        let want_dac = row.u32("dac_bits")?;
+        let want_adc = row.u32("adc_bits")?;
+        let report = reports
+            .iter()
+            .find(|r| {
+                want_rows.map_or(true, |v| r.point.rows() == v)
+                    && want_dac.map_or(true, |v| r.point.dac_bits() == v)
+                    && want_adc.map_or(true, |v| r.point.adc_bits() == v)
+            })
+            .ok_or_else(|| {
+                CliError::usage(format!("!Row `{label}` matches no design in the grid"))
+            })?;
+        selected.push((label, report));
+    }
+    let max = selected
+        .iter()
+        .map(|(_, r)| r.energy_total)
+        .fold(0.0, f64::max);
+
+    let mut out = table(
+        doc,
+        &["configuration", "array", "DAC bits", "energy (norm)", "J"],
+    )?;
+    for (label, r) in &selected {
+        out.row(vec![
+            label.clone(),
+            format!("{}x{}", r.point.rows(), r.point.cols()),
+            r.point.dac_bits().to_string(),
+            fmt(r.energy_total / max),
+            format!("{:.3e}", r.energy_total),
+        ]);
+    }
+    Ok(out)
+}
+
+/// `experiment: output_reuse` — the Fig 12 sweep: wire-sum output reuse
+/// across N columns, per workload, energies split into ADC+accumulate /
+/// DAC / other and normalized per workload.
+pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let arch = doc
+        .architecture()
+        .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
+    let base = resolve::architecture(doc, arch)?;
+    let section = sweep_section(doc)?;
+    let groupings = section
+        .u64_list("groupings")?
+        .ok_or_else(|| CliError::usage("!Sweep needs a `groupings:` list".to_owned()))?;
+    let workload_keys = section
+        .str_list("workloads")?
+        .ok_or_else(|| CliError::usage("!Sweep needs a `workloads:` list".to_owned()))?;
+
+    // The matched-utilization workload: a convolution whose window matches
+    // the column group and whose channels fill the rows (same shape the
+    // fig12 binary derives).
+    let max_util = |g: u64| -> Result<Workload, CliError> {
+        let shape = Shape::conv(base.cols() / g, base.rows(), 16, 16, g.min(8), 1)
+            .map_err(|e| CliError::usage(format!("derived max_util shape invalid: {e}")))?;
+        Ok(Workload::new(
+            "max_util",
+            vec![Layer::new("mvm", LayerKind::Conv, shape)
+                .with_input_bits(1)
+                .with_weight_bits(1)],
+        )
+        .expect("non-empty"))
+    };
+
+    let mut out = table(
+        doc,
+        &[
+            "workload",
+            "columns/output",
+            "ADC+Accum",
+            "DAC",
+            "Other",
+            "total (norm)",
+            "utilization",
+        ],
+    )?;
+    for key in &workload_keys {
+        let display = if key == "max_util" {
+            "Max-Utilization".to_owned()
+        } else {
+            display_name(key).to_owned()
+        };
+        let fixed: Option<Workload> = if key == "max_util" {
+            None
+        } else {
+            Some(zoo_model(key, 256, 256, 256).ok_or_else(|| {
+                CliError::usage(format!("unknown workload `{key}` in output_reuse sweep"))
+            })?)
+        };
+        let mut rows = Vec::new();
+        for &g in &groupings {
+            let m = base.clone().with_output_combine(OutputCombine::WireSum {
+                columns_per_group: g,
+            });
+            let evaluator = m.evaluator()?;
+            let rep = m.representation();
+            let owned;
+            let workload = match &fixed {
+                Some(w) => w,
+                None => {
+                    owned = max_util(g)?;
+                    &owned
+                }
+            };
+            let engine = NetworkEngine::new(&evaluator);
+            let report = engine.evaluate_network(workload, &rep)?;
+            let dac = report.energy_of("dac");
+            let adc = report.energy_of("adc") + report.energy_of("accumulator");
+            let other = report.energy_total() - dac - adc;
+            let util: f64 = report
+                .layers()
+                .iter()
+                .map(|(c, l)| *c as f64 * l.macs() as f64 * l.spatial_utilization())
+                .sum::<f64>()
+                / report
+                    .layers()
+                    .iter()
+                    .map(|(c, l)| *c as f64 * l.macs() as f64)
+                    .sum::<f64>();
+            rows.push((g, dac, adc, other, report.energy_total(), util));
+        }
+        let max_total = rows.iter().map(|r| r.4).fold(0.0, f64::max);
+        for &(g, dac, adc, other, total, util) in &rows {
+            out.row(vec![
+                display.clone(),
+                g.to_string(),
+                fmt(adc / max_total),
+                fmt(dac / max_total),
+                fmt(other / max_total),
+                fmt(total / max_total),
+                fmt(util),
+            ]);
+        }
+    }
+    Ok(out)
+}
+
+/// `experiment: speed_record` — the deterministic work/energy record of
+/// the Table II speed experiment: value-exact simulation of the last
+/// layers, the statistical model over the whole network, a streaming
+/// mapping search, and an amortized engine sweep. (Measured rates belong
+/// to stdout, never to a golden TSV; this runner records only the
+/// deterministic quantities, exactly as the `table02` binary does.)
+pub fn speed_record(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    let arch = doc
+        .architecture()
+        .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
+    let m = resolve::architecture(doc, arch)?;
+    let net = resolve::workload(doc)?;
+    let s = doc.scenario();
+    let exact_layer_count = s.u64_or("exact_layers", 3)? as usize;
+    let search_layers = s.u64_or("search_layers", 4)? as usize;
+    let limit = s.u64_or("mappings_per_layer", 5000)? as usize;
+    let engine_key = s.str_or("engine_model", "vit");
+    let model_key = doc
+        .section("Workload")
+        .and_then(|w| w.str("model"))
+        .unwrap_or("custom");
+
+    let evaluator = m.evaluator()?;
+    let rep = m.representation();
+    let cfg = ExactConfig::full();
+
+    let mut out = table(doc, &["quantity", "value"])?;
+
+    // Value-exact baseline over the final layers.
+    let mut events = 0u64;
+    let mut exact_energy = 0.0f64;
+    for layer in net.layers().iter().rev().take(exact_layer_count) {
+        let report = simulate_layer(&m, layer, &cfg)?;
+        events += report.cell_events();
+        exact_energy += report.energy_total();
+    }
+    out.row(vec![
+        format!(
+            "value-exact cell events ({exact_layer_count} layers, seed {:#X}, 1 thread)",
+            cfg.seed
+        ),
+        events.to_string(),
+    ]);
+    out.row(vec![
+        "value-exact energy (J)".to_owned(),
+        format!("{exact_energy:.6e}"),
+    ]);
+
+    // Statistical model over the whole network.
+    let mut statistical_energy = 0.0f64;
+    for layer in net.layers() {
+        statistical_energy += evaluator.evaluate_layer(layer, &rep)?.energy_total();
+    }
+    out.row(vec![
+        format!(
+            "statistical energy, {} {} layers (J)",
+            net.layers().len(),
+            display_name(model_key)
+        ),
+        format!("{statistical_energy:.6e}"),
+    ]);
+
+    // Streaming mapping search against the amortized table.
+    let mut streamed = 0u64;
+    for layer in net.layers().iter().take(search_layers) {
+        let energies = evaluator.action_energies(layer, &rep)?;
+        let shape = evaluator.shape_for(layer, &rep)?;
+        let mut failure: Option<cimloop_core::CoreError> = None;
+        cimloop_map::Mapper::default()
+            .stream(
+                evaluator.hierarchy(),
+                shape,
+                limit,
+                |mapping| match evaluator.evaluate_mapping(layer, &rep, &energies, mapping) {
+                    Ok(_) => {
+                        streamed += 1;
+                        true
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        false
+                    }
+                },
+            )
+            .map_err(cimloop_core::CoreError::from)?;
+        if let Some(e) = failure {
+            return Err(e.into());
+        }
+    }
+    out.row(vec![
+        format!("mapping-search candidates streamed ({search_layers} layers, limit {limit})"),
+        streamed.to_string(),
+    ]);
+
+    // Amortized engine sweep of an unrolled zoo network.
+    let engine_net = zoo_model(engine_key, 256, 256, 256)
+        .ok_or_else(|| CliError::usage(format!("unknown engine model `{engine_key}`")))?
+        .unrolled();
+    let engine = NetworkEngine::new(&evaluator);
+    let report = engine.evaluate_network(&engine_net, &rep)?;
+    out.row(vec![
+        format!(
+            "engine sweep layers ({} unrolled)",
+            display_name(engine_key)
+        ),
+        engine_net.layers().len().to_string(),
+    ]);
+    out.row(vec![
+        "engine distinct energy tables".to_owned(),
+        engine.cache().len().to_string(),
+    ]);
+    out.row(vec![
+        "engine sweep energy (J)".to_owned(),
+        format!("{:.6e}", report.energy_total()),
+    ]);
+    Ok(out)
+}

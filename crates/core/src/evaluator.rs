@@ -36,6 +36,7 @@ struct ActionEnergy {
 pub struct ActionEnergyTable {
     entries: BTreeMap<String, [ActionEnergy; 3]>,
     cycle_time: f64,
+    cycle_time_defaulted: bool,
     noise: Option<NoiseReport>,
 }
 
@@ -84,7 +85,8 @@ impl ActionEnergyTable {
     pub(crate) fn empty_for_tests() -> Self {
         ActionEnergyTable {
             entries: BTreeMap::new(),
-            cycle_time: 1e-9,
+            cycle_time: Evaluator::DEFAULT_CYCLE_TIME,
+            cycle_time_defaulted: true,
             noise: None,
         }
     }
@@ -92,6 +94,16 @@ impl ActionEnergyTable {
     /// The macro cycle time implied by the slowest per-cycle component.
     pub fn cycle_time(&self) -> f64 {
         self.cycle_time
+    }
+
+    /// Whether [`Self::cycle_time`] is the placeholder
+    /// [`Evaluator::DEFAULT_CYCLE_TIME`] rather than a latency any
+    /// per-cycle component actually declared. When `true`, every derived
+    /// timing number (latency, GOPS) is an artifact of the fallback — a
+    /// misconfigured spec, not a modeled circuit. `cimloop validate`
+    /// warns on this flag.
+    pub fn cycle_time_defaulted(&self) -> bool {
+        self.cycle_time_defaulted
     }
 
     /// The statistical output-accuracy summary of the analog readout for
@@ -397,6 +409,13 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
+    /// The placeholder cycle time (seconds) used when no per-cycle
+    /// component declares a latency. Timing numbers derived from it are
+    /// placeholders, not modeled circuits;
+    /// [`ActionEnergyTable::cycle_time_defaulted`] reports when it was
+    /// used.
+    pub const DEFAULT_CYCLE_TIME: f64 = 1e-9;
+
     /// Builds models for every component of `hierarchy` via the default
     /// [`Library`].
     ///
@@ -555,8 +574,13 @@ impl Evaluator {
                 cycle_time = cycle_time.max(model.latency());
             }
         }
-        if cycle_time == 0.0 {
-            cycle_time = 1e-9;
+        // No per-cycle component declared a latency (or all declared 0):
+        // fall back to the named placeholder, and *record* that we did —
+        // a silent 1 ns here makes misconfigured specs print
+        // plausible-looking GOPS numbers.
+        let cycle_time_defaulted = cycle_time == 0.0;
+        if cycle_time_defaulted {
+            cycle_time = Self::DEFAULT_CYCLE_TIME;
         }
         // The accuracy half of the statistical model: compose the
         // non-ideality transforms after the column-sum convolution
@@ -575,6 +599,7 @@ impl Evaluator {
         ActionEnergyTable {
             entries,
             cycle_time,
+            cycle_time_defaulted,
             noise,
         }
     }
@@ -1166,6 +1191,47 @@ slice_storage: true
         // The 100 MS/s ADC (10 ns) dominates DAC (1 ns) and buffer latency
         // is excluded (word storage is not per-cycle).
         assert!((table.cycle_time() - 10e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn declared_latency_is_not_flagged_as_defaulted() {
+        let e = Evaluator::new(base_macro(64, 64, 8)).unwrap();
+        let table = e.action_energies(&small_layer(), &rep()).unwrap();
+        assert!(!table.cycle_time_defaulted());
+    }
+
+    #[test]
+    fn missing_latency_falls_back_to_named_default_and_is_flagged() {
+        // A hierarchy whose only active components store words (no
+        // converters, no slice storage): nothing is per-cycle, so no
+        // component bounds the cycle time.
+        let spec = "
+!Component
+name: buffer
+class: sram_buffer
+entries: 1024
+temporal_reuse: [Inputs, Outputs]
+!Container
+name: macro
+!Component
+name: cell
+class: sram_cim_cell
+spatial: { meshY: 16 }
+temporal_reuse: [Weights]
+spatial_reuse: [Outputs]
+spatial_dims: C, R, S
+";
+        let e = Evaluator::new(Hierarchy::from_yamlite(spec).unwrap()).unwrap();
+        let table = e.action_energies(&small_layer(), &rep()).unwrap();
+        assert!(
+            table.cycle_time_defaulted(),
+            "fallback must be surfaced, not silent"
+        );
+        assert_eq!(table.cycle_time(), Evaluator::DEFAULT_CYCLE_TIME);
+        // The placeholder still produces finite throughput numbers — which
+        // is exactly why the flag has to exist.
+        let report = e.evaluate_layer(&small_layer(), &rep()).unwrap();
+        assert!(report.gops() > 0.0);
     }
 
     #[test]

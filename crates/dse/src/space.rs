@@ -179,6 +179,62 @@ impl DesignSpace {
         self
     }
 
+    /// Parses a `!Space` scenario section's axes onto a space that already
+    /// carries its variants (variants come from `!Architecture` sections,
+    /// which the caller resolves — the space crate knows axes, not macro
+    /// presets).
+    ///
+    /// Recognized keys: `square_arrays` (list of `n` for n×n arrays),
+    /// `dac_bits`, `adc_bits`, `cell_bits` (bit-width lists), and
+    /// `variations` (cell-variation sigmas, realized as a
+    /// [`NoiseSpec`] axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cimloop_spec::SpecError::Parse`] on unknown keys or
+    /// malformed lists.
+    pub fn with_section(
+        mut self,
+        section: &cimloop_spec::Section,
+    ) -> Result<Self, cimloop_spec::SpecError> {
+        for entry in section.entries() {
+            match entry.key.as_str() {
+                "square_arrays" => {
+                    self =
+                        self.square_arrays(section.u64_list("square_arrays")?.unwrap_or_default())
+                }
+                "dac_bits" => {
+                    self = self.dac_bits(section.u32_list("dac_bits")?.unwrap_or_default())
+                }
+                "adc_bits" => {
+                    self = self.adc_bits(section.u32_list("adc_bits")?.unwrap_or_default())
+                }
+                "cell_bits" => {
+                    self = self.cell_bits(section.u32_list("cell_bits")?.unwrap_or_default())
+                }
+                "variations" => {
+                    self = self.noise_specs(
+                        section
+                            .f64_list("variations")?
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|sigma| NoiseSpec::new().with_cell_variation(sigma)),
+                    )
+                }
+                other => {
+                    return Err(cimloop_spec::SpecError::Parse {
+                        line: entry.line,
+                        message: format!(
+                            "unknown design-space axis `{other}` (expected square_arrays, \
+                             dac_bits, adc_bits, cell_bits, or variations)"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(self)
+    }
+
     /// Thins the grid: only designs for which `keep` returns `true` are
     /// evaluated. Ids are assigned before filtering, so they are stable
     /// across filter changes.
@@ -352,6 +408,54 @@ mod tests {
         assert_eq!(labels[0], "base/128x128/dac1/adc5/rn0.005");
         assert_eq!(labels[2], "base/128x128/dac1/adc5/off0.25");
         assert_eq!(labels[3], "base/128x128/dac1/adc5/var0.1/rn0.01");
+    }
+
+    #[test]
+    fn section_axes_match_programmatic_axes() {
+        let doc = cimloop_spec::ScenarioDoc::parse(
+            "!Scenario\nname: s\n!Space\nsquare_arrays: [64, 128]\ndac_bits: [1, 2, 4]\n",
+        )
+        .unwrap();
+        let from_spec = DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .with_section(doc.section("Space").unwrap())
+            .unwrap();
+        let programmatic = space();
+        let a = from_spec.designs();
+        let b = programmatic.designs();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.label(), y.label());
+        }
+    }
+
+    #[test]
+    fn section_variations_build_a_noise_axis() {
+        let doc = cimloop_spec::ScenarioDoc::parse(
+            "!Scenario\nname: s\n!Space\nvariations: [0.0, 0.1]\n",
+        )
+        .unwrap();
+        let designs = DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .with_section(doc.section("Space").unwrap())
+            .unwrap()
+            .designs();
+        assert_eq!(designs.len(), 2);
+        assert!(designs[0].noise().is_ideal());
+        assert_eq!(designs[1].noise().cell_variation(), 0.1);
+    }
+
+    #[test]
+    fn section_unknown_axis_is_an_error() {
+        let doc = cimloop_spec::ScenarioDoc::parse(
+            "!Scenario\nname: s\n!Space\nsquare_array: [64]\n", // sic
+        )
+        .unwrap();
+        assert!(DesignSpace::new()
+            .variant("base", base_macro().uncalibrated())
+            .with_section(doc.section("Space").unwrap())
+            .is_err());
     }
 
     #[test]

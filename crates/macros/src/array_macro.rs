@@ -1,6 +1,6 @@
 use cimloop_core::{CoreError, Encoding, Evaluator, Representation};
 use cimloop_noise::NoiseSpec;
-use cimloop_spec::{Component, Container, Hierarchy, Reuse, Spatial, Tensor};
+use cimloop_spec::{AttrValue, Component, Container, Hierarchy, Reuse, Spatial, Tensor};
 
 use crate::calibrate;
 use crate::reference::Anchor;
@@ -59,6 +59,7 @@ pub struct ArrayMacro {
     component_area: Vec<(String, f64)>,
     calibration: Option<Anchor>,
     noise: NoiseSpec,
+    attr_pins: Vec<(String, String, AttrValue)>,
 }
 
 impl ArrayMacro {
@@ -88,7 +89,27 @@ impl ArrayMacro {
             component_area: Vec::new(),
             calibration: None,
             noise: NoiseSpec::ideal(),
+            attr_pins: Vec::new(),
         }
+    }
+
+    /// Pins one component attribute to an exact value, applied *after* all
+    /// derived attributes. This is how [`Self::from_hierarchy`] reproduces
+    /// imported hierarchies bit-exactly (e.g. the per-component
+    /// `energy_scale` left behind by a frozen calibration), without
+    /// round-tripping the value through a scale factorization that could
+    /// perturb its last bit. Pins are exact: they do not track later
+    /// geometry changes ([`Self::with_array`] etc.), so prefer the typed
+    /// builders for anything you intend to sweep.
+    pub fn with_pinned_attr(
+        mut self,
+        component: &str,
+        attr: &str,
+        value: impl Into<AttrValue>,
+    ) -> Self {
+        self.attr_pins
+            .push((component.to_owned(), attr.to_owned(), value.into()));
+        self
     }
 
     /// Declares the macro's statistical non-idealities (cell
@@ -362,6 +383,189 @@ impl ArrayMacro {
         Ok(b.build()?)
     }
 
+    /// The inverse import path: reconstructs an [`ArrayMacro`] from a
+    /// macro-shaped [`Hierarchy`] (one produced by [`Self::hierarchy`],
+    /// or a spec file of the same shape).
+    ///
+    /// Structural configuration (array geometry, converter resolutions,
+    /// output-combining topology, cell technology, noise attributes,
+    /// supply voltage) is recovered from the component tree; any remaining
+    /// attribute differences — per-component calibration scales, frozen
+    /// energy/latency multipliers, hand-edited buffer capacities — are
+    /// carried as exact attribute pins ([`Self::with_pinned_attr`]), so
+    /// `ArrayMacro::from_hierarchy(&m.hierarchy()?)` re-serializes
+    /// **bit-identically** for every macro `m`. The result carries no
+    /// calibration anchor (scales are already baked into the attributes).
+    ///
+    /// Operand *encodings* are not part of a hierarchy (they live in the
+    /// [`Representation`]); the import defaults to two's-complement
+    /// inputs and offset weights — override with [`Self::with_encodings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Spec`] when the hierarchy is not macro-shaped
+    /// (missing `cell`/`dac` components, no `*_macro` container, or a
+    /// structure the reconstruction cannot reproduce exactly).
+    pub fn from_hierarchy(h: &Hierarchy) -> Result<Self, CoreError> {
+        let missing = |name: &str| {
+            CoreError::Spec(cimloop_spec::SpecError::UnknownNode {
+                name: name.to_owned(),
+            })
+        };
+        let shape_err =
+            |message: String| CoreError::Spec(cimloop_spec::SpecError::Parse { line: 0, message });
+
+        let name = h
+            .containers()
+            .find_map(|c| c.name().strip_suffix("_macro"))
+            .ok_or_else(|| missing("<name>_macro"))?
+            .to_owned();
+        let cell = h.component("cell").ok_or_else(|| missing("cell"))?;
+        let dac = h.component("dac").ok_or_else(|| missing("dac"))?;
+        let rows = cell.spatial().fanout().max(1);
+        let node_nm = cell
+            .attributes()
+            .float("technology")
+            .ok_or_else(|| shape_err("cell has no `technology` attribute".to_owned()))?;
+
+        let digital = h.component("adder_tree").is_some();
+        let column_fanout = |container: &str| -> Result<u64, CoreError> {
+            Ok(h.node(container)
+                .ok_or_else(|| missing(container))?
+                .spatial()
+                .fanout())
+        };
+        let (combine, cols) = if digital {
+            (OutputCombine::None, column_fanout("column")?)
+        } else if let Some(adder) = h.component("analog_adder") {
+            let operands = adder.attributes().int_or("operands", 1).max(1) as u32;
+            let groups = column_fanout("column_group")?;
+            (
+                OutputCombine::AnalogAdder { operands },
+                groups * column_fanout("column")?,
+            )
+        } else if h.component("analog_accumulator").is_some() {
+            (OutputCombine::AnalogAccumulator, column_fanout("column")?)
+        } else if h.node("column_group").is_some() {
+            let g = column_fanout("column")?;
+            (
+                OutputCombine::WireSum {
+                    columns_per_group: g,
+                },
+                column_fanout("column_group")? * g,
+            )
+        } else {
+            (OutputCombine::None, column_fanout("column")?)
+        };
+
+        let dac_bits = dac.attributes().int_or("resolution", 1).max(1) as u32;
+        let cell_bits = cell.attributes().int_or("bits", 1).max(1) as u32;
+        let mut noise = NoiseSpec::new()
+            .with_cell_variation(cell.attributes().float_or("noise_variation_sigma", 0.0));
+
+        let mut m = ArrayMacro::new(name, node_nm, rows, cols)
+            .with_cell_class(cell.class())
+            .with_dac_class(dac.class())
+            .with_slicing(dac_bits, cell_bits)
+            .with_output_combine(combine);
+        if digital {
+            m = m.with_digital_readout();
+        }
+        if let Some(adc) = h.component("adc") {
+            m = m.with_adc(
+                adc.attributes().int_or("resolution", 8).max(1) as u32,
+                adc.attributes().float_or("sample_rate", 100e6),
+            );
+            noise = noise
+                .with_read_noise(adc.attributes().float_or("noise_read_sigma", 0.0))
+                .with_adc_offset(adc.attributes().float_or("noise_offset_sigma", 0.0));
+        }
+        m = m.with_noise(noise);
+        if let Some(v) = cell.attributes().float("supply_voltage") {
+            m = m.with_supply_voltage(v);
+        }
+
+        // Reconcile every remaining attribute difference with exact pins:
+        // regenerate once, diff attributes per component, pin the deltas.
+        let regen = m.hierarchy()?;
+        for component in h.components() {
+            let Some(candidate) = regen.component(component.name()) else {
+                return Err(shape_err(format!(
+                    "hierarchy is not macro-shaped: component `{}` has no counterpart \
+                     in the reconstructed macro",
+                    component.name()
+                )));
+            };
+            for (key, value) in component.attributes().iter() {
+                if candidate.attributes().get(key) != Some(value) {
+                    m = m.with_pinned_attr(component.name(), key, value.clone());
+                }
+            }
+        }
+
+        // The reconstruction must reproduce the input's structure (node
+        // sequence, reuse directives, fanouts) and every attribute the
+        // input declares. Attributes only the reconstruction carries are
+        // fine — they are the macro's own derived defaults (unit scale
+        // factors and the like) that a hand-written spec simply omitted;
+        // a hierarchy exported by [`Self::hierarchy`] declares everything
+        // and therefore round-trips bit-identically.
+        let check = m.hierarchy()?;
+        if check.len() != h.len() {
+            return Err(shape_err(format!(
+                "hierarchy is not macro-shaped: reconstruction has {} nodes, input has {}",
+                check.len(),
+                h.len()
+            )));
+        }
+        for (ours, theirs) in check.nodes().iter().zip(h.nodes()) {
+            let mismatch = |what: &str| {
+                shape_err(format!(
+                    "hierarchy is not macro-shaped: node `{}` differs from the \
+                     reconstruction in {what}",
+                    theirs.name()
+                ))
+            };
+            if ours.name() != theirs.name() {
+                return Err(mismatch("name/order"));
+            }
+            if ours.spatial() != theirs.spatial() {
+                return Err(mismatch("spatial fanout"));
+            }
+            for tensor in Tensor::ALL {
+                if ours.spatial_reuse(tensor) != theirs.spatial_reuse(tensor) {
+                    return Err(mismatch("spatial reuse"));
+                }
+            }
+            match (ours, theirs) {
+                (cimloop_spec::Node::Component(ours), cimloop_spec::Node::Component(theirs)) => {
+                    if ours.class() != theirs.class() {
+                        return Err(mismatch("class"));
+                    }
+                    for tensor in Tensor::ALL {
+                        if ours.reuse(tensor) != theirs.reuse(tensor) {
+                            return Err(mismatch("reuse directives"));
+                        }
+                    }
+                    for (key, value) in theirs.attributes().iter() {
+                        if ours.attributes().get(key) != Some(value) {
+                            return Err(mismatch(&format!("attribute `{key}`")));
+                        }
+                    }
+                }
+                (cimloop_spec::Node::Container(ours), cimloop_spec::Node::Container(theirs)) => {
+                    for (key, value) in theirs.attributes().iter() {
+                        if ours.attributes().get(key) != Some(value) {
+                            return Err(mismatch(&format!("attribute `{key}`")));
+                        }
+                    }
+                }
+                _ => return Err(mismatch("node kind")),
+            }
+        }
+        Ok(m)
+    }
+
     /// Builds a calibrated evaluator for this macro.
     ///
     /// # Errors
@@ -403,6 +607,11 @@ impl ArrayMacro {
             .with_attr("latency_scale", self.latency_scale);
         if let Some(v) = self.supply_voltage {
             c = c.with_attr("supply_voltage", v);
+        }
+        for (component_name, attr, value) in &self.attr_pins {
+            if component_name == c.name() {
+                c = c.with_attr(attr.clone(), value.clone());
+            }
         }
         c
     }
@@ -757,6 +966,88 @@ mod tests {
         let parsed = Hierarchy::from_yamlite(&text).unwrap();
         let e = Evaluator::new(parsed).unwrap();
         assert_eq!(e.noise(), spec);
+    }
+
+    #[test]
+    fn from_hierarchy_round_trips_every_preset_bit_identically() {
+        // The acceptance bar for the inverse import path: exporting any
+        // macro (uncalibrated, frozen, component-calibrated, noisy) and
+        // importing it back reproduces the identical serialized spec.
+        let noisy = ArrayMacro::new("noisy", 45.0, 64, 64).with_noise(
+            NoiseSpec::new()
+                .with_cell_variation(0.1)
+                .with_read_noise(0.005)
+                .with_adc_offset(0.25),
+        );
+        let macros: Vec<ArrayMacro> = vec![
+            ArrayMacro::new("plain", 45.0, 128, 64),
+            crate::base_macro().frozen().unwrap(),
+            crate::macro_a().frozen().unwrap(),
+            crate::macro_b().frozen().unwrap(),
+            crate::macro_c().frozen().unwrap(),
+            crate::macro_d().frozen().unwrap(),
+            crate::digital_cim().frozen().unwrap(),
+            noisy,
+            ArrayMacro::new("volted", 22.0, 16, 16).with_supply_voltage(0.7),
+        ];
+        for m in macros {
+            let exported = m.hierarchy().unwrap();
+            let imported = ArrayMacro::from_hierarchy(&exported)
+                .unwrap_or_else(|e| panic!("{}: import failed: {e}", m.name()));
+            assert_eq!(
+                cimloop_spec::yamlite::write(&imported.hierarchy().unwrap()),
+                cimloop_spec::yamlite::write(&exported),
+                "{}: import must re-serialize bit-identically",
+                m.name()
+            );
+            assert_eq!(imported.rows(), m.rows(), "{}", m.name());
+            assert_eq!(imported.cols(), m.cols(), "{}", m.name());
+            assert_eq!(imported.noise(), m.noise(), "{}", m.name());
+            assert!(imported.calibration().is_none());
+        }
+    }
+
+    #[test]
+    fn imported_macro_evaluates_identically() {
+        let m = crate::macro_c().frozen().unwrap();
+        let imported = ArrayMacro::from_hierarchy(&m.hierarchy().unwrap()).unwrap();
+        let layer = cimloop_workload::Layer::new(
+            "l",
+            cimloop_workload::LayerKind::Linear,
+            cimloop_workload::Shape::linear(2, 32, 32).unwrap(),
+        );
+        // Same hierarchy, same representation defaults for this macro.
+        let a = m
+            .evaluator()
+            .unwrap()
+            .evaluate_layer(&layer, &m.representation())
+            .unwrap();
+        let b = imported
+            .evaluator()
+            .unwrap()
+            .evaluate_layer(&layer, &imported.representation())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_hierarchy_rejects_non_macro_shapes() {
+        // A perfectly valid spec hierarchy that is not a macro export.
+        let h = Hierarchy::from_yamlite(
+            "!Component\nname: buffer\ntemporal_reuse: [Inputs, Outputs]\n",
+        )
+        .unwrap();
+        assert!(ArrayMacro::from_hierarchy(&h).is_err());
+    }
+
+    #[test]
+    fn pinned_attrs_override_derived_values() {
+        let m = ArrayMacro::new("t", 45.0, 8, 8).with_pinned_attr("adc", "resolution", 11i64);
+        let h = m.hierarchy().unwrap();
+        assert_eq!(
+            h.component("adc").unwrap().attributes().int("resolution"),
+            Some(11)
+        );
     }
 
     #[test]

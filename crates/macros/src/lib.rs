@@ -166,6 +166,24 @@ pub fn macro_d() -> ArrayMacro {
         .with_calibration(reference::MACRO_D_ANCHOR)
 }
 
+/// Looks up a published macro configuration by its scenario-spec key.
+///
+/// Recognized keys: `base`, `macro_a` (alias `a`), `macro_b` (alias `b`),
+/// `macro_c` (alias `c`), `macro_d` (alias `d`), and `digital` (alias
+/// `digital_cim`). This is the preset table behind scenario files'
+/// `!Architecture` / `macro:` key.
+pub fn preset(key: &str) -> Option<ArrayMacro> {
+    Some(match key {
+        "base" | "base_macro" => base_macro(),
+        "a" | "macro_a" => macro_a(),
+        "b" | "macro_b" => macro_b(),
+        "c" | "macro_c" => macro_c(),
+        "d" | "macro_d" => macro_d(),
+        "digital" | "digital_cim" => digital_cim(),
+        _ => return None,
+    })
+}
+
 /// Digital CiM — Kim et al. JSSC'21 (Colonnade): fully-digital bit-serial
 /// SRAM CiM; no ADC/DAC (outputs reused digitally through an adder tree).
 pub fn digital_cim() -> ArrayMacro {

@@ -113,6 +113,60 @@ impl NoiseSpec {
     }
 }
 
+impl NoiseSpec {
+    /// Parses a `!Noise` scenario section into a spec.
+    ///
+    /// Recognized keys (all optional; absent sigmas stay zero):
+    /// `cell_variation`, `read_noise`, `adc_offset`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cimloop_noise::NoiseSpec;
+    /// use cimloop_spec::ScenarioDoc;
+    ///
+    /// let doc = ScenarioDoc::parse(
+    ///     "!Scenario\nname: n\n!Noise\ncell_variation: 0.1\nadc_offset: 0.25\n",
+    /// ).unwrap();
+    /// let spec = NoiseSpec::from_section(doc.section("Noise").unwrap()).unwrap();
+    /// assert_eq!(spec.cell_variation(), 0.1);
+    /// assert_eq!(spec.adc_offset(), 0.25);
+    /// assert_eq!(spec.read_noise(), 0.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cimloop_spec::SpecError::Parse`] on non-numeric sigmas or
+    /// unknown keys (a typo'd sigma silently defaulting to zero would be
+    /// exactly the failure mode this crate exists to model).
+    pub fn from_section(section: &cimloop_spec::Section) -> Result<Self, cimloop_spec::SpecError> {
+        let mut spec = NoiseSpec::new();
+        for entry in section.entries() {
+            match entry.key.as_str() {
+                "cell_variation" => {
+                    spec = spec.with_cell_variation(section.f64("cell_variation")?.unwrap_or(0.0))
+                }
+                "read_noise" => {
+                    spec = spec.with_read_noise(section.f64("read_noise")?.unwrap_or(0.0))
+                }
+                "adc_offset" => {
+                    spec = spec.with_adc_offset(section.f64("adc_offset")?.unwrap_or(0.0))
+                }
+                other => {
+                    return Err(cimloop_spec::SpecError::Parse {
+                        line: entry.line,
+                        message: format!(
+                            "unknown noise key `{other}` (expected cell_variation, \
+                             read_noise, or adc_offset)"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
 fn sanitize(sigma: f64) -> f64 {
     if sigma.is_finite() && sigma > 0.0 {
         sigma
@@ -152,6 +206,24 @@ mod tests {
         let b = NoiseSpec::new().with_cell_variation(0.2);
         assert_ne!(a.signature_bits(), b.signature_bits());
         assert_eq!(a.signature_bits(), a.signature_bits());
+    }
+
+    #[test]
+    fn from_section_rejects_typos_and_bad_values() {
+        let doc = cimloop_spec::ScenarioDoc::parse(
+            "!Scenario\nname: n\n!Noise\ncell_variaton: 0.1\n", // sic
+        )
+        .unwrap();
+        let err = NoiseSpec::from_section(doc.section("Noise").unwrap()).unwrap_err();
+        assert!(matches!(
+            err,
+            cimloop_spec::SpecError::Parse { line: 4, .. }
+        ));
+
+        let doc =
+            cimloop_spec::ScenarioDoc::parse("!Scenario\nname: n\n!Noise\nread_noise: lots\n")
+                .unwrap();
+        assert!(NoiseSpec::from_section(doc.section("Noise").unwrap()).is_err());
     }
 
     #[test]

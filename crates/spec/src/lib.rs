@@ -69,9 +69,11 @@ mod attr;
 mod error;
 mod hierarchy;
 mod node;
+pub mod scenario;
 pub mod yamlite;
 
 pub use attr::{AttrValue, Attributes};
 pub use error::SpecError;
 pub use hierarchy::{Hierarchy, HierarchyBuilder, Level, LevelKind};
 pub use node::{Component, Container, Node, Reuse, Spatial, Tensor, TensorDirectives};
+pub use scenario::{ArchitectureSpec, Entry, ScalarValue, ScenarioDoc, Section, SpecValue};

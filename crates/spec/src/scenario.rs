@@ -1,0 +1,702 @@
+//! Experiment-document extension of the yamlite dialect.
+//!
+//! A *scenario* is a full experiment description: architecture (a macro
+//! preset with overrides, or an inline component tree), workload selection
+//! (zoo model or custom layer shapes), non-ideality spec, design-space
+//! axes, and run configuration. Where [`crate::yamlite`] parses a single
+//! component tree, this module parses whole documents of tagged sections:
+//!
+//! ```text
+//! !Scenario                 # run configuration (required, first)
+//! name: my_experiment
+//! experiment: evaluate
+//! !Architecture             # macro preset + overrides …
+//! macro: base
+//! rows: 256
+//! !Component                # … or an inline yamlite component tree
+//! name: buffer
+//! temporal_reuse: [Inputs, Outputs]
+//! !Workload
+//! model: resnet18
+//! !Noise
+//! cell_variation: 0.1
+//! ```
+//!
+//! The section *structure* is parsed here; the domain crates interpret
+//! their own sections (`cimloop-workload` parses `!Workload`/`!Layer`,
+//! `cimloop-noise` parses `!Noise`, `cimloop-dse` parses `!Space`, and
+//! `cimloop-macros` resolves `!Architecture`). This keeps the dependency
+//! graph acyclic: the spec crate knows sections and scalars, not DNNs or
+//! Pareto grids.
+//!
+//! Scalar values keep their **raw source token** alongside the parsed
+//! [`AttrValue`], so presentation layers can echo exactly what the author
+//! wrote (`0.10` stays `0.10`, not `0.1`).
+
+use crate::yamlite;
+use crate::{AttrValue, Hierarchy, SpecError};
+
+/// Section tags that open an inline yamlite component tree rather than a
+/// key-value section.
+const NODE_TAGS: [&str; 2] = ["Component", "Container"];
+
+/// A scalar with both its parsed value and its raw source token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarValue {
+    /// The parsed value (int/float/bool/string).
+    pub value: AttrValue,
+    /// The raw token as written in the document (for faithful display).
+    pub raw: String,
+}
+
+impl ScalarValue {
+    fn parse(token: &str) -> Self {
+        ScalarValue {
+            value: yamlite::parse_scalar(token),
+            raw: token.to_owned(),
+        }
+    }
+
+    /// The scalar as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.value.as_float()
+    }
+
+    /// The scalar as an integer, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.value.as_int()
+    }
+}
+
+/// A parsed entry value: scalar, `[list]`, or `{ map }`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecValue {
+    /// A single scalar.
+    Scalar(ScalarValue),
+    /// A `[a, b, c]` list of scalars.
+    List(Vec<ScalarValue>),
+    /// A `{ k: v, … }` inline map.
+    Map(Vec<(String, ScalarValue)>),
+}
+
+/// One `key: value` entry of a section, with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The entry key.
+    pub key: String,
+    /// The parsed value.
+    pub value: SpecValue,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One tagged section of a scenario document (`!Scenario`, `!Workload`,
+/// …), holding its `key: value` entries in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    tag: String,
+    line: usize,
+    entries: Vec<Entry>,
+}
+
+impl Section {
+    /// The section's tag (without the `!`).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// 1-based line the section opened on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The entries in document order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Whether the section has an entry with this key.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn parse_err(&self, line: usize, message: String) -> SpecError {
+        SpecError::Parse { line, message }
+    }
+
+    fn scalar(&self, key: &str) -> Option<(&ScalarValue, usize)> {
+        match self.get(key) {
+            Some(Entry {
+                value: SpecValue::Scalar(s),
+                line,
+                ..
+            }) => Some((s, *line)),
+            _ => None,
+        }
+    }
+
+    /// String value of `key` (any scalar's raw token qualifies).
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.scalar(key).map(|(s, _)| s.raw.as_str())
+    }
+
+    /// String value of `key`, or `default` when absent.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.str(key).unwrap_or(default)
+    }
+
+    /// Required string value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] naming the section when absent.
+    pub fn require_str(&self, key: &str) -> Result<&str, SpecError> {
+        self.str(key).ok_or_else(|| {
+            self.parse_err(
+                self.line,
+                format!("section !{} is missing required key `{key}`", self.tag),
+            )
+        })
+    }
+
+    /// Float value of `key` (ints convert).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if present but not numeric.
+    pub fn f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.scalar(key) {
+            None => Ok(None),
+            Some((s, line)) => s.as_f64().map(Some).ok_or_else(|| {
+                self.parse_err(line, format!("`{key}` must be a number, found `{}`", s.raw))
+            }),
+        }
+    }
+
+    /// Unsigned integer value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if present but not a non-negative
+    /// integer.
+    pub fn u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        match self.scalar(key) {
+            None => Ok(None),
+            Some((s, line)) => match s.as_i64() {
+                Some(v) if v >= 0 => Ok(Some(v as u64)),
+                _ => Err(self.parse_err(
+                    line,
+                    format!("`{key}` must be a non-negative integer, found `{}`", s.raw),
+                )),
+            },
+        }
+    }
+
+    /// `u64` with a default.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::u64`].
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, SpecError> {
+        Ok(self.u64(key)?.unwrap_or(default))
+    }
+
+    /// `u32` value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if present but out of `u32` range.
+    pub fn u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
+        match self.u64(key)? {
+            None => Ok(None),
+            Some(v) => u32::try_from(v)
+                .map(Some)
+                .map_err(|_| self.parse_err(self.line, format!("`{key}` is out of range: {v}"))),
+        }
+    }
+
+    /// Boolean value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if present but not `true`/`false`.
+    pub fn bool(&self, key: &str) -> Result<Option<bool>, SpecError> {
+        match self.scalar(key) {
+            None => Ok(None),
+            Some((s, line)) => s.value.as_bool().map(Some).ok_or_else(|| {
+                self.parse_err(
+                    line,
+                    format!("`{key}` must be true or false, found `{}`", s.raw),
+                )
+            }),
+        }
+    }
+
+    /// `bool` with a default.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::bool`].
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, SpecError> {
+        Ok(self.bool(key)?.unwrap_or(default))
+    }
+
+    /// The scalar list under `key`, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if the entry is not a `[list]`.
+    pub fn list(&self, key: &str) -> Result<Option<&[ScalarValue]>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Entry {
+                value: SpecValue::List(items),
+                ..
+            }) => Ok(Some(items)),
+            Some(e) => Err(self.parse_err(e.line, format!("`{key}` must be a `[list]`"))),
+        }
+    }
+
+    /// The list under `key` as `u64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on non-integer items.
+    pub fn u64_list(&self, key: &str) -> Result<Option<Vec<u64>>, SpecError> {
+        let Some(items) = self.list(key)? else {
+            return Ok(None);
+        };
+        let line = self.get(key).map(|e| e.line).unwrap_or(self.line);
+        items
+            .iter()
+            .map(|s| match s.as_i64() {
+                Some(v) if v >= 0 => Ok(v as u64),
+                _ => Err(self.parse_err(
+                    line,
+                    format!(
+                        "`{key}` entries must be non-negative integers, found `{}`",
+                        s.raw
+                    ),
+                )),
+            })
+            .collect::<Result<Vec<u64>, _>>()
+            .map(Some)
+    }
+
+    /// The list under `key` as `u32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on non-integer or out-of-range items.
+    pub fn u32_list(&self, key: &str) -> Result<Option<Vec<u32>>, SpecError> {
+        let line = self.get(key).map(|e| e.line).unwrap_or(self.line);
+        match self.u64_list(key)? {
+            None => Ok(None),
+            Some(v) => v
+                .into_iter()
+                .map(|n| {
+                    u32::try_from(n).map_err(|_| {
+                        self.parse_err(line, format!("`{key}` entry is out of range: {n}"))
+                    })
+                })
+                .collect::<Result<Vec<u32>, _>>()
+                .map(Some),
+        }
+    }
+
+    /// The list under `key` as floats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on non-numeric items.
+    pub fn f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, SpecError> {
+        let Some(items) = self.list(key)? else {
+            return Ok(None);
+        };
+        let line = self.get(key).map(|e| e.line).unwrap_or(self.line);
+        items
+            .iter()
+            .map(|s| {
+                s.as_f64().ok_or_else(|| {
+                    self.parse_err(
+                        line,
+                        format!("`{key}` entries must be numbers, found `{}`", s.raw),
+                    )
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()
+            .map(Some)
+    }
+
+    /// The list under `key` as raw string tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] if the entry is not a list.
+    pub fn str_list(&self, key: &str) -> Result<Option<Vec<String>>, SpecError> {
+        Ok(self
+            .list(key)?
+            .map(|items| items.iter().map(|s| s.raw.clone()).collect()))
+    }
+}
+
+/// One `!Architecture` section: its key-value settings plus an optional
+/// inline component tree (the yamlite nodes that followed it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureSpec {
+    /// The architecture's key-value settings (preset name, overrides).
+    pub settings: Section,
+    /// The inline component tree, when the section embeds one.
+    pub hierarchy: Option<Hierarchy>,
+}
+
+/// A parsed scenario document: the `!Scenario` header plus any number of
+/// tagged sections, in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    scenario: Section,
+    architectures: Vec<ArchitectureSpec>,
+    sections: Vec<Section>,
+}
+
+impl ScenarioDoc {
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] with a 1-based line number on
+    /// malformed input, on duplicate keys within a section, or when the
+    /// required `!Scenario` section is missing; inline component trees
+    /// additionally surface [`crate::yamlite::parse`] errors.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut sections: Vec<Section> = Vec::new();
+        let mut architectures: Vec<ArchitectureSpec> = Vec::new();
+        // An inline component tree in progress: raw yamlite lines plus the
+        // 1-based line offset of the first buffered line (for error
+        // mapping back to document coordinates).
+        let mut tree: Option<(Vec<String>, usize)> = None;
+        // Index into `architectures` the in-progress tree belongs to.
+        let mut tree_owner: Option<usize> = None;
+
+        let flush_tree = |tree: &mut Option<(Vec<String>, usize)>,
+                          tree_owner: &mut Option<usize>,
+                          architectures: &mut Vec<ArchitectureSpec>|
+         -> Result<(), SpecError> {
+            if let Some((lines, offset)) = tree.take() {
+                let text = lines.join("\n");
+                let hierarchy = yamlite::parse(&text).map_err(|e| match e {
+                    SpecError::Parse { line, message } => SpecError::Parse {
+                        line: line + offset - 1,
+                        message,
+                    },
+                    other => other,
+                })?;
+                let owner = tree_owner.take().expect("tree always has an owner");
+                architectures[owner].hierarchy = Some(hierarchy);
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = yamlite::strip_comment(raw).trim();
+            if line.is_empty() {
+                // Keep blank/comment-only lines as placeholders in an
+                // in-progress component tree, so yamlite errors map back
+                // to the right document line.
+                if let Some((lines, _)) = &mut tree {
+                    lines.push(String::new());
+                }
+                continue;
+            }
+            if let Some(tag) = line.strip_prefix('!') {
+                let tag = tag.trim();
+                if NODE_TAGS.contains(&tag) {
+                    // An inline component tree; it attaches to the most
+                    // recent !Architecture section.
+                    if tree.is_none() {
+                        let Some(owner) = architectures.len().checked_sub(1) else {
+                            return Err(SpecError::Parse {
+                                line: line_no,
+                                message: format!(
+                                    "`!{tag}` component tree must follow an !Architecture section"
+                                ),
+                            });
+                        };
+                        if architectures[owner].hierarchy.is_some() {
+                            return Err(SpecError::Parse {
+                                line: line_no,
+                                message: "architecture already has a component tree".to_owned(),
+                            });
+                        }
+                        tree = Some((Vec::new(), line_no));
+                        tree_owner = Some(owner);
+                    }
+                    if let Some((lines, _)) = &mut tree {
+                        lines.push(line.to_owned());
+                    }
+                    continue;
+                }
+                flush_tree(&mut tree, &mut tree_owner, &mut architectures)?;
+                let section = Section {
+                    tag: tag.to_owned(),
+                    line: line_no,
+                    entries: Vec::new(),
+                };
+                if tag == "Architecture" {
+                    architectures.push(ArchitectureSpec {
+                        settings: section,
+                        hierarchy: None,
+                    });
+                } else {
+                    sections.push(section);
+                }
+                continue;
+            }
+            if let Some((lines, _)) = &mut tree {
+                lines.push(line.to_owned());
+                continue;
+            }
+            let (key, value) = yamlite::split_key_value(line, line_no)?;
+            // Entries attach to whichever section (architecture or plain)
+            // opened most recently in the document.
+            let target: &mut Section = {
+                let arch_line = architectures.last().map(|a| a.settings.line);
+                let plain_line = sections.last().map(|s| s.line);
+                match (arch_line, plain_line) {
+                    (Some(a), Some(p)) if a > p => {
+                        &mut architectures.last_mut().expect("non-empty").settings
+                    }
+                    (Some(_), None) => &mut architectures.last_mut().expect("non-empty").settings,
+                    (_, Some(_)) => sections.last_mut().expect("non-empty"),
+                    (None, None) => {
+                        return Err(SpecError::Parse {
+                            line: line_no,
+                            message: format!("`{key}` appears before any !Section tag"),
+                        })
+                    }
+                }
+            };
+            if target.contains(key) {
+                return Err(SpecError::Parse {
+                    line: line_no,
+                    message: format!("duplicate key `{key}` in section !{}", target.tag),
+                });
+            }
+            let value = parse_value(value, line_no)?;
+            target.entries.push(Entry {
+                key: key.to_owned(),
+                value,
+                line: line_no,
+            });
+        }
+        flush_tree(&mut tree, &mut tree_owner, &mut architectures)?;
+
+        let scenario_idx = sections
+            .iter()
+            .position(|s| s.tag == "Scenario")
+            .ok_or_else(|| SpecError::Parse {
+                line: 1,
+                message: "document has no !Scenario section".to_owned(),
+            })?;
+        let scenario = sections.remove(scenario_idx);
+        Ok(ScenarioDoc {
+            scenario,
+            architectures,
+            sections,
+        })
+    }
+
+    /// The `!Scenario` header section.
+    pub fn scenario(&self) -> &Section {
+        &self.scenario
+    }
+
+    /// The scenario's name (the `name:` key of `!Scenario`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] when the name is missing.
+    pub fn name(&self) -> Result<&str, SpecError> {
+        self.scenario.require_str("name")
+    }
+
+    /// The experiment kind (`experiment:` key; defaults to `evaluate`).
+    pub fn experiment(&self) -> &str {
+        self.scenario.str_or("experiment", "evaluate")
+    }
+
+    /// All `!Architecture` sections, in document order.
+    pub fn architectures(&self) -> &[ArchitectureSpec] {
+        &self.architectures
+    }
+
+    /// The first `!Architecture` section, if any.
+    pub fn architecture(&self) -> Option<&ArchitectureSpec> {
+        self.architectures.first()
+    }
+
+    /// The first section with `tag` (besides `!Scenario`/`!Architecture`).
+    pub fn section(&self, tag: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.tag == tag)
+    }
+
+    /// All sections with `tag`, in document order.
+    pub fn sections(&self, tag: &str) -> impl Iterator<Item = &Section> {
+        let tag = tag.to_owned();
+        self.sections.iter().filter(move |s| s.tag == tag)
+    }
+}
+
+fn parse_value(value: &str, line_no: usize) -> Result<SpecValue, SpecError> {
+    if value.starts_with('[') {
+        let items = yamlite::parse_list(value, line_no)?;
+        Ok(SpecValue::List(
+            items.iter().map(|t| ScalarValue::parse(t)).collect(),
+        ))
+    } else if value.starts_with('{') {
+        let pairs = yamlite::parse_inline_map(value, line_no)?;
+        Ok(SpecValue::Map(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k, ScalarValue::parse(&v)))
+                .collect(),
+        ))
+    } else {
+        Ok(SpecValue::Scalar(ScalarValue::parse(value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "
+!Scenario
+name: demo          # comments still work
+experiment: sweep
+!Architecture
+macro: base
+rows: 256
+calibrated: false
+!Sweep
+variations: [0.00, 0.05]
+adc_bits: [8, 6]
+metrics: [snr_db, enob]
+!Noise
+cell_variation: 0.1
+";
+
+    #[test]
+    fn parses_sections_and_scalars() {
+        let doc = ScenarioDoc::parse(DOC).unwrap();
+        assert_eq!(doc.name().unwrap(), "demo");
+        assert_eq!(doc.experiment(), "sweep");
+        let arch = doc.architecture().unwrap();
+        assert_eq!(arch.settings.str("macro"), Some("base"));
+        assert_eq!(arch.settings.u64("rows").unwrap(), Some(256));
+        assert_eq!(arch.settings.bool("calibrated").unwrap(), Some(false));
+        assert!(arch.hierarchy.is_none());
+        let sweep = doc.section("Sweep").unwrap();
+        assert_eq!(
+            sweep.f64_list("variations").unwrap().unwrap(),
+            vec![0.0, 0.05]
+        );
+        // Raw tokens are preserved for display.
+        let raw: Vec<String> = sweep.str_list("variations").unwrap().unwrap();
+        assert_eq!(raw, vec!["0.00", "0.05"]);
+        assert_eq!(sweep.u32_list("adc_bits").unwrap().unwrap(), vec![8, 6]);
+        let noise = doc.section("Noise").unwrap();
+        assert_eq!(noise.f64("cell_variation").unwrap(), Some(0.1));
+    }
+
+    #[test]
+    fn inline_component_tree_attaches_to_architecture() {
+        let doc = ScenarioDoc::parse(
+            "
+!Scenario
+name: inline
+!Architecture
+!Component
+name: buffer
+class: sram_buffer
+temporal_reuse: [Inputs, Outputs]
+!Container
+name: macro
+!Component
+name: cell
+temporal_reuse: [Weights]
+spatial: { meshY: 4 }
+!Workload
+model: mvm
+",
+        )
+        .unwrap();
+        let arch = doc.architecture().unwrap();
+        let h = arch.hierarchy.as_ref().expect("inline tree parsed");
+        assert_eq!(h.len(), 3);
+        assert!(h.component("cell").is_some());
+        assert_eq!(doc.section("Workload").unwrap().str("model"), Some("mvm"));
+    }
+
+    #[test]
+    fn missing_scenario_section_is_an_error() {
+        let err = ScenarioDoc::parse("!Workload\nmodel: resnet18\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_with_line() {
+        let err = ScenarioDoc::parse("!Scenario\nname: a\nname: b\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn inline_tree_errors_map_to_document_lines() {
+        // Line 5 of the document is the bad spatial line.
+        let err = ScenarioDoc::parse(
+            "!Scenario\nname: a\n!Architecture\n!Component\nname: c\nspatial: { meshX: 0 }\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 6, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn inline_tree_errors_map_through_blank_and_comment_lines() {
+        // Blank and comment-only lines inside the tree must not shift the
+        // reported line: the bad spatial is on document line 8.
+        let err = ScenarioDoc::parse(
+            "!Scenario\nname: a\n!Architecture\n!Component\n\n# a comment\nname: c\nspatial: { meshX: 0 }\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 8, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn orphan_tree_rejected() {
+        let err = ScenarioDoc::parse("!Scenario\nname: a\n!Component\nname: c\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn entries_before_any_section_rejected() {
+        let err = ScenarioDoc::parse("name: orphan\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn multiple_architectures_for_variants() {
+        let doc = ScenarioDoc::parse(
+            "!Scenario\nname: multi\n!Architecture\nname: quiet\nmacro: base\n\
+             !Architecture\nname: noisy\nmacro: base\ncell_variation: 0.1\n",
+        )
+        .unwrap();
+        assert_eq!(doc.architectures().len(), 2);
+        assert_eq!(doc.architectures()[1].settings.str("name"), Some("noisy"));
+    }
+}

@@ -142,14 +142,14 @@ fn write_spatial(out: &mut String, spatial: Spatial, spatial_reuse: impl Fn(Tens
     }
 }
 
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(pos) => &line[..pos],
         None => line,
     }
 }
 
-fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), SpecError> {
+pub(crate) fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), SpecError> {
     let pos = line.find(':').ok_or_else(|| SpecError::Parse {
         line: line_no,
         message: format!("expected `key: value`, found `{line}`"),
@@ -157,7 +157,7 @@ fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), SpecError
     Ok((line[..pos].trim(), line[pos + 1..].trim()))
 }
 
-fn parse_list(value: &str, line_no: usize) -> Result<Vec<String>, SpecError> {
+pub(crate) fn parse_list(value: &str, line_no: usize) -> Result<Vec<String>, SpecError> {
     let inner = value
         .strip_prefix('[')
         .and_then(|v| v.strip_suffix(']'))
@@ -172,7 +172,10 @@ fn parse_list(value: &str, line_no: usize) -> Result<Vec<String>, SpecError> {
         .collect())
 }
 
-fn parse_inline_map(value: &str, line_no: usize) -> Result<Vec<(String, String)>, SpecError> {
+pub(crate) fn parse_inline_map(
+    value: &str,
+    line_no: usize,
+) -> Result<Vec<(String, String)>, SpecError> {
     let inner = value
         .strip_prefix('{')
         .and_then(|v| v.strip_suffix('}'))
@@ -192,7 +195,7 @@ fn parse_inline_map(value: &str, line_no: usize) -> Result<Vec<(String, String)>
     Ok(pairs)
 }
 
-fn parse_scalar(value: &str) -> AttrValue {
+pub(crate) fn parse_scalar(value: &str) -> AttrValue {
     if let Ok(i) = value.parse::<i64>() {
         return AttrValue::Int(i);
     }
@@ -267,8 +270,28 @@ impl PendingNode {
 
     fn apply(&mut self, key: &str, value: &str, line_no: usize) -> Result<(), SpecError> {
         match key {
-            "name" => self.name = Some(value.to_owned()),
-            "class" => self.class = Some(value.to_owned()),
+            "name" => {
+                if let Some(existing) = &self.name {
+                    return Err(SpecError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "duplicate `name` key (node is already named `{existing}`)"
+                        ),
+                    });
+                }
+                self.name = Some(value.to_owned());
+            }
+            "class" => {
+                if let Some(existing) = &self.class {
+                    return Err(SpecError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "duplicate `class` key (node already has class `{existing}`)"
+                        ),
+                    });
+                }
+                self.class = Some(value.to_owned());
+            }
             "temporal_reuse" | "coalesce" | "no_coalesce" | "bypass" => {
                 let reuse = match key {
                     "temporal_reuse" => Reuse::Temporal,
@@ -283,10 +306,20 @@ impl PendingNode {
             }
             "spatial" => {
                 for (k, v) in parse_inline_map(value, line_no)? {
-                    let n: u64 = v.parse().map_err(|_| SpecError::Parse {
-                        line: line_no,
-                        message: format!("mesh size must be a positive integer, found `{v}`"),
-                    })?;
+                    let n: u64 = match v.parse() {
+                        // A mesh of 0 instances is never meaningful; reject
+                        // it here with the line number instead of letting a
+                        // fanout-0 node reach hierarchy validation.
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            return Err(SpecError::Parse {
+                                line: line_no,
+                                message: format!(
+                                    "mesh size must be a positive integer, found `{v}`"
+                                ),
+                            })
+                        }
+                    };
                     match k.as_str() {
                         "meshX" | "mesh_x" => self.spatial.mesh_x = n,
                         "meshY" | "mesh_y" => self.spatial.mesh_y = n,

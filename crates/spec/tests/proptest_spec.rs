@@ -94,8 +94,53 @@ fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
     })
 }
 
+#[test]
+fn zero_mesh_is_a_parse_error_with_line_number() {
+    // Regression: the parser used to accept `meshX: 0` (its own error
+    // message notwithstanding) and defer to hierarchy validation, losing
+    // the line number on the way.
+    for spec in [
+        "!Component\nname: a\nspatial: { meshX: 0 }",
+        "!Component\nname: a\nspatial: { meshY: 0 }",
+        "!Container\nname: a\nspatial: { meshX: 0, meshY: 2 }",
+    ] {
+        let err = cimloop_spec::Hierarchy::from_yamlite(spec).unwrap_err();
+        assert!(
+            matches!(err, cimloop_spec::SpecError::Parse { line: 3, .. }),
+            "{spec:?} -> {err:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_name_and_class_keys_are_parse_errors() {
+    // Regression: a second `name:`/`class:` used to silently win.
+    let err = yamlite::parse("!Component\nname: a\nname: b").unwrap_err();
+    assert!(
+        matches!(err, cimloop_spec::SpecError::Parse { line: 3, .. }),
+        "{err:?}"
+    );
+    let err = yamlite::parse("!Component\nname: a\nclass: x\nclass: y").unwrap_err();
+    assert!(
+        matches!(err, cimloop_spec::SpecError::Parse { line: 4, .. }),
+        "{err:?}"
+    );
+    // One of each is still fine.
+    assert!(yamlite::parse("!Component\nname: a\nclass: x").is_ok());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parsed_hierarchies_never_contain_zero_fanout(h in arb_hierarchy()) {
+        // Every node that survives parse/validation has fanout >= 1, so
+        // downstream instance math can never multiply by zero.
+        let parsed = Hierarchy::from_yamlite(&yamlite::write(&h)).expect("written spec parses");
+        for node in parsed.nodes() {
+            prop_assert!(node.spatial().fanout() >= 1);
+        }
+    }
 
     #[test]
     fn yamlite_round_trips(h in arb_hierarchy()) {
@@ -159,6 +204,19 @@ proptest! {
                 .float(NOISE_ATTRS[which]),
             Some(sigma)
         );
+    }
+
+    #[test]
+    fn scenario_embeds_arbitrary_component_trees(h in arb_hierarchy()) {
+        // Any valid yamlite tree can ride inline inside a scenario's
+        // !Architecture section and parse back identically.
+        let doc = format!(
+            "!Scenario\nname: prop\nexperiment: evaluate\n!Architecture\n{}",
+            yamlite::write(&h)
+        );
+        let parsed = cimloop_spec::ScenarioDoc::parse(&doc).expect("scenario parses");
+        let arch = parsed.architecture().expect("architecture present");
+        prop_assert_eq!(arch.hierarchy.as_ref().expect("inline tree"), &h);
     }
 
     #[test]

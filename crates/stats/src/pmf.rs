@@ -341,7 +341,10 @@ impl Pmf {
         let mut mass = vec![0.0f64; n];
         let mut moment = vec![0.0f64; n];
         for (v, p) in self.iter() {
-            let mut idx = if width > 0.0 {
+            // `width` can overflow to +inf for supports spanning nearly the
+            // whole f64 range (hi − lo > f64::MAX); everything then lands
+            // in bin 0 rather than indexing through a NaN.
+            let mut idx = if width.is_finite() && width > 0.0 {
                 ((v - lo) / width) as usize
             } else {
                 0
@@ -352,6 +355,11 @@ impl Pmf {
             mass[idx] += p;
             moment[idx] += p * v;
         }
+        // Empty bins are dropped before the centroid division, so a bin can
+        // never emit a 0/0 = NaN support value; nonempty bins divide a
+        // finite moment by a strictly positive mass, and `from_weights`
+        // re-validates finiteness. Mass is conserved: every support point's
+        // probability lands in exactly one bin.
         let pairs = mass
             .iter()
             .zip(moment.iter())

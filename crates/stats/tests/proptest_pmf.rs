@@ -68,6 +68,60 @@ proptest! {
     }
 
     #[test]
+    fn coarsen_is_finite_and_mass_conserving_under_adversarial_supports(
+        center in -1.0e6f64..1.0e6,
+        cluster in prop::collection::vec((0u32..64, 1u32..1000), 8..64),
+        outlier_mag in 1.0e3f64..1.0e9,
+        outlier_weight_exp in -250i32..0,
+        n in 1usize..16,
+    ) {
+        // The adversarial shape for equal-width binning: a tight cluster
+        // (many support points inside one bin, spacing ~1e-9) plus a far
+        // outlier that stretches the range, leaving most bins empty — and
+        // a vanishingly small outlier weight so bin masses span hundreds
+        // of orders of magnitude. Empty bins must be dropped (never a
+        // 0/0 = NaN centroid), mass must be conserved, centroids must
+        // stay finite and inside the original support range.
+        let mut pairs: Vec<(f64, f64)> = cluster
+            .iter()
+            .map(|&(i, w)| (center + i as f64 * 1e-9, w as f64))
+            .collect();
+        pairs.push((center + outlier_mag, 10f64.powi(outlier_weight_exp)));
+        pairs.push((center - outlier_mag, 10f64.powi(outlier_weight_exp / 2)));
+        let pmf = Pmf::from_weights(pairs).expect("valid adversarial pmf");
+        let coarse = pmf.coarsen(n);
+        // Tolerances are relative to the support scale: a centroid is a
+        // convex combination of bin values, exact up to rounding.
+        let scale = pmf.max().abs().max(pmf.min().abs()).max(1.0);
+        let tol = 1e-9 * scale;
+        prop_assert!(coarse.len() <= pmf.len());
+        for (v, p) in coarse.iter() {
+            prop_assert!(v.is_finite(), "support must stay finite, got {v}");
+            prop_assert!(p.is_finite() && p > 0.0, "probability must be positive, got {p}");
+            prop_assert!(v >= pmf.min() - tol && v <= pmf.max() + tol);
+        }
+        prop_assert!((mass(&coarse) - 1.0).abs() < 1e-9, "mass must be conserved");
+        prop_assert!((coarse.mean() - pmf.mean()).abs() <= tol);
+    }
+
+    #[test]
+    fn coarsen_survives_full_range_supports(n in 1usize..8) {
+        // hi − lo overflows f64 here: the bin width is +inf and every
+        // point must still land in a valid bin with a finite centroid.
+        let pmf = Pmf::from_weights([
+            (-1.0e308, 1.0),
+            (0.0, 2.0),
+            (1.0e308, 1.0),
+        ]).expect("valid pmf");
+        let coarse = pmf.coarsen(n);
+        for (v, p) in coarse.iter() {
+            prop_assert!(v.is_finite());
+            prop_assert!(p > 0.0);
+        }
+        prop_assert!((mass(&coarse) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn convolve_n_mean_scales_linearly(pmf in arb_pmf(), n in 0u64..16) {
         let sum = pmf.convolve_n(n, 256);
         prop_assert!((sum.mean() - n as f64 * pmf.mean()).abs() < 1e-4 * (1.0 + n as f64));

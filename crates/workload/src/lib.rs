@@ -39,6 +39,7 @@ mod dist;
 mod error;
 mod layer;
 pub mod models;
+pub mod scenario;
 
 pub use dim::{relevant_dims, Dim, Shape};
 pub use dist::ValueProfile;

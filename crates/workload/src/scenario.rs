@@ -1,0 +1,330 @@
+//! Scenario-document parsing: `!Workload` and `!Layer` sections.
+//!
+//! A `!Workload` section selects a zoo model or declares a custom network
+//! built from `!Layer` sections:
+//!
+//! ```text
+//! !Workload
+//! model: resnet18      # zoo model …
+//! prefix: 6            # … optionally truncated to its first N layers
+//! unroll: true         # … and/or expanded to execution order
+//! ```
+//!
+//! ```text
+//! !Workload
+//! name: custom_net     # custom network: layers follow
+//! !Layer
+//! name: conv1
+//! kind: conv
+//! k: 32
+//! c: 8
+//! p: 16
+//! q: 16
+//! r: 3
+//! s: 3
+//! input_profile: relu
+//! sparsity: 0.5
+//! sigma: 0.2
+//! !Layer
+//! name: fc
+//! kind: linear
+//! n: 4
+//! k: 64
+//! c: 128
+//! ```
+
+use cimloop_spec::{Section, SpecError};
+
+use crate::{models, Layer, LayerKind, Shape, ValueProfile, Workload};
+
+fn err(line: usize, message: String) -> SpecError {
+    SpecError::Parse { line, message }
+}
+
+/// Resolves a zoo model by its scenario key.
+///
+/// Recognized keys: `resnet18`, `mobilenet_v3_large` (alias `mobilenet`),
+/// `vit_base` (alias `vit`), `gpt2_small` (alias `gpt2`), `alexnet`,
+/// `bert_base` (alias `bert`), and `mvm` (dimensions via `rows`/`cols`/
+/// `batch` keys of the `!Workload` section).
+pub fn zoo_model(key: &str, rows: u64, cols: u64, batch: u64) -> Option<Workload> {
+    Some(match key {
+        "resnet18" => models::resnet18(),
+        "mobilenet" | "mobilenet_v3_large" => models::mobilenet_v3_large(),
+        "vit" | "vit_base" => models::vit_base(),
+        "gpt2" | "gpt2_small" => models::gpt2_small(),
+        "alexnet" => models::alexnet(),
+        "bert" | "bert_base" => models::bert_base(),
+        "mvm" => models::mvm_batch(rows, cols, batch),
+        _ => return None,
+    })
+}
+
+/// The human display name of a zoo model key (used by presentation
+/// layers; matches the labels of the committed experiment goldens).
+pub fn display_name(key: &str) -> &str {
+    match key {
+        "resnet18" => "ResNet18",
+        "mobilenet" | "mobilenet_v3_large" => "MobileNetV3-Large",
+        "vit" | "vit_base" => "ViT",
+        "gpt2" | "gpt2_small" => "GPT-2",
+        "alexnet" => "AlexNet",
+        "bert" | "bert_base" => "BERT",
+        "mvm" => "MVM",
+        other => other,
+    }
+}
+
+/// Parses a `!Workload` section (plus any `!Layer` sections) into a
+/// [`Workload`].
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] with a line number on unknown models,
+/// missing dimensions, or malformed layer declarations.
+pub fn from_sections(workload: &Section, layers: &[&Section]) -> Result<Workload, SpecError> {
+    let mut net = match workload.str("model") {
+        Some(model) => {
+            let rows = workload.u64_or("rows", 256)?;
+            let cols = workload.u64_or("cols", 256)?;
+            let batch = workload.u64_or("batch", 256)?;
+            zoo_model(model, rows, cols, batch)
+                .ok_or_else(|| err(workload.line(), format!("unknown workload model `{model}`")))?
+        }
+        None => {
+            if layers.is_empty() {
+                return Err(err(
+                    workload.line(),
+                    "!Workload needs either `model:` or at least one !Layer section".to_owned(),
+                ));
+            }
+            let name = workload.str_or("name", "custom").to_owned();
+            let parsed: Vec<Layer> = layers
+                .iter()
+                .map(|s| layer_from_section(s))
+                .collect::<Result<_, _>>()?;
+            Workload::new(name, parsed)
+                .map_err(|e| err(workload.line(), format!("invalid workload: {e}")))?
+        }
+    };
+
+    if let Some(prefix) = workload.u64("prefix")? {
+        let n = (prefix as usize).clamp(1, net.layers().len());
+        net = Workload::new(format!("{}-prefix", net.name()), net.layers()[..n].to_vec())
+            .expect("prefix is at least one layer");
+    }
+    if workload.bool_or("unroll", false)? {
+        net = net.unrolled();
+    }
+    // Whole-network precision overrides (e.g. a 4b/4b quantized run).
+    let input_bits = workload.u32("input_bits")?;
+    let weight_bits = workload.u32("weight_bits")?;
+    if input_bits.is_some() || weight_bits.is_some() {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| {
+                let mut l = l.clone();
+                if let Some(bits) = input_bits {
+                    l = l.with_input_bits(bits);
+                }
+                if let Some(bits) = weight_bits {
+                    l = l.with_weight_bits(bits);
+                }
+                l
+            })
+            .collect();
+        net = Workload::new(net.name().to_owned(), layers).expect("same layer count");
+    }
+    Ok(net)
+}
+
+fn layer_from_section(section: &Section) -> Result<Layer, SpecError> {
+    let name = section.require_str("name")?.to_owned();
+    let kind = match section.str_or("kind", "conv") {
+        "conv" => LayerKind::Conv,
+        "dwconv" | "depthwise" => LayerKind::DepthwiseConv,
+        "linear" | "fc" | "matmul" => LayerKind::Linear,
+        other => {
+            return Err(err(
+                section.line(),
+                format!("unknown layer kind `{other}` (expected conv, dwconv, or linear)"),
+            ))
+        }
+    };
+    let dim = |key: &str, default: u64| section.u64_or(key, default);
+    let shape = match kind {
+        LayerKind::Linear => Shape::linear(dim("n", 1)?, dim("k", 1)?, dim("c", 1)?),
+        _ => Shape::conv(
+            dim("k", 1)?,
+            dim("c", 1)?,
+            dim("p", 1)?,
+            dim("q", 1)?,
+            dim("r", 1)?,
+            dim("s", 1)?,
+        ),
+    }
+    .map_err(|e| err(section.line(), format!("invalid layer shape: {e}")))?;
+
+    let mut layer = Layer::new(name, kind, shape);
+    if let Some(count) = section.u64("count")? {
+        layer = layer.with_count(count);
+    }
+    if let Some(bits) = section.u32("input_bits")? {
+        layer = layer.with_input_bits(bits);
+    }
+    if let Some(bits) = section.u32("weight_bits")? {
+        layer = layer.with_weight_bits(bits);
+    }
+    if let Some(signed) = section.bool("input_signed")? {
+        layer = layer.with_input_signed(signed);
+    }
+    if let Some(signed) = section.bool("weight_signed")? {
+        layer = layer.with_weight_signed(signed);
+    }
+    if let Some(profile) = profile_from_section(section, "input_profile")? {
+        layer = layer.with_input_profile(profile);
+    }
+    if let Some(profile) = profile_from_section(section, "weight_profile")? {
+        layer = layer.with_weight_profile(profile);
+    }
+    Ok(layer)
+}
+
+/// Parses a value-profile declaration: the profile kind under `key`, with
+/// its parameters drawn from sibling keys (`sparsity`, `sigma`, `value`
+/// for input profiles; `weight_sigma`, `weight_value` for weights).
+fn profile_from_section(section: &Section, key: &str) -> Result<Option<ValueProfile>, SpecError> {
+    let Some(kind) = section.str(key) else {
+        return Ok(None);
+    };
+    let prefixed = |name: &str| -> String {
+        if key == "weight_profile" {
+            format!("weight_{name}")
+        } else {
+            name.to_owned()
+        }
+    };
+    let sigma = section.f64(&prefixed("sigma"))?;
+    let profile = match kind {
+        "relu" => ValueProfile::ReluActivations {
+            sparsity: section.f64(&prefixed("sparsity"))?.unwrap_or(0.5),
+            sigma: sigma.unwrap_or(0.2),
+        },
+        "dense" | "dense_signed" => ValueProfile::DenseSigned {
+            sigma: sigma.unwrap_or(0.15),
+        },
+        "gaussian" | "gaussian_weights" => ValueProfile::GaussianWeights {
+            sigma: sigma.unwrap_or(0.12),
+        },
+        "uniform" | "uniform_unsigned" => ValueProfile::UniformUnsigned,
+        "uniform_signed" => ValueProfile::UniformSigned,
+        "constant" => ValueProfile::Constant(
+            section
+                .f64(&prefixed("value"))?
+                .map(|v| v as i64)
+                .unwrap_or(1),
+        ),
+        other => {
+            return Err(err(
+                section.line(),
+                format!(
+                    "unknown value profile `{other}` (expected relu, dense, gaussian, \
+                     uniform, uniform_signed, or constant)"
+                ),
+            ))
+        }
+    };
+    Ok(Some(profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimloop_spec::ScenarioDoc;
+
+    fn parse(doc: &str) -> Result<Workload, SpecError> {
+        let doc = ScenarioDoc::parse(doc).expect("document parses");
+        let workload = doc.section("Workload").expect("workload section");
+        let layers: Vec<&Section> = doc.sections("Layer").collect();
+        from_sections(workload, &layers)
+    }
+
+    #[test]
+    fn zoo_model_with_prefix_and_unroll() {
+        let net = parse("!Scenario\nname: t\n!Workload\nmodel: resnet18\nprefix: 4\n").unwrap();
+        assert_eq!(net.layers().len(), 4);
+        assert_eq!(net.name(), "resnet18-prefix");
+        assert_eq!(
+            net.layers()[0],
+            models::resnet18().layers()[0],
+            "prefix layers are the zoo layers, verbatim"
+        );
+
+        let net = parse("!Scenario\nname: t\n!Workload\nmodel: vit\nunroll: true\n").unwrap();
+        assert_eq!(
+            net.layers().len(),
+            models::vit_base().unrolled().layers().len()
+        );
+    }
+
+    #[test]
+    fn mvm_takes_dimensions() {
+        let net =
+            parse("!Scenario\nname: t\n!Workload\nmodel: mvm\nrows: 64\ncols: 32\nbatch: 8\n")
+                .unwrap();
+        assert_eq!(net.layers().len(), 1);
+        assert_eq!(net.layers()[0].shape().macs(), 8 * 32 * 64);
+    }
+
+    #[test]
+    fn custom_layers_build_a_network() {
+        let net = parse(
+            "!Scenario\nname: t\n!Workload\nname: tiny\n\
+             !Layer\nname: conv1\nkind: conv\nk: 8\nc: 4\np: 6\nq: 6\nr: 3\ns: 3\ncount: 2\n\
+             input_profile: relu\nsparsity: 0.7\nsigma: 0.1\n\
+             !Layer\nname: fc\nkind: linear\nn: 2\nk: 16\nc: 32\ninput_bits: 4\n\
+             input_profile: dense\ninput_signed: true\n",
+        )
+        .unwrap();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.layers()[0].count(), 2);
+        assert_eq!(net.layers()[0].macs(), 8 * 4 * 6 * 6 * 9);
+        assert_eq!(
+            net.layers()[0].input_profile(),
+            &ValueProfile::ReluActivations {
+                sparsity: 0.7,
+                sigma: 0.1
+            }
+        );
+        assert_eq!(net.layers()[1].input_bits(), 4);
+        assert!(net.layers()[1].input_signed());
+    }
+
+    #[test]
+    fn precision_overrides_apply_to_all_layers() {
+        let net = parse(
+            "!Scenario\nname: t\n!Workload\nmodel: resnet18\nprefix: 3\n\
+             input_bits: 4\nweight_bits: 4\n",
+        )
+        .unwrap();
+        assert!(net
+            .layers()
+            .iter()
+            .all(|l| l.input_bits() == 4 && l.weight_bits() == 4));
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(parse("!Scenario\nname: t\n!Workload\nmodel: resnet99\n").is_err());
+        assert!(parse("!Scenario\nname: t\n!Workload\nname: empty\n").is_err());
+        assert!(
+            parse("!Scenario\nname: t\n!Workload\nname: w\n!Layer\nname: l\nkind: pool\n").is_err()
+        );
+        assert!(parse(
+            "!Scenario\nname: t\n!Workload\nname: w\n!Layer\nname: l\ninput_profile: spiky\n"
+        )
+        .is_err());
+    }
+}
