@@ -24,11 +24,15 @@ use std::path::PathBuf;
 /// it, same as the BENCH_*.json quick-mode gotcha. `scenario_custom.tsv`
 /// is produced by the `cimloop` CLI from
 /// `examples/specs/custom_macro.yaml`.
-const GOLDENS: [(&str, u64, usize); 8] = [
+const GOLDENS: [(&str, u64, usize); 12] = [
     ("fig02a.tsv", 0x95c47b92e420049d, 260),
     ("fig02b.tsv", 0x410b189704181cef, 224),
     ("fig06.tsv", 0x5f7a100f1ba1278c, 695),
+    ("fig07.tsv", 0x748e231698aed6ee, 427),
+    ("fig08.tsv", 0xcfa5502dc4d1f92f, 338),
     ("fig09_noise.tsv", 0xa8673e0e8db5a8f1, 440),
+    ("fig10.tsv", 0x31e0921dfe803ecd, 491),
+    ("fig11.tsv", 0xeec6f95b838a15bb, 382),
     ("fig12.tsv", 0x0ab784e487bbb91c, 841),
     ("network_sweep.tsv", 0x11e5fa94ca0ef252, 88),
     ("scenario_custom.tsv", 0x5a7cbbe24c63efdd, 195),

@@ -27,13 +27,44 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 use cimloop_bench::ExperimentTable;
-use cimloop_core::CoreError;
+use cimloop_core::{CoreError, EnergyTableCache};
 use cimloop_spec::{ScenarioDoc, SpecError};
 
 pub mod resolve;
 pub mod runners;
+pub mod serve;
+
+/// Shared state a scenario run amortizes against: the energy-table cache.
+///
+/// A batch invocation builds a fresh, unbounded context per process; the
+/// resident `cimloop serve` daemon builds **one** (usually bounded)
+/// context at startup and routes every request through it, so the
+/// expensive value-statistics work is shared across requests. Results are
+/// bit-identical either way — the cache only changes timing.
+#[derive(Debug, Clone, Default)]
+pub struct RunContext {
+    cache: Arc<EnergyTableCache>,
+}
+
+impl RunContext {
+    /// A fresh context with an unbounded cache (the batch configuration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context amortizing against an existing shared cache.
+    pub fn with_cache(cache: Arc<EnergyTableCache>) -> Self {
+        RunContext { cache }
+    }
+
+    /// The context's energy-table cache.
+    pub fn cache(&self) -> &Arc<EnergyTableCache> {
+        &self.cache
+    }
+}
 
 /// Errors of the scenario front-end.
 #[derive(Debug)]
@@ -89,20 +120,32 @@ pub const SWEEP_KINDS: [&str; 2] = ["sweep", "output_reuse"];
 /// See [`SWEEP_KINDS`].
 pub const DSE_KINDS: [&str; 2] = ["dse", "compare"];
 
-/// Runs a scenario document and returns its result table.
+/// Runs a scenario document with a fresh, unbounded [`RunContext`] and
+/// returns its result table.
 ///
 /// # Errors
 ///
 /// Propagates parse, resolution, and engine errors; unknown experiment
 /// kinds are a usage error.
 pub fn run_scenario(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+    run_scenario_with(doc, &RunContext::new())
+}
+
+/// Runs a scenario document against a shared [`RunContext`] — the
+/// resident-service entry point. Bit-identical to [`run_scenario`] for
+/// any context: the shared cache amortizes timing, never values.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_scenario_with(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     match doc.experiment() {
-        "evaluate" => runners::evaluate(doc),
-        "sweep" => runners::sweep(doc),
-        "dse" => runners::dse(doc),
-        "compare" => runners::compare(doc),
-        "output_reuse" => runners::output_reuse(doc),
-        "speed_record" => runners::speed_record(doc),
+        "evaluate" => runners::evaluate(doc, ctx),
+        "sweep" => runners::sweep(doc, ctx),
+        "dse" => runners::dse(doc, ctx),
+        "compare" => runners::compare(doc, ctx),
+        "output_reuse" => runners::output_reuse(doc, ctx),
+        "speed_record" => runners::speed_record(doc, ctx),
         other => Err(CliError::usage(format!(
             "unknown experiment kind `{other}` (expected evaluate, sweep, dse, compare, \
              output_reuse, or speed_record)"

@@ -5,15 +5,25 @@
 //! cimloop sweep    <spec.yaml>… [--out DIR]   # sweep-family scenarios only
 //! cimloop dse      <spec.yaml>… [--out DIR]   # design-space scenarios only
 //! cimloop validate <spec.yaml>…               # resolve + report, don't run
+//! cimloop serve    <addr> [--once] [--workers N] [--queue-depth N]
+//!                  [--table-cap N] [--stats-cap N]
+//!                                              # resident evaluation daemon
+//! cimloop request  <addr> <spec.yaml>… [--out DIR] [--stats FILE]
+//!                  [--shutdown]                # client for a running daemon
 //! ```
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cimloop_cli::serve::client::{Client, Response};
+use cimloop_cli::serve::{ServeConfig, Server};
 use cimloop_cli::{run_scenario, validate_text, CliError, DSE_KINDS, SWEEP_KINDS};
 use cimloop_spec::ScenarioDoc;
 
-const USAGE: &str = "usage: cimloop <evaluate|sweep|dse|validate> <spec.yaml>... [--out DIR]";
+const USAGE: &str = "usage: cimloop <evaluate|sweep|dse|validate> <spec.yaml>... [--out DIR]
+       cimloop serve <addr> [--once] [--workers N] [--queue-depth N] [--table-cap N] [--stats-cap N]
+       cimloop request <addr> <spec.yaml>... [--out DIR] [--stats FILE] [--shutdown]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -21,9 +31,15 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    let rest: Vec<String> = args.collect();
+    match command.as_str() {
+        "serve" => return serve_main(&rest),
+        "request" => return request_main(&rest),
+        _ => {}
+    }
     let mut specs: Vec<PathBuf> = Vec::new();
     let mut out_dir = PathBuf::from("results");
-    let mut args = args.peekable();
+    let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => match args.next() {
@@ -90,4 +106,207 @@ fn run_kind(command: &str, text: &str, out_dir: &std::path::Path) -> Result<(), 
     let table = run_scenario(&doc)?;
     table.finish_to(out_dir);
     Ok(())
+}
+
+/// Parses a `--flag N` numeric argument.
+fn parse_count(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let Some(value) = value else {
+        return Err(format!("{flag} needs a numeric argument"));
+    };
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got `{value}`"))
+}
+
+/// `cimloop serve <addr> [--once] [--workers N] [--queue-depth N]
+/// [--table-cap N] [--stats-cap N]`
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut iter = args.iter().cloned();
+    while let Some(arg) = iter.next() {
+        let numeric = |v: Option<String>| parse_count(&arg, v);
+        match arg.as_str() {
+            "--once" => config.once = true,
+            "--workers" => match numeric(iter.next()) {
+                Ok(n) => config.workers = n.max(1),
+                Err(e) => return usage_error(&e),
+            },
+            "--queue-depth" => match numeric(iter.next()) {
+                Ok(n) => config.queue_depth = n.max(1),
+                Err(e) => return usage_error(&e),
+            },
+            "--table-cap" => match numeric(iter.next()) {
+                Ok(n) => config.table_capacity = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--stats-cap" => match numeric(iter.next()) {
+                Ok(n) => config.stats_capacity = n,
+                Err(e) => return usage_error(&e),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            a if addr.is_none() => addr = Some(a.to_owned()),
+            extra => return usage_error(&format!("unexpected argument `{extra}`")),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("serve needs an <addr> (e.g. 127.0.0.1:7878)");
+    };
+    let server = match Server::bind(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cimloop serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => {
+            // The "listening" line is the readiness signal harnesses wait
+            // for, so flush it before blocking in accept().
+            println!("cimloop-serve listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cimloop serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("cimloop-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cimloop serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cimloop request <addr> <spec.yaml>… [--out DIR] [--stats FILE]
+/// [--shutdown]`
+fn request_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut stats_file: Option<String> = None;
+    let mut shutdown = false;
+    let mut iter = args.iter().cloned();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage_error("--out needs a directory argument"),
+            },
+            "--stats" => match iter.next() {
+                Some(file) => stats_file = Some(file),
+                None => return usage_error("--stats needs a file argument (`-` for stdout)"),
+            },
+            "--shutdown" => shutdown = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            a if addr.is_none() => addr = Some(a.to_owned()),
+            path => specs.push(PathBuf::from(path)),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("request needs an <addr> first (e.g. 127.0.0.1:7878)");
+    };
+    if specs.is_empty() && stats_file.is_none() && !shutdown {
+        return usage_error("request needs scenario files, --stats, or --shutdown");
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cimloop request: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for spec in &specs {
+        let text = match std::fs::read_to_string(spec) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.display());
+                failed = true;
+                continue;
+            }
+        };
+        match client.run(&text) {
+            Ok(Response::Ok { name, body }) => {
+                if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                    eprintln!("cimloop request: cannot create {}: {e}", out_dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = out_dir.join(format!("{name}.tsv"));
+                if let Err(e) = std::fs::write(&path, &body) {
+                    eprintln!("cimloop request: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("{}: served `{name}` -> {}", spec.display(), path.display());
+            }
+            Ok(Response::Err(message)) => {
+                eprintln!("{}: {message}", spec.display());
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("{}: protocol error: {e}", spec.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(stats_file) = stats_file {
+        match client.stats() {
+            Ok(Response::Ok { body, .. }) => {
+                if stats_file == "-" {
+                    println!("{}", String::from_utf8_lossy(&body));
+                } else if let Err(e) = std::fs::write(&stats_file, &body) {
+                    eprintln!("cimloop request: cannot write {stats_file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(Response::Err(message)) => {
+                eprintln!("cimloop request: STATS failed: {message}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("cimloop request: protocol error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if shutdown {
+        match client.shutdown() {
+            Ok(Response::Ok { .. }) => println!("cimloop request: daemon shutting down"),
+            Ok(Response::Err(message)) => {
+                eprintln!("cimloop request: SHUTDOWN failed: {message}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("cimloop request: protocol error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n{USAGE}");
+    ExitCode::from(2)
 }

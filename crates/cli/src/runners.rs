@@ -7,19 +7,24 @@
 //! scenario spec and the programmatic path produce **bit-identical**
 //! TSVs — the committed `examples/specs/*.yaml` reproduce the committed
 //! `results/*.tsv` goldens byte for byte, and CI enforces it.
+//!
+//! Every runner amortizes against the caller's [`RunContext`] cache, so
+//! a resident daemon shares one cache across requests. Because a served
+//! request must fail the *request* and never the process, runners
+//! propagate every malformed-spec condition as a [`CliError`] — no
+//! panicking unwraps on spec-derived values.
 
 use cimloop_bench::{fmt, ExperimentTable};
-use cimloop_core::EnergyTableCache;
 use cimloop_dse::{DesignSpace, EvalScope, Explorer};
 use cimloop_macros::{ArrayMacro, OutputCombine};
 use cimloop_sim::{simulate_layer, ExactConfig};
-use cimloop_spec::{ScenarioDoc, Section};
+use cimloop_spec::{ScenarioDoc, Section, SpecError};
 use cimloop_system::NetworkEngine;
 use cimloop_workload::scenario::{display_name, zoo_model};
 use cimloop_workload::{Layer, LayerKind, Shape, Workload};
 
 use crate::resolve::{self, Scope};
-use crate::CliError;
+use crate::{CliError, RunContext};
 
 fn table(doc: &ScenarioDoc, headers: &[&str]) -> Result<ExperimentTable, CliError> {
     let name = doc.name()?;
@@ -34,7 +39,7 @@ fn sweep_section(doc: &ScenarioDoc) -> Result<&Section, CliError> {
 
 /// `experiment: evaluate` — one architecture, one workload, a per-layer
 /// report through the amortized [`NetworkEngine`].
-pub fn evaluate(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn evaluate(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let arch = doc
         .architecture()
         .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
@@ -42,7 +47,7 @@ pub fn evaluate(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
     let scope = resolve::scope(doc.scenario())?;
     let net = resolve::workload(doc)?;
     let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
-    let engine = NetworkEngine::new(&evaluator);
+    let engine = NetworkEngine::new(&evaluator).with_cache(ctx.cache().clone());
     let report = engine.evaluate_network(&net, &rep)?;
 
     let mut out = table(
@@ -143,7 +148,7 @@ fn axis_for(section: &Section, key: &str) -> Result<Option<Axis>, CliError> {
 /// nesting order, first axis outermost), each cell evaluated on the
 /// workload through one shared energy-table cache, reporting the declared
 /// metric columns. This is the generic form of the fig09_noise grid.
-pub fn sweep(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn sweep(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let arch = doc
         .architecture()
         .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
@@ -200,9 +205,10 @@ pub fn sweep(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
     let mut out = table(doc, &headers)?;
 
     // Odometer over the axes (first axis outermost), all cells sharing
-    // one energy-table cache — values are bit-identical either way; the
-    // cache only amortizes the column-sum statistics across cells.
-    let cache = EnergyTableCache::new();
+    // the context's energy-table cache — values are bit-identical either
+    // way; the cache only amortizes the column-sum statistics across
+    // cells (and, under `cimloop serve`, across requests).
+    let cache = ctx.cache();
     let mut index = vec![0usize; axes.len()];
     'grid: loop {
         let mut m = base.clone();
@@ -212,7 +218,7 @@ pub fn sweep(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
             cells.push(axis.raws[i].clone());
         }
         let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
-        let report = evaluator.evaluate_cached(&net, &rep, &cache)?;
+        let report = evaluator.evaluate_cached(&net, &rep, cache)?;
         for metric in &metrics {
             cells.push(match metric.as_str() {
                 "snr_db" => report
@@ -295,10 +301,10 @@ fn explorer_for(doc: &ScenarioDoc) -> Result<Explorer, CliError> {
 
 /// `experiment: dse` — explore the design grid and report the Pareto
 /// front (ascending design id).
-pub fn dse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let space = space_for(doc)?;
     let net = resolve::workload(doc)?;
-    let explorer = explorer_for(doc)?;
+    let explorer = explorer_for(doc)?.with_cache(ctx.cache().clone());
     let exploration = explorer.explore(&space, &net)?;
 
     let mut out = table(
@@ -337,10 +343,10 @@ pub fn dse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
 /// selected out of an explored design grid, energies normalized over the
 /// selected rows. This is the spec-driven form of the Fig 2b co-design
 /// experiment, through the same [`Explorer`].
-pub fn compare(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn compare(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let space = space_for(doc)?;
     let net = resolve::workload(doc)?;
-    let explorer = explorer_for(doc)?;
+    let explorer = explorer_for(doc)?.with_cache(ctx.cache().clone());
     let reports = cimloop_bench::explore_collect(&explorer, &space, &net)?;
 
     let rows: Vec<&Section> = doc.sections("Row").collect();
@@ -391,7 +397,7 @@ pub fn compare(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
 /// `experiment: output_reuse` — the Fig 12 sweep: wire-sum output reuse
 /// across N columns, per workload, energies split into ADC+accumulate /
 /// DAC / other and normalized per workload.
-pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn output_reuse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let arch = doc
         .architecture()
         .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
@@ -400,6 +406,24 @@ pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
     let groupings = section
         .u64_list("groupings")?
         .ok_or_else(|| CliError::usage("!Sweep needs a `groupings:` list".to_owned()))?;
+    // A grouping divides the array's columns into wire-summed groups:
+    // `0` would divide by zero deriving the matched-utilization shape,
+    // and `g > cols` would build a degenerate zero-column workload —
+    // both are spec errors, reported with the declaring line.
+    let groupings_line = section.get("groupings").map_or(section.line(), |e| e.line);
+    for &g in &groupings {
+        if g == 0 || g > base.cols() {
+            return Err(CliError::Spec(SpecError::Parse {
+                line: groupings_line,
+                message: format!(
+                    "`groupings:` value {g} is invalid: each grouping must satisfy \
+                     1 <= g <= cols ({} columns on architecture `{}`)",
+                    base.cols(),
+                    base.name()
+                ),
+            }));
+        }
+    }
     let workload_keys = section
         .str_list("workloads")?
         .ok_or_else(|| CliError::usage("!Sweep needs a `workloads:` list".to_owned()))?;
@@ -410,13 +434,13 @@ pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
     let max_util = |g: u64| -> Result<Workload, CliError> {
         let shape = Shape::conv(base.cols() / g, base.rows(), 16, 16, g.min(8), 1)
             .map_err(|e| CliError::usage(format!("derived max_util shape invalid: {e}")))?;
-        Ok(Workload::new(
+        Workload::new(
             "max_util",
             vec![Layer::new("mvm", LayerKind::Conv, shape)
                 .with_input_bits(1)
                 .with_weight_bits(1)],
         )
-        .expect("non-empty"))
+        .map_err(|e| CliError::usage(format!("derived max_util workload invalid: {e}")))
     };
 
     let mut out = table(
@@ -459,7 +483,7 @@ pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
                     &owned
                 }
             };
-            let engine = NetworkEngine::new(&evaluator);
+            let engine = NetworkEngine::new(&evaluator).with_cache(ctx.cache().clone());
             let report = engine.evaluate_network(workload, &rep)?;
             let dac = report.energy_of("dac");
             let adc = report.energy_of("adc") + report.energy_of("accumulator");
@@ -498,7 +522,7 @@ pub fn output_reuse(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
 /// mapping search, and an amortized engine sweep. (Measured rates belong
 /// to stdout, never to a golden TSV; this runner records only the
 /// deterministic quantities, exactly as the `table02` binary does.)
-pub fn speed_record(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
+pub fn speed_record(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let arch = doc
         .architecture()
         .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
@@ -540,10 +564,13 @@ pub fn speed_record(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
         format!("{exact_energy:.6e}"),
     ]);
 
-    // Statistical model over the whole network.
+    // Statistical model over the whole network, amortized against the
+    // caller's shared cache (energies are cache-invariant).
     let mut statistical_energy = 0.0f64;
     for layer in net.layers() {
-        statistical_energy += evaluator.evaluate_layer(layer, &rep)?.energy_total();
+        statistical_energy += evaluator
+            .evaluate_layer_cached(layer, &rep, ctx.cache())?
+            .energy_total();
     }
     out.row(vec![
         format!(
@@ -586,7 +613,11 @@ pub fn speed_record(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
         streamed.to_string(),
     ]);
 
-    // Amortized engine sweep of an unrolled zoo network.
+    // Amortized engine sweep of an unrolled zoo network. Deliberately a
+    // *fresh* engine cache, not the shared one: the "distinct energy
+    // tables" row below records this experiment's own working set, which
+    // must stay byte-identical whether the run is batch or served from a
+    // warm daemon.
     let engine_net = zoo_model(engine_key, 256, 256, 256)
         .ok_or_else(|| CliError::usage(format!("unknown engine model `{engine_key}`")))?
         .unrolled();

@@ -218,3 +218,38 @@ fn validate_warns_on_defaulted_cycle_time() {
     let err = validate_text("!Scenario\nname: broken\n").unwrap_err();
     assert!(matches!(err, CliError::Usage(_) | CliError::Spec(_)));
 }
+
+#[test]
+fn output_reuse_rejects_zero_and_oversized_groupings() {
+    // Regression: `groupings: [0]` used to reach `base.cols() / g` and
+    // panic with a divide-by-zero, and an oversized grouping silently
+    // built a degenerate sweep shape. Both must now fail spec validation
+    // with a line-numbered error — and, when served, fail the *request*,
+    // never the daemon.
+    let spec = |groupings: &str| {
+        format!(
+            "!Scenario\nname: reuse_bad\nexperiment: output_reuse\n\
+             !Architecture\nmacro: macro_a\nfrozen: true\n\
+             !Sweep\ngroupings: {groupings}\nworkloads: [max_util]\n"
+        )
+    };
+    // `groupings:` sits on line 8 of the document built above.
+    for (bad, why) in [
+        ("[0]", "a zero grouping"),
+        ("[1, 0, 3]", "a zero grouping hidden among valid ones"),
+        ("[100000]", "a grouping wider than the array"),
+    ] {
+        let doc = ScenarioDoc::parse(&spec(bad)).expect("spec parses");
+        let err = run_scenario(&doc).expect_err(&format!("{why} must be rejected, not run"));
+        match err {
+            CliError::Spec(cimloop_spec::SpecError::Parse { line, message }) => {
+                assert_eq!(line, 8, "{why}: error must cite the `groupings:` line");
+                assert!(
+                    message.contains("groupings") && message.contains("invalid"),
+                    "{why}: unhelpful message `{message}`"
+                );
+            }
+            other => panic!("{why}: expected a line-numbered spec error, got {other}"),
+        }
+    }
+}

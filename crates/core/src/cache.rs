@@ -12,8 +12,18 @@
 //! whole-network sweep derive each distinct [`ActionEnergyTable`] once and
 //! amortize it across all layers — and, via interior mutability, across
 //! the threads of a parallel network evaluation.
+//!
+//! A batch binary lives for one sweep, so its cache could afford to only
+//! grow. A resident evaluation service (`cimloop serve`) shares **one**
+//! process-wide cache across every request it will ever run, so each level
+//! is *bounded*: an entry-count capacity with least-recently-used eviction
+//! ([`EnergyTableCache::bounded`]). Eviction can never change results —
+//! an evicted signature is simply recomputed on its next lookup, and the
+//! computation is deterministic — it only changes timing. Counters for
+//! hits, misses, and evictions are exposed in a [`CacheStats`] snapshot.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -140,8 +150,210 @@ fn encode_profile(profile: &ValueProfile) -> Vec<u64> {
     }
 }
 
-/// A thread-safe, two-level cache for the amortizable halves of layer
-/// evaluation.
+/// A point-in-time snapshot of an [`EnergyTableCache`]'s occupancy and
+/// traffic, per level. `*_capacity == usize::MAX` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct energy tables currently held.
+    pub table_len: usize,
+    /// Entry-count cap of the table level.
+    pub table_capacity: usize,
+    /// Table lookups served from the cache.
+    pub table_hits: u64,
+    /// Table lookups that had to compute.
+    pub table_misses: u64,
+    /// Tables evicted to respect the cap.
+    pub table_evictions: u64,
+    /// Distinct value statistics currently held.
+    pub stats_len: usize,
+    /// Entry-count cap of the statistics level.
+    pub stats_capacity: usize,
+    /// Statistics lookups served from the cache.
+    pub stats_hits: u64,
+    /// Statistics lookups that had to compute.
+    pub stats_misses: u64,
+    /// Statistics evicted to respect the cap.
+    pub stats_evictions: u64,
+}
+
+impl CacheStats {
+    /// The snapshot as a single JSON object (the shape the `cimloop serve`
+    /// `STATS` command returns and the CI perf artifacts record).
+    /// Unbounded capacities serialize as `null`.
+    pub fn to_json(&self) -> String {
+        let cap = |c: usize| {
+            if c == usize::MAX {
+                "null".to_owned()
+            } else {
+                c.to_string()
+            }
+        };
+        format!(
+            "{{\"table_len\": {}, \"table_capacity\": {}, \"table_hits\": {}, \
+             \"table_misses\": {}, \"table_evictions\": {}, \"stats_len\": {}, \
+             \"stats_capacity\": {}, \"stats_hits\": {}, \"stats_misses\": {}, \
+             \"stats_evictions\": {}}}",
+            self.table_len,
+            cap(self.table_capacity),
+            self.table_hits,
+            self.table_misses,
+            self.table_evictions,
+            self.stats_len,
+            cap(self.stats_capacity),
+            self.stats_hits,
+            self.stats_misses,
+            self.stats_evictions,
+        )
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cap = |c: usize| {
+            if c == usize::MAX {
+                "unbounded".to_owned()
+            } else {
+                c.to_string()
+            }
+        };
+        writeln!(
+            f,
+            "tables: {} held (cap {}), {} hits, {} misses, {} evictions",
+            self.table_len,
+            cap(self.table_capacity),
+            self.table_hits,
+            self.table_misses,
+            self.table_evictions
+        )?;
+        write!(
+            f,
+            "stats: {} held (cap {}), {} hits, {} misses, {} evictions",
+            self.stats_len,
+            cap(self.stats_capacity),
+            self.stats_hits,
+            self.stats_misses,
+            self.stats_evictions
+        )
+    }
+}
+
+/// One bounded, thread-safe cache level: a map from signature to shared
+/// entry with least-recently-used eviction over an entry-count cap.
+///
+/// "Least recently used" is tracked with a monotonic logical clock: every
+/// hit or insert stamps the entry; eviction removes the entry with the
+/// smallest stamp. The victim scan is O(len), which is O(capacity) —
+/// bounded caches are small by definition, and the scan only runs on
+/// inserts that overflow the cap, so the cost is negligible next to the
+/// table computation the insert just paid for.
+#[derive(Debug)]
+struct Level<K, V> {
+    inner: Mutex<LevelInner<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct LevelInner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    capacity: usize,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Level<K, V> {
+    fn new(capacity: usize) -> Self {
+        Level {
+            inner: Mutex::new(LevelInner {
+                map: HashMap::new(),
+                capacity,
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached entry for `key`, computing and inserting it via
+    /// `compute` on a miss, then evicting down to the cap.
+    ///
+    /// The computation runs *outside* the lock: entries are expensive and
+    /// other signatures must not serialize behind this miss. Concurrent
+    /// misses on one key may compute it twice; the result is deterministic,
+    /// so whichever insertion wins is bit-identical.
+    fn get_or_try_insert_with<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(slot) = inner.map.get_mut(&key) {
+                slot.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&slot.value));
+            }
+        }
+        let value = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner
+            .map
+            .entry(key)
+            .and_modify(|slot| slot.last_used = clock)
+            .or_insert_with(|| Slot {
+                value: Arc::clone(&value),
+                last_used: clock,
+            });
+        let shared = Arc::clone(&entry.value);
+        while inner.map.len() > inner.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        Ok(shared)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").capacity
+    }
+
+    fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.clock = 0;
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A thread-safe, bounded, two-level cache for the amortizable halves of
+/// layer evaluation.
 ///
 /// - **Table level** ([`ActionEnergyTable`] keyed by [`TableSignature`]):
 ///   shares finished per-action energy tables between layers with equal
@@ -153,23 +365,40 @@ fn encode_profile(profile: &ValueProfile) -> Vec<u64> {
 ///   reduction widths agree.
 ///
 /// Entries are handed out as [`Arc`]s so concurrent layer evaluations share
-/// one allocation. Lookups under concurrent misses may compute the same
-/// entry twice (the computation runs outside the lock), but the result is
-/// deterministic, so whichever insertion wins is bit-identical.
-#[derive(Debug, Default)]
+/// one allocation. Each level holds at most its configured entry-count
+/// capacity ([`Self::bounded`]; [`Self::new`] is unbounded), evicting the
+/// least-recently-used entry on overflow — eviction is invisible to
+/// results (the next lookup deterministically recomputes) and visible to
+/// timing and the [`CacheStats`] counters only.
+#[derive(Debug)]
 pub struct EnergyTableCache {
-    entries: Mutex<HashMap<TableSignature, Arc<ActionEnergyTable>>>,
-    stats: Mutex<HashMap<StatsSignature, Arc<ValueStats>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    stats_hits: AtomicU64,
-    stats_misses: AtomicU64,
+    tables: Level<TableSignature, ActionEnergyTable>,
+    stats: Level<StatsSignature, ValueStats>,
+}
+
+impl Default for EnergyTableCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EnergyTableCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with no entry-count bound (the batch-binary
+    /// configuration: the process lives for one sweep).
     pub fn new() -> Self {
-        Self::default()
+        Self::bounded(usize::MAX, usize::MAX)
+    }
+
+    /// Creates an empty cache holding at most `table_capacity` energy
+    /// tables and `stats_capacity` value statistics, evicting
+    /// least-recently-used entries on overflow. A capacity of `0` disables
+    /// retention entirely (every lookup computes) — still correct, never
+    /// fast.
+    pub fn bounded(table_capacity: usize, stats_capacity: usize) -> Self {
+        EnergyTableCache {
+            tables: Level::new(table_capacity),
+            stats: Level::new(stats_capacity),
+        }
     }
 
     /// Returns the cached table for `signature`, computing and inserting it
@@ -183,24 +412,7 @@ impl EnergyTableCache {
         signature: TableSignature,
         compute: impl FnOnce() -> Result<ActionEnergyTable, CoreError>,
     ) -> Result<Arc<ActionEnergyTable>, CoreError> {
-        if let Some(table) = self
-            .entries
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&signature)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(table));
-        }
-        // Compute outside the lock: tables are expensive and other
-        // signatures should not serialize behind this miss.
-        let table = Arc::new(compute()?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("cache lock poisoned");
-        let entry = entries
-            .entry(signature)
-            .or_insert_with(|| Arc::clone(&table));
-        Ok(Arc::clone(entry))
+        self.tables.get_or_try_insert_with(signature, compute)
     }
 
     /// Returns the cached hierarchy-independent statistics for `signature`,
@@ -214,30 +426,12 @@ impl EnergyTableCache {
         signature: StatsSignature,
         compute: impl FnOnce() -> Result<ValueStats, CoreError>,
     ) -> Result<Arc<ValueStats>, CoreError> {
-        if let Some(stats) = self
-            .stats
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&signature)
-        {
-            self.stats_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(stats));
-        }
-        // Compute outside the lock: the column-sum convolution is the most
-        // expensive step in the whole evaluation and other signatures
-        // should not serialize behind this miss.
-        let stats = Arc::new(compute()?);
-        self.stats_misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.stats.lock().expect("cache lock poisoned");
-        let entry = entries
-            .entry(signature)
-            .or_insert_with(|| Arc::clone(&stats));
-        Ok(Arc::clone(entry))
+        self.stats.get_or_try_insert_with(signature, compute)
     }
 
     /// Number of distinct tables held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock poisoned").len()
+        self.tables.len()
     }
 
     /// Whether the cache holds no tables.
@@ -247,37 +441,60 @@ impl EnergyTableCache {
 
     /// Table lookups served from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.tables.hits.load(Ordering::Relaxed)
     }
 
     /// Table lookups that had to compute a table.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.tables.misses.load(Ordering::Relaxed)
+    }
+
+    /// Tables evicted to respect the entry-count cap.
+    pub fn evictions(&self) -> u64 {
+        self.tables.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct hierarchy-independent statistics held.
     pub fn stats_len(&self) -> usize {
-        self.stats.lock().expect("cache lock poisoned").len()
+        self.stats.len()
     }
 
     /// Statistics lookups served from the cache.
     pub fn stats_hits(&self) -> u64 {
-        self.stats_hits.load(Ordering::Relaxed)
+        self.stats.hits.load(Ordering::Relaxed)
     }
 
     /// Statistics lookups that had to compute the statistics.
     pub fn stats_misses(&self) -> u64 {
-        self.stats_misses.load(Ordering::Relaxed)
+        self.stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Statistics evicted to respect the entry-count cap.
+    pub fn stats_evictions(&self) -> u64 {
+        self.stats.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot of occupancy and traffic (each field
+    /// is read atomically; the set is not one atomic transaction).
+    pub fn stats_snapshot(&self) -> CacheStats {
+        CacheStats {
+            table_len: self.tables.len(),
+            table_capacity: self.tables.capacity(),
+            table_hits: self.hits(),
+            table_misses: self.misses(),
+            table_evictions: self.evictions(),
+            stats_len: self.stats.len(),
+            stats_capacity: self.stats.capacity(),
+            stats_hits: self.stats_hits(),
+            stats_misses: self.stats_misses(),
+            stats_evictions: self.stats_evictions(),
+        }
     }
 
     /// Drops all cached tables and statistics and resets every counter.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock poisoned").clear();
-        self.stats.lock().expect("cache lock poisoned").clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.stats_hits.store(0, Ordering::Relaxed);
-        self.stats_misses.store(0, Ordering::Relaxed);
+        self.tables.clear();
+        self.stats.clear();
     }
 }
 
@@ -357,6 +574,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 0);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
@@ -413,5 +631,70 @@ mod tests {
         });
         assert!(err.is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_caps_entry_count() {
+        let cache = EnergyTableCache::bounded(1, 1);
+        let make = || Ok(ActionEnergyTable::empty_for_tests());
+        for fp in 0..4u64 {
+            let sig = TableSignature::new(fp, &layer("l", 16), &rep(), &NoiseSpec::ideal());
+            cache.get_or_try_insert_with(sig, make).unwrap();
+            assert!(cache.len() <= 1);
+        }
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 3);
+        let snapshot = cache.stats_snapshot();
+        assert_eq!(snapshot.table_capacity, 1);
+        assert_eq!(snapshot.table_evictions, 3);
+        assert_eq!(snapshot.table_len, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_the_least_recently_used_entry() {
+        let cache = EnergyTableCache::bounded(2, usize::MAX);
+        let sig = |fp| TableSignature::new(fp, &layer("l", 16), &rep(), &NoiseSpec::ideal());
+        let make = || Ok(ActionEnergyTable::empty_for_tests());
+        cache.get_or_try_insert_with(sig(1), make).unwrap(); // miss
+        cache.get_or_try_insert_with(sig(2), make).unwrap(); // miss
+        cache.get_or_try_insert_with(sig(1), make).unwrap(); // hit, refreshes 1
+        cache.get_or_try_insert_with(sig(3), make).unwrap(); // miss, evicts 2
+        assert_eq!(cache.evictions(), 1);
+        // 1 survived (refreshed); 2 is gone.
+        cache.get_or_try_insert_with(sig(1), make).unwrap();
+        assert_eq!(cache.hits(), 2);
+        cache.get_or_try_insert_with(sig(2), make).unwrap();
+        assert_eq!(cache.misses(), 4, "sig 2 was evicted and recomputed");
+    }
+
+    #[test]
+    fn capacity_zero_retains_nothing_but_stays_correct() {
+        let l = layer("l", 16);
+        let r = rep();
+        let cache = EnergyTableCache::bounded(0, 0);
+        let make = || ValueStats::compute(&l, &r, 64);
+        let via_cache = cache
+            .stats_or_try_insert_with(StatsSignature::new(64, &l, &r), make)
+            .unwrap();
+        assert_eq!(cache.stats_len(), 0);
+        assert_eq!(cache.stats_evictions(), 1);
+        let fresh = make().unwrap();
+        assert_eq!(
+            format!("{:?}", fresh.sum()),
+            format!("{:?}", via_cache.sum()),
+            "a retention-free cache still hands back the exact computation"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_serializes() {
+        let cache = EnergyTableCache::bounded(8, usize::MAX);
+        let snapshot = cache.stats_snapshot();
+        let json = snapshot.to_json();
+        assert!(json.contains("\"table_capacity\": 8"));
+        assert!(json.contains("\"stats_capacity\": null"));
+        let text = snapshot.to_string();
+        assert!(text.contains("cap 8"));
+        assert!(text.contains("cap unbounded"));
     }
 }

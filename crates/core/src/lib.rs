@@ -86,7 +86,7 @@ mod evaluator;
 mod pipeline;
 mod representation;
 
-pub use cache::{EnergyTableCache, StatsSignature, TableSignature};
+pub use cache::{CacheStats, EnergyTableCache, StatsSignature, TableSignature};
 pub use encoding::{EncodedOperand, EncodedStream, Encoding};
 pub use error::CoreError;
 pub use evaluator::{

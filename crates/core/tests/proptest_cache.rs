@@ -1,0 +1,76 @@
+//! Property tests: cache eviction never changes results, only timing.
+//!
+//! A resident `cimloop serve` process shares one bounded
+//! [`EnergyTableCache`] across every request it will ever run, so the
+//! eviction policy must be *invisible* to results: whatever sequence of
+//! lookups runs against whatever capacity, every returned entry must be
+//! bit-identical to a fresh, uncached computation of the same signature.
+
+use std::sync::Arc;
+
+use cimloop_core::{Encoding, EnergyTableCache, Representation, StatsSignature, ValueStats};
+use cimloop_workload::{Layer, LayerKind, Shape, ValueProfile};
+use proptest::prelude::*;
+
+/// A tiny universe of distinct value signatures: layers that differ in
+/// input precision and value profile, statistics that differ in reduction
+/// width. Small shapes keep each compute cheap; distinctness keeps the
+/// cache churning.
+fn universe() -> Vec<(Layer, Representation, u64)> {
+    let rep = Representation::new(Encoding::TwosComplement, Encoding::Offset, 1, 4).unwrap();
+    let base = Layer::new("l", LayerKind::Linear, Shape::linear(4, 16, 32).unwrap());
+    vec![
+        (base.clone(), rep, 16),
+        (base.clone(), rep, 64),
+        (base.clone().with_input_bits(4), rep, 16),
+        (
+            base.clone()
+                .with_input_profile(ValueProfile::UniformUnsigned),
+            rep,
+            16,
+        ),
+        (base.clone().with_weight_bits(4), rep, 16),
+        (base.with_input_bits(4).with_weight_bits(4), rep, 64),
+    ]
+}
+
+fn fingerprint(stats: &ValueStats) -> String {
+    format!("{:?}", stats.sum())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any lookup sequence against any capacity returns exactly what an
+    /// unbounded cache (and a fresh compute) returns, while the occupancy
+    /// never exceeds the cap.
+    #[test]
+    fn eviction_changes_timing_never_results(
+        lookups in prop::collection::vec(0usize..6, 1..40),
+        capacity in 0usize..4,
+    ) {
+        let keys = universe();
+        let bounded = EnergyTableCache::bounded(usize::MAX, capacity);
+        let unbounded = EnergyTableCache::new();
+        for &i in &lookups {
+            let (layer, rep, rows) = &keys[i];
+            let compute = || ValueStats::compute(layer, rep, *rows);
+            let sig = || StatsSignature::new(*rows, layer, rep);
+            let from_bounded: Arc<ValueStats> =
+                bounded.stats_or_try_insert_with(sig(), compute).unwrap();
+            let from_unbounded = unbounded.stats_or_try_insert_with(sig(), compute).unwrap();
+            let fresh = compute().unwrap();
+            prop_assert_eq!(fingerprint(&from_bounded), fingerprint(&from_unbounded));
+            prop_assert_eq!(fingerprint(&from_bounded), fingerprint(&fresh));
+            prop_assert!(bounded.stats_len() <= capacity);
+        }
+        // Traffic accounting stays coherent under churn: every lookup is
+        // either a hit or a miss, and evictions never exceed insertions.
+        let snapshot = bounded.stats_snapshot();
+        prop_assert_eq!(
+            snapshot.stats_hits + snapshot.stats_misses,
+            lookups.len() as u64
+        );
+        prop_assert!(snapshot.stats_evictions <= snapshot.stats_misses);
+    }
+}

@@ -265,7 +265,7 @@ impl CimSystem {
 /// ```
 pub struct NetworkEngine<'a> {
     evaluator: &'a Evaluator,
-    cache: EnergyTableCache,
+    cache: std::sync::Arc<EnergyTableCache>,
     threads: usize,
 }
 
@@ -275,7 +275,7 @@ impl<'a> NetworkEngine<'a> {
     pub fn new(evaluator: &'a Evaluator) -> Self {
         NetworkEngine {
             evaluator,
-            cache: EnergyTableCache::new(),
+            cache: std::sync::Arc::new(EnergyTableCache::new()),
             threads: 0,
         }
     }
@@ -285,6 +285,15 @@ impl<'a> NetworkEngine<'a> {
     /// sequentially on the calling thread (still cached).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Shares an existing (possibly bounded) cache instead of the engine's
+    /// own — the resident-service configuration, where every request's
+    /// engine amortizes against one process-wide cache. Results are
+    /// bit-identical either way; only timing changes.
+    pub fn with_cache(mut self, cache: std::sync::Arc<EnergyTableCache>) -> Self {
+        self.cache = cache;
         self
     }
 
