@@ -131,6 +131,59 @@ impl ExperimentTable {
     }
 }
 
+/// Parses a result TSV into a reflected [`cimloop_spec::Value`]:
+/// `{ columns: [..], rows: [ { column: cell, .. }, .. ] }`, with each
+/// row keyed by its column header so a structural diff reports the
+/// changed field by name (`rows[3].energy (J)`), not by byte offset.
+/// Repeated headers (the fig07/fig08 `err` columns) disambiguate as
+/// `err`, `err#2`, ….
+pub fn tsv_value(text: &str) -> cimloop_spec::Value {
+    use cimloop_spec::Value;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines
+        .next()
+        .map(|line| line.split('\t').map(str::to_owned).collect())
+        .unwrap_or_default();
+    let mut keys: Vec<String> = Vec::with_capacity(headers.len());
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for header in &headers {
+        let n = counts.entry(header.as_str()).or_insert(0);
+        *n += 1;
+        keys.push(if *n == 1 {
+            header.clone()
+        } else {
+            format!("{header}#{n}")
+        });
+    }
+    let mut value = Value::map();
+    value.insert(
+        "columns",
+        Value::List(headers.iter().map(|h| Value::scalar(h)).collect()),
+    );
+    let mut rows = Vec::new();
+    for line in lines {
+        let mut row = Value::map();
+        for (i, cell) in line.split('\t').enumerate() {
+            let key = keys
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("column{}", i + 1));
+            row.insert(&key, Value::scalar(cell));
+        }
+        rows.push(row);
+    }
+    value.insert("rows", Value::List(rows));
+    value
+}
+
+/// A field-level structural report of what changed between two result
+/// TSVs — the diagnostic behind golden mismatches: instead of "bytes
+/// differ", each line names the row, the column, and both values.
+/// Returns an empty string when the tables are structurally identical.
+pub fn diff_tsv(old: &str, new: &str) -> String {
+    cimloop_spec::render_diff(&cimloop_spec::diff(&tsv_value(old), &tsv_value(new)))
+}
+
 /// The storage scenario of the Fig 2 co-design experiments (the full
 /// system around the macro; weights re-fetched from DRAM).
 pub const FIG2_SCENARIO: StorageScenario = StorageScenario::AllTensorsFromDram;
@@ -369,5 +422,27 @@ mod tests {
         assert_eq!(pct(0.123), "12.3%");
         assert!((rel_err(11.0, 10.0) - 0.1).abs() < 1e-12);
         assert_eq!(rel_err(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn tsv_diff_names_the_mutated_cell() {
+        let old = "layer\tenergy (J)\nconv1\t1.5e-3\nconv2\t2.5e-3\n";
+        let new = "layer\tenergy (J)\nconv1\t1.5e-3\nconv2\t2.6e-3\n";
+        assert_eq!(diff_tsv(old, old), "");
+        let report = diff_tsv(old, new);
+        assert!(report.contains("rows[1].energy (J)"), "{report}");
+        assert!(report.contains("2.5e-3"), "{report}");
+        assert!(report.contains("2.6e-3"), "{report}");
+        // Unchanged cells stay out of the report.
+        assert!(!report.contains("conv1"), "{report}");
+    }
+
+    #[test]
+    fn tsv_value_disambiguates_repeated_headers() {
+        let old = "macro\terr\terr\nA\t1%\t2%\n";
+        let new = "macro\terr\terr\nA\t1%\t3%\n";
+        let report = diff_tsv(old, new);
+        assert!(report.contains("rows[0].err#2"), "{report}");
+        assert!(!report.contains("rows[0].err:"), "{report}");
     }
 }

@@ -56,23 +56,52 @@ fn results_dir() -> PathBuf {
         .join("results")
 }
 
+/// The golden as last committed (`git show HEAD:results/<name>`), when
+/// a git checkout is available — the "expected" side of the structural
+/// diff a mismatch prints.
+fn committed_version(name: &str) -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["show", &format!("HEAD:results/{name}")])
+        .current_dir(results_dir())
+        .output()
+        .ok()?;
+    output
+        .status
+        .success()
+        .then(|| String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
 #[test]
 fn committed_goldens_are_bit_identical() {
     for (name, expected_hash, expected_len) in GOLDENS {
         let path = results_dir().join(name);
         let data =
             fs::read(&path).unwrap_or_else(|e| panic!("golden {} must exist: {e}", path.display()));
-        assert_eq!(
-            data.len(),
-            expected_len,
-            "golden {name} changed length — regenerate deliberately or revert"
-        );
-        assert_eq!(
-            fnv1a64(&data),
-            expected_hash,
-            "golden {name} changed content — the noise subsystem (or other \
-             new code) perturbed a result that must stay bit-identical"
-        );
+        if data.len() == expected_len && fnv1a64(&data) == expected_hash {
+            continue;
+        }
+        // Not the pinned bytes: report *which fields* moved, not just
+        // that bytes did. The committed version (when git is available
+        // and the file drifted from HEAD) anchors the structural diff;
+        // otherwise fall back to the hash message.
+        let current = String::from_utf8_lossy(&data);
+        let report = committed_version(name)
+            .map(|head| cimloop_bench::diff_tsv(&head, &current))
+            .filter(|report| !report.is_empty());
+        match report {
+            Some(report) => panic!(
+                "golden {name} changed — regenerate deliberately or revert; \
+                 structural diff vs HEAD:\n{report}"
+            ),
+            None => panic!(
+                "golden {name} changed content (len {} vs pinned {expected_len}, \
+                 fnv1a64 {:#x} vs pinned {expected_hash:#x}) — the working tree \
+                 matches HEAD, so update the pinned constants if the change is \
+                 deliberate",
+                data.len(),
+                fnv1a64(&data),
+            ),
+        }
     }
 }
 

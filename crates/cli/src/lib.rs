@@ -35,6 +35,7 @@ use cimloop_spec::{ScenarioDoc, SpecError};
 
 pub mod resolve;
 pub mod runners;
+pub mod schema;
 pub mod serve;
 
 /// Shared state a scenario run amortizes against: the energy-table cache.
@@ -139,6 +140,7 @@ pub fn run_scenario(doc: &ScenarioDoc) -> Result<ExperimentTable, CliError> {
 ///
 /// See [`run_scenario`].
 pub fn run_scenario_with(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
+    schema::check_document(doc)?;
     match doc.experiment() {
         "evaluate" => runners::evaluate(doc, ctx),
         "sweep" => runners::sweep(doc, ctx),
@@ -176,6 +178,20 @@ pub fn run_text(text: &str, out_dir: &Path) -> Result<ExperimentTable, CliError>
 /// Returns the first parse/resolution error.
 pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
     let doc = ScenarioDoc::parse(text)?;
+    validate_doc(&doc)
+}
+
+/// [`validate_text`] for an already-parsed document (the entry point the
+/// JSON front-end shares): schema-checks every section, resolves, and
+/// additionally verifies the document survives its own canonical writer
+/// (parse → write → parse must be structurally lossless); any drift is
+/// reported as field-level warnings through the structural differ.
+///
+/// # Errors
+///
+/// Returns the first schema/resolution error.
+pub fn validate_doc(doc: &ScenarioDoc) -> Result<Vec<String>, CliError> {
+    schema::check_document(doc)?;
     let name = doc.name()?;
     let kind = doc.experiment().to_owned();
     let mut warnings = Vec::new();
@@ -189,7 +205,7 @@ pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
     // their workloads from the !Sweep section (output_reuse builds a
     // matched-utilization shape per grouping); everything else needs one.
     let net = if doc.section("Workload").is_some() {
-        Some(resolve::workload(&doc)?)
+        Some(resolve::workload(doc)?)
     } else if kind == "output_reuse" {
         None
     } else {
@@ -208,7 +224,7 @@ pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
     }
 
     for arch in doc.architectures() {
-        let m = resolve::architecture(&doc, arch)?;
+        let m = resolve::architecture(doc, arch)?;
         let (evaluator, rep) = resolve::evaluator_for(&m, scope)?;
         let hierarchy_len = evaluator.hierarchy().len();
         println!(
@@ -251,6 +267,20 @@ pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
             ));
         }
     }
+    // Reflection fixpoint check: the document must survive its own
+    // canonical writer. Drift here means a raw token or a field would be
+    // silently rewritten on the next round-trip — reported field by
+    // field through the structural differ, not as a byte mismatch.
+    let canonical = doc.write();
+    match ScenarioDoc::parse(&canonical) {
+        Ok(reparsed) => {
+            for entry in cimloop_spec::diff(&doc.to_value(), &reparsed.to_value()) {
+                warnings.push(format!("canonical-form drift: {entry}"));
+            }
+        }
+        Err(e) => warnings.push(format!("canonical form does not re-parse: {e}")),
+    }
+
     for warning in &warnings {
         println!("  warning: {warning}");
     }

@@ -1,29 +1,72 @@
 //! The `cimloop` binary: spec-driven experiments from scenario files.
 //!
 //! ```text
-//! cimloop evaluate <spec.yaml>… [--out DIR]   # run any scenario, write TSV
-//! cimloop sweep    <spec.yaml>… [--out DIR]   # sweep-family scenarios only
-//! cimloop dse      <spec.yaml>… [--out DIR]   # design-space scenarios only
-//! cimloop validate <spec.yaml>…               # resolve + report, don't run
+//! cimloop evaluate <spec>… [--out DIR] [--format yamlite|json]
+//!                                              # run any scenario, write TSV
+//! cimloop sweep    <spec>… [--out DIR]         # sweep-family scenarios only
+//! cimloop dse      <spec>… [--out DIR]         # design-space scenarios only
+//! cimloop validate <spec>…                     # resolve + report, don't run
+//! cimloop convert  <spec>… [--to yamlite|json] # re-encode via reflection
+//! cimloop diff     <old> <new>                 # structural field-level diff
 //! cimloop serve    <addr> [--once] [--workers N] [--queue-depth N]
 //!                  [--table-cap N] [--stats-cap N]
 //!                                              # resident evaluation daemon
-//! cimloop request  <addr> <spec.yaml>… [--out DIR] [--stats FILE]
+//! cimloop request  <addr> <spec>… [--out DIR] [--stats FILE]
 //!                  [--shutdown]                # client for a running daemon
 //! ```
+//!
+//! Scenario files ending in `.json` are decoded as the reflection-backed
+//! JSON interchange encoding; everything else parses as yamlite (the
+//! pinned frontend). `--format` overrides the extension; `cimloop
+//! request` sends `.json` files as `RUNJSON` frames.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cimloop_cli::serve::client::{Client, Response};
-use cimloop_cli::serve::{ServeConfig, Server};
-use cimloop_cli::{run_scenario, validate_text, CliError, DSE_KINDS, SWEEP_KINDS};
+use cimloop_cli::serve::{ServeConfig, Server, SpecFormat};
+use cimloop_cli::{run_scenario, validate_doc, CliError, DSE_KINDS, SWEEP_KINDS};
 use cimloop_spec::ScenarioDoc;
 
-const USAGE: &str = "usage: cimloop <evaluate|sweep|dse|validate> <spec.yaml>... [--out DIR]
+const USAGE: &str =
+    "usage: cimloop <evaluate|sweep|dse|validate> <spec>... [--out DIR] [--format yamlite|json]
+       cimloop convert <spec>... [--to yamlite|json]
+       cimloop diff <old.tsv|old-spec> <new.tsv|new-spec>
        cimloop serve <addr> [--once] [--workers N] [--queue-depth N] [--table-cap N] [--stats-cap N]
-       cimloop request <addr> <spec.yaml>... [--out DIR] [--stats FILE] [--shutdown]";
+       cimloop request <addr> <spec>... [--out DIR] [--stats FILE] [--shutdown]";
+
+/// Parses a `--format`/`--to` value.
+fn format_name(value: &str) -> Option<SpecFormat> {
+    match value {
+        "yamlite" | "yaml" => Some(SpecFormat::Yamlite),
+        "json" => Some(SpecFormat::Json),
+        _ => None,
+    }
+}
+
+/// The encoding of a spec file: forced by `--format` when given, else
+/// `.json` files are JSON and everything else is yamlite.
+fn detect_format(path: &Path, forced: Option<SpecFormat>) -> SpecFormat {
+    forced.unwrap_or_else(|| {
+        if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+        {
+            SpecFormat::Json
+        } else {
+            SpecFormat::Yamlite
+        }
+    })
+}
+
+/// Decodes one spec source in the given encoding.
+fn parse_spec(text: &str, format: SpecFormat) -> Result<ScenarioDoc, CliError> {
+    Ok(match format {
+        SpecFormat::Yamlite => ScenarioDoc::parse(text)?,
+        SpecFormat::Json => ScenarioDoc::from_json(text)?,
+    })
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -35,10 +78,13 @@ fn main() -> ExitCode {
     match command.as_str() {
         "serve" => return serve_main(&rest),
         "request" => return request_main(&rest),
+        "convert" => return convert_main(&rest),
+        "diff" => return diff_main(&rest),
         _ => {}
     }
     let mut specs: Vec<PathBuf> = Vec::new();
     let mut out_dir = PathBuf::from("results");
+    let mut forced: Option<SpecFormat> = None;
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +92,13 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a directory argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref().and_then(format_name) {
+                Some(format) => forced = Some(format),
+                None => {
+                    eprintln!("--format needs `yamlite` or `json`\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -73,9 +126,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let format = detect_format(spec, forced);
         let result: Result<(), CliError> = match command.as_str() {
-            "validate" => validate_text(&text).map(|_| ()),
-            "evaluate" | "sweep" | "dse" => run_kind(&command, &text, &out_dir),
+            "validate" => parse_spec(&text, format).and_then(|doc| validate_doc(&doc).map(|_| ())),
+            "evaluate" | "sweep" | "dse" => {
+                parse_spec(&text, format).and_then(|doc| run_kind(&command, &doc, &out_dir))
+            }
             other => {
                 eprintln!("unknown subcommand `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -89,8 +145,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_kind(command: &str, text: &str, out_dir: &std::path::Path) -> Result<(), CliError> {
-    let doc = ScenarioDoc::parse(text)?;
+fn run_kind(command: &str, doc: &ScenarioDoc, out_dir: &std::path::Path) -> Result<(), CliError> {
     let kind = doc.experiment();
     let allowed = match command {
         "sweep" => SWEEP_KINDS.contains(&kind),
@@ -103,9 +158,119 @@ fn run_kind(command: &str, text: &str, out_dir: &std::path::Path) -> Result<(), 
              (use `cimloop evaluate`)"
         )));
     }
-    let table = run_scenario(&doc)?;
+    let table = run_scenario(doc)?;
     table.finish_to(out_dir);
     Ok(())
+}
+
+/// `cimloop convert <spec>… [--to yamlite|json]`: decode each spec by
+/// its extension and re-emit it through the reflected data model to
+/// stdout (yamlite via the canonical writer, JSON via the codec).
+fn convert_main(args: &[String]) -> ExitCode {
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut target = SpecFormat::Yamlite;
+    let mut forced: Option<SpecFormat> = None;
+    let mut iter = args.iter().cloned();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--to" => match iter.next().as_deref().and_then(format_name) {
+                Some(format) => target = format,
+                None => return usage_error("--to needs `yamlite` or `json`"),
+            },
+            "--format" => match iter.next().as_deref().and_then(format_name) {
+                Some(format) => forced = Some(format),
+                None => return usage_error("--format needs `yamlite` or `json`"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            path => specs.push(PathBuf::from(path)),
+        }
+    }
+    if specs.is_empty() {
+        return usage_error("convert needs at least one spec file");
+    }
+    for spec in &specs {
+        let text = match std::fs::read_to_string(spec) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match parse_spec(&text, detect_format(spec, forced)) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match target {
+            SpecFormat::Yamlite => print!("{}", doc.write()),
+            SpecFormat::Json => print!("{}", doc.to_json()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cimloop diff <old> <new>`: a field-level structural comparison.
+/// `.tsv` files compare as result tables (row/column paths); anything
+/// else compares as scenario documents through the reflected data
+/// model. Exits 1 when the files differ structurally.
+fn diff_main(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [old, new] = paths.as_slice() else {
+        return usage_error("diff needs exactly two files");
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("{p}: {e}");
+            None
+        }
+    };
+    let (Some(old_text), Some(new_text)) = (read(old), read(new)) else {
+        return ExitCode::FAILURE;
+    };
+    let is_tsv = |p: &str| {
+        Path::new(p)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("tsv"))
+    };
+    let report = if is_tsv(old) && is_tsv(new) {
+        cimloop_bench::diff_tsv(&old_text, &new_text)
+    } else {
+        let parse = |p: &str, text: &str| match parse_spec(text, detect_format(Path::new(p), None))
+        {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                None
+            }
+        };
+        let (Some(old_doc), Some(new_doc)) = (parse(old, &old_text), parse(new, &new_text)) else {
+            return ExitCode::FAILURE;
+        };
+        cimloop_spec::render_diff(&cimloop_spec::diff(
+            &old_doc.to_value(),
+            &new_doc.to_value(),
+        ))
+    };
+    if report.is_empty() {
+        println!("{old} and {new} are structurally identical");
+        ExitCode::SUCCESS
+    } else {
+        print!("{report}");
+        ExitCode::FAILURE
+    }
 }
 
 /// Parses a `--flag N` numeric argument.
@@ -243,7 +408,14 @@ fn request_main(args: &[String]) -> ExitCode {
                 continue;
             }
         };
-        match client.run(&text) {
+        // `.json` specs travel as RUNJSON frames; the daemon decodes
+        // them through the same reflected schemas, so the served TSV is
+        // byte-identical to the yamlite path.
+        let response = match detect_format(spec, None) {
+            SpecFormat::Json => client.run_json(&text),
+            SpecFormat::Yamlite => client.run(&text),
+        };
+        match response {
             Ok(Response::Ok { name, body }) => {
                 if let Err(e) = std::fs::create_dir_all(&out_dir) {
                     eprintln!("cimloop request: cannot create {}: {e}", out_dir.display());

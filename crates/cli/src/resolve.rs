@@ -15,6 +15,7 @@ use cimloop_spec::{ArchitectureSpec, ScenarioDoc, Section, SpecError};
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::Workload;
 
+use crate::schema::ArchitectureSection;
 use crate::CliError;
 
 /// What each evaluation runs as: the bare macro or the full system.
@@ -78,7 +79,8 @@ fn encoding(name: &str) -> Result<Encoding, CliError> {
 /// Propagates parse, preset-lookup, import, and calibration errors.
 pub fn architecture(doc: &ScenarioDoc, arch: &ArchitectureSpec) -> Result<ArrayMacro, CliError> {
     let s = &arch.settings;
-    let mut m = match (&arch.hierarchy, s.str("macro")) {
+    let view = ArchitectureSection::decode(s)?;
+    let mut m = match (&arch.hierarchy, &view.macro_name) {
         (Some(h), None) => ArrayMacro::from_hierarchy(h)?,
         (None, Some(key)) => cimloop_macros::preset(key).ok_or_else(|| {
             CliError::Spec(SpecError::Parse {
@@ -107,63 +109,63 @@ pub fn architecture(doc: &ScenarioDoc, arch: &ArchitectureSpec) -> Result<ArrayM
     // Calibration state first: `frozen` bakes the anchor's scales at the
     // *preset default* configuration, so design sweeps explore variations
     // around the calibrated design (the same discipline as the fig bins).
-    if !s.bool_or("calibrated", true)? {
+    if !view.calibrated {
         m = m.uncalibrated();
     }
-    if s.bool_or("frozen", false)? {
+    if view.frozen {
         m = m.frozen()?;
     }
 
-    if s.contains("rows") || s.contains("cols") {
-        let rows = s.u64("rows")?.unwrap_or(m.rows());
-        let cols = s.u64("cols")?.unwrap_or(m.cols());
+    if view.rows.is_some() || view.cols.is_some() {
+        let rows = view.rows.unwrap_or(m.rows());
+        let cols = view.cols.unwrap_or(m.cols());
         m = m.with_array(rows, cols);
     }
-    if let Some(nm) = s.f64("node_nm")? {
+    if let Some(nm) = view.node_nm {
         m = m.with_node(nm);
     }
-    if let Some(bits) = s.u32("adc_bits")? {
+    if let Some(bits) = view.adc_bits {
         m = m.with_adc_bits(bits);
     }
-    if let Some(rate) = s.f64("adc_rate")? {
+    if let Some(rate) = view.adc_rate {
         let bits = m.adc_bits();
         m = m.with_adc(bits, rate);
     }
-    if let Some(bits) = s.u32("cell_bits")? {
+    if let Some(bits) = view.cell_bits {
         let dac_now = m.dac_bits();
         m = m.with_slicing(dac_now, bits);
     }
-    if let Some(bits) = s.u32("dac_bits")? {
+    if let Some(bits) = view.dac_bits {
         m = m.with_dac_resolution(bits);
     }
-    if let Some(class) = s.str("cell_class") {
+    if let Some(class) = &view.cell_class {
         m = m.with_cell_class(class);
     }
-    if let Some(class) = s.str("dac_class") {
+    if let Some(class) = &view.dac_class {
         m = m.with_dac_class(class);
     }
-    if let Some(banks) = s.u64("storage_banks")? {
+    if let Some(banks) = view.storage_banks {
         m = m.with_storage_banks(banks);
     }
-    if let Some(entries) = s.u64("buffer_entries")? {
+    if let Some(entries) = view.buffer_entries {
         m = m.with_buffer_entries(entries);
     }
-    if let Some(volts) = s.f64("supply_voltage")? {
+    if let Some(volts) = view.supply_voltage {
         m = m.with_supply_voltage(volts);
     }
-    if s.contains("input_encoding") || s.contains("weight_encoding") {
-        let input = encoding(s.str_or("input_encoding", "twos_complement"))?;
-        let weight = encoding(s.str_or("weight_encoding", "offset"))?;
+    if view.input_encoding.is_some() || view.weight_encoding.is_some() {
+        let input = encoding(view.input_encoding.as_deref().unwrap_or("twos_complement"))?;
+        let weight = encoding(view.weight_encoding.as_deref().unwrap_or("offset"))?;
         m = m.with_encodings(input, weight);
     }
-    if let Some(kind) = s.str("combine") {
-        let combine = match kind {
+    if let Some(kind) = &view.combine {
+        let combine = match kind.as_str() {
             "none" => OutputCombine::None,
             "wire_sum" => OutputCombine::WireSum {
-                columns_per_group: s.u64_or("columns_per_group", 1)?,
+                columns_per_group: view.columns_per_group,
             },
             "analog_adder" => OutputCombine::AnalogAdder {
-                operands: s.u32("operands")?.unwrap_or(2),
+                operands: view.operands,
             },
             "analog_accumulator" => OutputCombine::AnalogAccumulator,
             other => {

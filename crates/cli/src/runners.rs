@@ -357,10 +357,11 @@ pub fn compare(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, C
     }
     let mut selected = Vec::with_capacity(rows.len());
     for row in &rows {
-        let label = row.require_str("label")?.to_owned();
-        let want_rows = row.u64("rows")?;
-        let want_dac = row.u32("dac_bits")?;
-        let want_adc = row.u32("adc_bits")?;
+        let sel = crate::schema::RowSection::decode(row)?;
+        let label = sel.label;
+        let want_rows = sel.rows;
+        let want_dac = sel.dac_bits;
+        let want_adc = sel.adc_bits;
         let report = reports
             .iter()
             .find(|r| {
@@ -528,11 +529,11 @@ pub fn speed_record(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTab
         .ok_or_else(|| CliError::usage("scenario has no !Architecture section".to_owned()))?;
     let m = resolve::architecture(doc, arch)?;
     let net = resolve::workload(doc)?;
-    let s = doc.scenario();
-    let exact_layer_count = s.u64_or("exact_layers", 3)? as usize;
-    let search_layers = s.u64_or("search_layers", 4)? as usize;
-    let limit = s.u64_or("mappings_per_layer", 5000)? as usize;
-    let engine_key = s.str_or("engine_model", "vit");
+    let header = crate::schema::ScenarioSection::decode(doc.scenario())?;
+    let exact_layer_count = header.exact_layers as usize;
+    let search_layers = header.search_layers as usize;
+    let limit = header.mappings_per_layer as usize;
+    let engine_key = header.engine_model.as_str();
     let model_key = doc
         .section("Workload")
         .and_then(|w| w.str("model"))

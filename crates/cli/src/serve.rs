@@ -19,10 +19,16 @@
 //!
 //! ```text
 //! RUN <nbytes>\n<nbytes of yamlite scenario document>
+//! RUNJSON <nbytes>\n<nbytes of JSON scenario document>
 //! STATS\n
 //! PING\n
 //! SHUTDOWN\n
 //! ```
+//!
+//! `RUNJSON` carries the same scenario as JSON (the reflection-backed
+//! interchange encoding, [`cimloop_spec::scenario::ScenarioDoc::from_json`]);
+//! both frames resolve through the same reflected schemas and produce
+//! byte-identical TSV responses for equivalent documents.
 //!
 //! Server → client, one response per command:
 //!
@@ -106,9 +112,19 @@ enum JobOutcome {
     Aborted,
 }
 
+/// The encoding of one request body (`RUN` vs `RUNJSON`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFormat {
+    /// The pinned yamlite frontend.
+    Yamlite,
+    /// The reflection-backed JSON interchange encoding.
+    Json,
+}
+
 /// One queued request.
 struct Job {
     spec: String,
+    format: SpecFormat,
     cancel: Arc<AtomicBool>,
     reply: mpsc::Sender<JobOutcome>,
 }
@@ -210,7 +226,7 @@ impl ServerState {
             return;
         }
         let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_request(&job.spec, &self.ctx)
+            run_request(&job.spec, job.format, &self.ctx)
         })) {
             Ok(Ok((name, tsv))) => {
                 self.jobs_run.fetch_add(1, Ordering::Relaxed);
@@ -251,8 +267,15 @@ impl ServerState {
 
 /// Parses and runs one scenario, returning `(name, tsv)` — exactly the
 /// bytes the batch CLI would write to `results/<name>.tsv`.
-fn run_request(spec: &str, ctx: &RunContext) -> Result<(String, String), CliError> {
-    let doc = ScenarioDoc::parse(spec)?;
+fn run_request(
+    spec: &str,
+    format: SpecFormat,
+    ctx: &RunContext,
+) -> Result<(String, String), CliError> {
+    let doc = match format {
+        SpecFormat::Yamlite => ScenarioDoc::parse(spec)?,
+        SpecFormat::Json => ScenarioDoc::from_json(spec)?,
+    };
     let table = run_scenario_with(&doc, ctx)?;
     Ok((table.name().to_owned(), table.to_tsv()))
 }
@@ -478,9 +501,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<
                 state.begin_shutdown();
                 return Ok(());
             }
-            "RUN" => {
+            "RUN" | "RUNJSON" => {
+                let format = if command == "RUNJSON" {
+                    SpecFormat::Json
+                } else {
+                    SpecFormat::Yamlite
+                };
                 let Ok(len) = rest.trim().parse::<u64>() else {
-                    write_err(&mut writer, "RUN needs a byte count: `RUN <nbytes>`")?;
+                    write_err(
+                        &mut writer,
+                        &format!("{command} needs a byte count: `{command} <nbytes>`"),
+                    )?;
                     continue;
                 };
                 if len > MAX_BODY_BYTES {
@@ -494,11 +525,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<
                 }
                 let body = read_body(&mut reader, len)?;
                 let spec = String::from_utf8_lossy(&body).into_owned();
-                serve_run(&mut writer, reader.get_ref(), state, spec)?;
+                serve_run(&mut writer, reader.get_ref(), state, spec, format)?;
             }
             other => write_err(
                 &mut writer,
-                &format!("unknown command `{other}` (expected RUN, STATS, PING, or SHUTDOWN)"),
+                &format!(
+                    "unknown command `{other}` (expected RUN, RUNJSON, STATS, PING, or SHUTDOWN)"
+                ),
             )?,
         }
     }
@@ -512,11 +545,13 @@ fn serve_run(
     probe: &TcpStream,
     state: &Arc<ServerState>,
     spec: String,
+    format: SpecFormat,
 ) -> io::Result<()> {
     let cancel = Arc::new(AtomicBool::new(false));
     let (reply, outcome) = mpsc::channel();
     let job = Job {
         spec,
+        format,
         cancel: Arc::clone(&cancel),
         reply,
     };
@@ -600,8 +635,23 @@ pub mod client {
         /// Propagates protocol I/O failures (an `ERR` response is an
         /// `Ok(Response::Err)`, not an `Err`).
         pub fn run(&mut self, spec: &str) -> io::Result<Response> {
+            self.submit("RUN", spec)
+        }
+
+        /// Submits one JSON-encoded scenario document (a `RUNJSON` frame)
+        /// and awaits its response.
+        ///
+        /// # Errors
+        ///
+        /// Propagates protocol I/O failures (an `ERR` response is an
+        /// `Ok(Response::Err)`, not an `Err`).
+        pub fn run_json(&mut self, spec: &str) -> io::Result<Response> {
+            self.submit("RUNJSON", spec)
+        }
+
+        fn submit(&mut self, verb: &str, spec: &str) -> io::Result<Response> {
             self.writer
-                .write_all(format!("RUN {}\n", spec.len()).as_bytes())?;
+                .write_all(format!("{verb} {}\n", spec.len()).as_bytes())?;
             self.writer.write_all(spec.as_bytes())?;
             self.writer.flush()?;
             self.read_response()
@@ -695,6 +745,7 @@ mod tests {
         (
             Job {
                 spec: spec.to_owned(),
+                format: SpecFormat::Yamlite,
                 cancel: Arc::clone(cancel),
                 reply,
             },
@@ -781,5 +832,15 @@ mod tests {
         }
         let stats = state.stats_json();
         assert!(stats.contains("\"jobs_run\": 1"), "{stats}");
+    }
+
+    #[test]
+    fn runjson_request_is_byte_identical_to_run() {
+        let ctx = RunContext::new();
+        let (name_y, tsv_y) = run_request(TINY_SPEC, SpecFormat::Yamlite, &ctx).unwrap();
+        let json = ScenarioDoc::parse(TINY_SPEC).unwrap().to_json();
+        let (name_j, tsv_j) = run_request(&json, SpecFormat::Json, &ctx).unwrap();
+        assert_eq!(name_y, name_j);
+        assert_eq!(tsv_y, tsv_j, "RUNJSON must serve the batch TSV bytes");
     }
 }

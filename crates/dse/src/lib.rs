@@ -55,7 +55,7 @@ pub use explorer::{
     accuracy_proxy, summarize, AccuracyObjective, DesignReport, EvalScope, Exploration, Explorer,
 };
 pub use pareto::{FrontMember, Objectives, ParetoFront};
-pub use space::{DesignPoint, DesignSpace};
+pub use space::{DesignPoint, DesignSpace, SpaceSection};
 
 // Noise-spec axes parameterize variation-tolerance sweeps; re-exported so
 // DSE callers need no direct `cimloop-noise` dependency.

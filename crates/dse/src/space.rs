@@ -12,6 +12,19 @@ use std::sync::Arc;
 use cimloop_macros::ArrayMacro;
 use cimloop_noise::NoiseSpec;
 
+cimloop_spec::reflect_section! {
+    /// The reflected schema of a `!Space` scenario section: the
+    /// design-space axes (variants come from `!Architecture` sections,
+    /// which the caller resolves).
+    pub struct SpaceSection: "Space" {
+        square_arrays: [list u64], "array-size axis: each n builds an nxn array";
+        dac_bits: [list u32], "DAC-resolution axis, bits";
+        adc_bits: [list u32], "ADC-resolution axis, bits";
+        cell_bits: [list u32], "cell bit-width axis";
+        variations: [list f64], "cell-variation sigma axis, realized as a NoiseSpec axis";
+    }
+}
+
 /// One fully-configured candidate design of a [`DesignSpace`].
 #[derive(Debug, Clone)]
 pub struct DesignPoint {
@@ -194,45 +207,20 @@ impl DesignSpace {
     /// Returns [`cimloop_spec::SpecError::Parse`] on unknown keys or
     /// malformed lists.
     pub fn with_section(
-        mut self,
+        self,
         section: &cimloop_spec::Section,
     ) -> Result<Self, cimloop_spec::SpecError> {
-        for entry in section.entries() {
-            match entry.key.as_str() {
-                "square_arrays" => {
-                    self =
-                        self.square_arrays(section.u64_list("square_arrays")?.unwrap_or_default())
-                }
-                "dac_bits" => {
-                    self = self.dac_bits(section.u32_list("dac_bits")?.unwrap_or_default())
-                }
-                "adc_bits" => {
-                    self = self.adc_bits(section.u32_list("adc_bits")?.unwrap_or_default())
-                }
-                "cell_bits" => {
-                    self = self.cell_bits(section.u32_list("cell_bits")?.unwrap_or_default())
-                }
-                "variations" => {
-                    self = self.noise_specs(
-                        section
-                            .f64_list("variations")?
-                            .unwrap_or_default()
-                            .into_iter()
-                            .map(|sigma| NoiseSpec::new().with_cell_variation(sigma)),
-                    )
-                }
-                other => {
-                    return Err(cimloop_spec::SpecError::Parse {
-                        line: entry.line,
-                        message: format!(
-                            "unknown design-space axis `{other}` (expected square_arrays, \
-                             dac_bits, adc_bits, cell_bits, or variations)"
-                        ),
-                    })
-                }
-            }
-        }
-        Ok(self)
+        let axes = SpaceSection::decode(section)?;
+        Ok(self
+            .square_arrays(axes.square_arrays)
+            .dac_bits(axes.dac_bits)
+            .adc_bits(axes.adc_bits)
+            .cell_bits(axes.cell_bits)
+            .noise_specs(
+                axes.variations
+                    .into_iter()
+                    .map(|sigma| NoiseSpec::new().with_cell_variation(sigma)),
+            ))
     }
 
     /// Thins the grid: only designs for which `keep` returns `true` are

@@ -65,4 +65,4 @@ pub use analysis::{
     output_error, AdcTransfer, NoiseAnalysis, NoiseReport, SigmaBreakdown, SNR_CAP_DB,
 };
 pub use gaussian::{gaussian, noisy_sum};
-pub use spec::NoiseSpec;
+pub use spec::{NoiseSection, NoiseSpec};

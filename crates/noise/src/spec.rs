@@ -113,8 +113,20 @@ impl NoiseSpec {
     }
 }
 
+cimloop_spec::reflect_section! {
+    /// The reflected schema of a `!Noise` scenario section (the typed
+    /// view the generic schema walk decodes into; [`NoiseSpec`] is
+    /// built from it through the sanitizing builders).
+    pub struct NoiseSection: "Noise" {
+        cell_variation: [f64] = 0.0, "relative per-cell conductance/programming variation sigma";
+        read_noise: [f64] = 0.0, "column read-noise sigma, as a fraction of full scale";
+        adc_offset: [f64] = 0.0, "ADC input-offset sigma, in LSBs";
+    }
+}
+
 impl NoiseSpec {
-    /// Parses a `!Noise` scenario section into a spec.
+    /// Parses a `!Noise` scenario section into a spec via the reflected
+    /// [`NoiseSection`] schema.
     ///
     /// Recognized keys (all optional; absent sigmas stay zero):
     /// `cell_variation`, `read_noise`, `adc_offset`.
@@ -138,32 +150,14 @@ impl NoiseSpec {
     ///
     /// Returns [`cimloop_spec::SpecError::Parse`] on non-numeric sigmas or
     /// unknown keys (a typo'd sigma silently defaulting to zero would be
-    /// exactly the failure mode this crate exists to model).
+    /// exactly the failure mode this crate exists to model); unknown keys
+    /// name the nearest valid field.
     pub fn from_section(section: &cimloop_spec::Section) -> Result<Self, cimloop_spec::SpecError> {
-        let mut spec = NoiseSpec::new();
-        for entry in section.entries() {
-            match entry.key.as_str() {
-                "cell_variation" => {
-                    spec = spec.with_cell_variation(section.f64("cell_variation")?.unwrap_or(0.0))
-                }
-                "read_noise" => {
-                    spec = spec.with_read_noise(section.f64("read_noise")?.unwrap_or(0.0))
-                }
-                "adc_offset" => {
-                    spec = spec.with_adc_offset(section.f64("adc_offset")?.unwrap_or(0.0))
-                }
-                other => {
-                    return Err(cimloop_spec::SpecError::Parse {
-                        line: entry.line,
-                        message: format!(
-                            "unknown noise key `{other}` (expected cell_variation, \
-                             read_noise, or adc_offset)"
-                        ),
-                    })
-                }
-            }
-        }
-        Ok(spec)
+        let view = NoiseSection::decode(section)?;
+        Ok(NoiseSpec::new()
+            .with_cell_variation(view.cell_variation)
+            .with_read_noise(view.read_noise)
+            .with_adc_offset(view.adc_offset))
     }
 }
 
@@ -215,10 +209,14 @@ mod tests {
         )
         .unwrap();
         let err = NoiseSpec::from_section(doc.section("Noise").unwrap()).unwrap_err();
-        assert!(matches!(
-            err,
-            cimloop_spec::SpecError::Parse { line: 4, .. }
-        ));
+        let cimloop_spec::SpecError::Parse { line, message } = &err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert_eq!(*line, 4);
+        assert!(
+            message.contains("did you mean `cell_variation`?"),
+            "the misspelled sigma must be diagnosed with the nearest valid field: {message}"
+        );
 
         let doc =
             cimloop_spec::ScenarioDoc::parse("!Scenario\nname: n\n!Noise\nread_noise: lots\n")

@@ -68,7 +68,9 @@
 mod attr;
 mod error;
 mod hierarchy;
+pub mod json;
 mod node;
+pub mod reflect;
 pub mod scenario;
 pub mod yamlite;
 
@@ -76,4 +78,7 @@ pub use attr::{AttrValue, Attributes};
 pub use error::SpecError;
 pub use hierarchy::{Hierarchy, HierarchyBuilder, Level, LevelKind};
 pub use node::{Component, Container, Node, Reuse, Spatial, Tensor, TensorDirectives};
+pub use reflect::{
+    diff, render_diff, DiffEntry, FieldDescriptor, FieldKind, Reflect, Schema, Value,
+};
 pub use scenario::{ArchitectureSpec, Entry, ScalarValue, ScenarioDoc, Section, SpecValue};

@@ -33,8 +33,10 @@
 //! [`AttrValue`], so presentation layers can echo exactly what the author
 //! wrote (`0.10` stays `0.10`, not `0.1`).
 
+use crate::json;
+use crate::reflect::{unknown_key_message, Value};
 use crate::yamlite;
-use crate::{AttrValue, Hierarchy, SpecError};
+use crate::{AttrValue, Component, Container, Hierarchy, Node, Reuse, Spatial, SpecError, Tensor};
 
 /// Section tags that open an inline yamlite component tree rather than a
 /// key-value section.
@@ -50,7 +52,9 @@ pub struct ScalarValue {
 }
 
 impl ScalarValue {
-    fn parse(token: &str) -> Self {
+    /// Parses a raw token with the yamlite scalar rules (int, then
+    /// float, then `true`/`false`, else string), keeping the raw text.
+    pub fn parse(token: &str) -> Self {
         ScalarValue {
             value: yamlite::parse_scalar(token),
             raw: token.to_owned(),
@@ -343,6 +347,86 @@ impl Section {
             .list(key)?
             .map(|items| items.iter().map(|s| s.raw.clone()).collect()))
     }
+
+    /// The section's entries as a reflected ordered map (raw tokens
+    /// preserved; source lines are not part of the reflected value).
+    pub fn value(&self) -> Value {
+        Value::Map(
+            self.entries
+                .iter()
+                .map(|e| (e.key.clone(), spec_value_to_value(&e.value)))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a section from a reflected map. Entries carry line 0
+    /// (reflected documents have no source lines).
+    fn from_value(tag: &str, value: &Value) -> Result<Section, SpecError> {
+        let Value::Map(pairs) = value else {
+            return Err(err0(format!("section !{tag} must be a map of entries")));
+        };
+        let mut entries = Vec::new();
+        for (key, v) in pairs {
+            entries.push(Entry {
+                key: key.clone(),
+                value: value_to_spec_value(key, v)?,
+                line: 0,
+            });
+        }
+        Ok(Section {
+            tag: tag.to_owned(),
+            line: 0,
+            entries,
+        })
+    }
+}
+
+fn err0(message: impl Into<String>) -> SpecError {
+    // Structural (non-textual) document errors have no source line;
+    // line 0 marks "the document as a whole".
+    SpecError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn spec_value_to_value(value: &SpecValue) -> Value {
+    match value {
+        SpecValue::Scalar(s) => Value::Scalar(s.clone()),
+        SpecValue::List(items) => {
+            Value::List(items.iter().map(|s| Value::Scalar(s.clone())).collect())
+        }
+        SpecValue::Map(pairs) => Value::Map(
+            pairs
+                .iter()
+                .map(|(k, s)| (k.clone(), Value::Scalar(s.clone())))
+                .collect(),
+        ),
+    }
+}
+
+fn value_to_spec_value(key: &str, value: &Value) -> Result<SpecValue, SpecError> {
+    match value {
+        Value::Scalar(s) => Ok(SpecValue::Scalar(s.clone())),
+        Value::List(items) => Ok(SpecValue::List(
+            items
+                .iter()
+                .map(|item| match item {
+                    Value::Scalar(s) => Ok(s.clone()),
+                    _ => Err(err0(format!("`{key}` entries must be scalars"))),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Value::Map(pairs) => Ok(SpecValue::Map(
+            pairs
+                .iter()
+                .map(|(k, item)| match item {
+                    Value::Scalar(s) => Ok((k.clone(), s.clone())),
+                    _ => Err(err0(format!("`{key}.{k}` must be a scalar"))),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+    }
 }
 
 /// One `!Architecture` section: its key-value settings plus an optional
@@ -551,6 +635,420 @@ impl ScenarioDoc {
         let tag = tag.to_owned();
         self.sections.iter().filter(move |s| s.tag == tag)
     }
+
+    /// Every plain section (everything but `!Scenario` and
+    /// `!Architecture`), in document order.
+    pub fn plain_sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Serializes the document to canonical yamlite: the `!Scenario`
+    /// section first, then each `!Architecture` (with its inline
+    /// component tree, if any), then the remaining sections in document
+    /// order. Raw scalar tokens are preserved (`0.10` stays `0.10`,
+    /// `1e-9` stays `1e-9`); comments and blank lines are not.
+    ///
+    /// `write` is a fixpoint under [`Self::parse`]:
+    /// `write(parse(write(doc))) == write(doc)` byte-for-byte.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        write_section(&mut out, &self.scenario);
+        for arch in &self.architectures {
+            write_section(&mut out, &arch.settings);
+            if let Some(h) = &arch.hierarchy {
+                out.push_str(&yamlite::write(h));
+            }
+        }
+        for section in &self.sections {
+            write_section(&mut out, section);
+        }
+        out
+    }
+
+    /// The document as a reflected value: a map with `scenario`
+    /// (entries), `architectures` (list of `settings` + optional
+    /// `hierarchy`), and `sections` (list of `tag` + `entries`).
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::map();
+        root.insert("scenario", self.scenario.value());
+        root.insert(
+            "architectures",
+            Value::List(
+                self.architectures
+                    .iter()
+                    .map(|arch| {
+                        let mut m = Value::map();
+                        m.insert("settings", arch.settings.value());
+                        if let Some(h) = &arch.hierarchy {
+                            m.insert("hierarchy", hierarchy_to_value(h));
+                        }
+                        m
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "sections",
+            Value::List(
+                self.sections
+                    .iter()
+                    .map(|section| {
+                        let mut m = Value::map();
+                        m.insert("tag", Value::scalar(&section.tag));
+                        m.insert("entries", section.value());
+                        m
+                    })
+                    .collect(),
+            ),
+        );
+        root
+    }
+
+    /// Rebuilds a document from a reflected value (the inverse of
+    /// [`Self::to_value`]). Reconstructed sections carry line 0, so
+    /// later schema errors cite the document as a whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on structural mismatches (missing
+    /// `scenario`, non-map sections, unknown document keys, invalid
+    /// hierarchy nodes).
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let Value::Map(pairs) = value else {
+            return Err(err0("scenario document must be a map"));
+        };
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "scenario" | "architectures" | "sections") {
+                return Err(err0(format!(
+                    "unknown document key `{key}` (expected scenario, architectures, sections)"
+                )));
+            }
+        }
+        let scenario = Section::from_value(
+            "Scenario",
+            value
+                .get("scenario")
+                .ok_or_else(|| err0("document has no `scenario` key"))?,
+        )?;
+        let mut architectures = Vec::new();
+        if let Some(archs) = value.get("architectures") {
+            let items = archs
+                .items()
+                .ok_or_else(|| err0("`architectures` must be a list"))?;
+            for item in items {
+                if let Value::Map(pairs) = item {
+                    for (key, _) in pairs {
+                        if !matches!(key.as_str(), "settings" | "hierarchy") {
+                            return Err(err0(format!(
+                                "unknown architecture key `{key}` (expected settings, hierarchy)"
+                            )));
+                        }
+                    }
+                }
+                let settings = Section::from_value(
+                    "Architecture",
+                    item.get("settings")
+                        .ok_or_else(|| err0("architecture is missing `settings`"))?,
+                )?;
+                let hierarchy = item
+                    .get("hierarchy")
+                    .map(hierarchy_from_value)
+                    .transpose()?;
+                architectures.push(ArchitectureSpec {
+                    settings,
+                    hierarchy,
+                });
+            }
+        }
+        let mut sections = Vec::new();
+        if let Some(list) = value.get("sections") {
+            let items = list
+                .items()
+                .ok_or_else(|| err0("`sections` must be a list"))?;
+            for item in items {
+                let tag = item
+                    .get("tag")
+                    .and_then(Value::raw)
+                    .ok_or_else(|| err0("section is missing a scalar `tag`"))?;
+                if tag == "Scenario" || tag == "Architecture" || NODE_TAGS.contains(&tag) {
+                    return Err(err0(format!(
+                        "section tag `{tag}` is reserved (use the scenario/architectures keys)"
+                    )));
+                }
+                let entries = item
+                    .get("entries")
+                    .ok_or_else(|| err0(format!("section !{tag} is missing `entries`")))?;
+                sections.push(Section::from_value(tag, entries)?);
+            }
+        }
+        Ok(ScenarioDoc {
+            scenario,
+            architectures,
+            sections,
+        })
+    }
+
+    /// Serializes the document as JSON (see [`crate::json`]): the same
+    /// reflected value the yamlite writer uses, so
+    /// yamlite → JSON → yamlite round-trips byte-identically.
+    pub fn to_json(&self) -> String {
+        json::to_json(&self.to_value())
+    }
+
+    /// Parses a JSON scenario document (the inverse of
+    /// [`Self::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] with the JSON source line on
+    /// malformed JSON, plus the structural errors of
+    /// [`Self::from_value`].
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        Self::from_value(&json::parse(text)?)
+    }
+}
+
+fn write_section(out: &mut String, section: &Section) {
+    out.push('!');
+    out.push_str(&section.tag);
+    out.push('\n');
+    for entry in &section.entries {
+        match &entry.value {
+            SpecValue::Scalar(s) => {
+                if s.raw.is_empty() {
+                    out.push_str(&format!("{}:\n", entry.key));
+                } else {
+                    out.push_str(&format!("{}: {}\n", entry.key, s.raw));
+                }
+            }
+            SpecValue::List(items) => {
+                let tokens: Vec<&str> = items.iter().map(|s| s.raw.as_str()).collect();
+                out.push_str(&format!("{}: [{}]\n", entry.key, tokens.join(", ")));
+            }
+            SpecValue::Map(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str(&format!("{}: {{}}\n", entry.key));
+                } else {
+                    let tokens: Vec<String> = pairs
+                        .iter()
+                        .map(|(k, s)| format!("{k}: {}", s.raw))
+                        .collect();
+                    out.push_str(&format!("{}: {{ {} }}\n", entry.key, tokens.join(", ")));
+                }
+            }
+        }
+    }
+}
+
+const NODE_KINDS: [(&str, Reuse); 3] = [
+    ("temporal_reuse", Reuse::Temporal),
+    ("coalesce", Reuse::Coalesce),
+    ("no_coalesce", Reuse::NoCoalesce),
+];
+
+fn hierarchy_to_value(hierarchy: &Hierarchy) -> Value {
+    let mut nodes = Vec::new();
+    for node in hierarchy.nodes() {
+        let mut m = Value::map();
+        match node {
+            Node::Component(c) => {
+                m.insert("node", Value::scalar("Component"));
+                m.insert("name", Value::scalar(c.name()));
+                if !c.class().is_empty() {
+                    m.insert("class", Value::scalar(c.class()));
+                }
+                for (key, reuse) in NODE_KINDS {
+                    let tensors: Vec<Value> = Tensor::ALL
+                        .into_iter()
+                        .filter(|&t| c.reuse(t) == reuse)
+                        .map(|t| Value::scalar(t.name()))
+                        .collect();
+                    if !tensors.is_empty() {
+                        m.insert(key, Value::List(tensors));
+                    }
+                }
+                push_spatial(&mut m, c.spatial(), |t| c.spatial_reuse(t));
+                push_attrs(&mut m, c.attributes());
+            }
+            Node::Container(c) => {
+                m.insert("node", Value::scalar("Container"));
+                m.insert("name", Value::scalar(c.name()));
+                push_spatial(&mut m, c.spatial(), |t| c.spatial_reuse(t));
+                push_attrs(&mut m, c.attributes());
+            }
+        }
+        nodes.push(m);
+    }
+    Value::List(nodes)
+}
+
+fn push_spatial(m: &mut Value, spatial: Spatial, reused: impl Fn(Tensor) -> bool) {
+    if spatial.fanout() > 1 {
+        let mut sp = Value::map();
+        sp.insert("meshX", Value::scalar(&spatial.mesh_x.to_string()));
+        sp.insert("meshY", Value::scalar(&spatial.mesh_y.to_string()));
+        m.insert("spatial", sp);
+    }
+    let tensors: Vec<Value> = Tensor::ALL
+        .into_iter()
+        .filter(|&t| reused(t))
+        .map(|t| Value::scalar(t.name()))
+        .collect();
+    if !tensors.is_empty() {
+        m.insert("spatial_reuse", Value::List(tensors));
+    }
+}
+
+fn push_attrs(m: &mut Value, attrs: &crate::Attributes) {
+    let pairs: Vec<(String, Value)> = attrs
+        .iter()
+        .map(|(k, v)| (k.to_owned(), Value::scalar(&yamlite::attr_to_text(v))))
+        .collect();
+    if !pairs.is_empty() {
+        m.insert("attributes", Value::Map(pairs));
+    }
+}
+
+fn hierarchy_from_value(value: &Value) -> Result<Hierarchy, SpecError> {
+    let items = value
+        .items()
+        .ok_or_else(|| err0("`hierarchy` must be a list of nodes"))?;
+    let nodes = items
+        .iter()
+        .map(node_from_value)
+        .collect::<Result<Vec<Node>, _>>()?;
+    Hierarchy::from_nodes(nodes)
+}
+
+fn node_from_value(value: &Value) -> Result<Node, SpecError> {
+    const COMPONENT_KEYS: [&str; 8] = [
+        "node",
+        "name",
+        "class",
+        "temporal_reuse",
+        "coalesce",
+        "no_coalesce",
+        "spatial",
+        "spatial_reuse",
+    ];
+    const CONTAINER_KEYS: [&str; 4] = ["node", "name", "spatial", "spatial_reuse"];
+    let Value::Map(pairs) = value else {
+        return Err(err0("hierarchy node must be a map"));
+    };
+    let kind = value
+        .get("node")
+        .and_then(Value::raw)
+        .ok_or_else(|| err0("hierarchy node is missing `node` (Component or Container)"))?;
+    let name = value
+        .get("name")
+        .and_then(Value::raw)
+        .ok_or_else(|| err0("hierarchy node is missing `name`"))?;
+
+    let valid: &[&str] = match kind {
+        "Component" => &COMPONENT_KEYS,
+        "Container" => &CONTAINER_KEYS,
+        other => {
+            return Err(err0(format!(
+                "unknown node kind `{other}` (expected Component or Container)"
+            )))
+        }
+    };
+    for (key, _) in pairs {
+        if !valid.contains(&key.as_str()) && key != "attributes" {
+            return Err(err0(unknown_key_message(
+                key,
+                kind,
+                valid.iter().copied().chain(std::iter::once("attributes")),
+            )));
+        }
+    }
+
+    let mut spatial = Spatial::UNIT;
+    if let Some(sp) = value.get("spatial") {
+        let Value::Map(sp_pairs) = sp else {
+            return Err(err0("`spatial` must be a map"));
+        };
+        for (key, v) in sp_pairs {
+            let n = v
+                .raw()
+                .and_then(|raw| raw.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| err0("mesh size must be a positive integer"))?;
+            match key.as_str() {
+                "meshX" | "mesh_x" => spatial.mesh_x = n,
+                "meshY" | "mesh_y" => spatial.mesh_y = n,
+                other => return Err(err0(format!("unknown spatial key `{other}`"))),
+            }
+        }
+    }
+    let tensors = |key: &str| -> Result<Vec<Tensor>, SpecError> {
+        let Some(v) = value.get(key) else {
+            return Ok(Vec::new());
+        };
+        let items = v
+            .items()
+            .ok_or_else(|| err0(format!("`{key}` must be a list of tensors")))?;
+        items
+            .iter()
+            .map(|item| {
+                item.raw().and_then(Tensor::parse).ok_or_else(|| {
+                    err0(format!(
+                        "unknown tensor in `{key}` (expected Inputs/Weights/Outputs)"
+                    ))
+                })
+            })
+            .collect()
+    };
+    let attrs = collect_attrs(value)?;
+
+    match kind {
+        "Component" => {
+            let mut c = Component::new(name);
+            if let Some(class) = value.get("class").and_then(Value::raw) {
+                c = c.with_class(class);
+            }
+            for (key, reuse) in NODE_KINDS {
+                for tensor in tensors(key)? {
+                    c = c.with_reuse(tensor, reuse);
+                }
+            }
+            c = c.with_spatial(spatial);
+            for tensor in tensors("spatial_reuse")? {
+                c = c.with_spatial_reuse(tensor);
+            }
+            for (k, v) in attrs {
+                c = c.with_attr(k, v);
+            }
+            Ok(Node::Component(c))
+        }
+        _ => {
+            let mut c = Container::new(name);
+            c = c.with_spatial(spatial);
+            for tensor in tensors("spatial_reuse")? {
+                c = c.with_spatial_reuse(tensor);
+            }
+            for (k, v) in attrs {
+                c = c.with_attr(k, v);
+            }
+            Ok(Node::Container(c))
+        }
+    }
+}
+
+fn collect_attrs(value: &Value) -> Result<Vec<(String, AttrValue)>, SpecError> {
+    let Some(v) = value.get("attributes") else {
+        return Ok(Vec::new());
+    };
+    let Value::Map(attr_pairs) = v else {
+        return Err(err0("`attributes` must be a map"));
+    };
+    attr_pairs
+        .iter()
+        .map(|(key, item)| match item {
+            Value::Scalar(s) => Ok((key.clone(), s.value.clone())),
+            _ => Err(err0(format!("attribute `{key}` must be a scalar"))),
+        })
+        .collect()
 }
 
 fn parse_value(value: &str, line_no: usize) -> Result<SpecValue, SpecError> {
@@ -687,6 +1185,64 @@ model: mvm
     fn entries_before_any_section_rejected() {
         let err = ScenarioDoc::parse("name: orphan\n").unwrap_err();
         assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn write_is_a_fixpoint_and_preserves_raw_tokens() {
+        // Regression (raw-token drift): scientific-notation and negative
+        // scalars must survive parse → reflect → serialize byte-identically.
+        let text = "!Scenario\nname: fixpoint\nexperiment: sweep\n\
+                    !Architecture\nmacro: base\nsupply_voltage: -0.5\nadc_rate: 1e-9\n\
+                    !Sweep\nvariations: [0.00, 1e-9, -0.5]\nmetrics: [snr_db]\n\
+                    !Noise\ncell_variation: 0.10\n";
+        let doc = ScenarioDoc::parse(text).unwrap();
+        let written = doc.write();
+        assert_eq!(
+            written, text,
+            "canonical input must re-serialize byte-identically"
+        );
+        let redoc = ScenarioDoc::parse(&written).unwrap();
+        assert_eq!(redoc.write(), written, "write is a fixpoint under parse");
+        assert!(
+            crate::reflect::diff(&doc.to_value(), &redoc.to_value()).is_empty(),
+            "reflected values agree"
+        );
+    }
+
+    #[test]
+    fn yamlite_json_yamlite_roundtrip_is_byte_identical() {
+        let doc = ScenarioDoc::parse(DOC).unwrap();
+        let json = doc.to_json();
+        let redoc = ScenarioDoc::from_json(&json).unwrap();
+        assert_eq!(redoc.write(), doc.write());
+        assert_eq!(redoc.to_json(), json, "JSON is stable too");
+        // Raw tokens carried through JSON: `0.00` stays `0.00`.
+        assert!(redoc.write().contains("variations: [0.00, 0.05]"));
+    }
+
+    #[test]
+    fn inline_trees_roundtrip_through_value_and_json() {
+        let text = "!Scenario\nname: tree\n!Architecture\nrows: 16\n\
+                    !Component\nname: buffer\nclass: sram\ntemporal_reuse: [Inputs, Outputs]\n\
+                    !Container\nname: column\nspatial: { meshX: 4, meshY: 1 }\nspatial_reuse: [Inputs]\n\
+                    !Component\nname: cell\ntemporal_reuse: [Weights]\nresolution: 8\n\
+                    !Workload\nmodel: mvm\n";
+        let doc = ScenarioDoc::parse(text).unwrap();
+        let redoc = ScenarioDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(
+            redoc.architecture().unwrap().hierarchy,
+            doc.architecture().unwrap().hierarchy
+        );
+        assert_eq!(redoc.write(), doc.write());
+    }
+
+    #[test]
+    fn from_value_rejects_unknown_document_keys() {
+        let doc = ScenarioDoc::parse(DOC).unwrap();
+        let mut v = doc.to_value();
+        v.insert("scneario", Value::map());
+        let err = ScenarioDoc::from_value(&v).unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }), "{err:?}");
     }
 
     #[test]

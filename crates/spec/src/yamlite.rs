@@ -101,7 +101,7 @@ pub fn write(hierarchy: &Hierarchy) -> String {
     out
 }
 
-fn attr_to_text(v: &AttrValue) -> String {
+pub(crate) fn attr_to_text(v: &AttrValue) -> String {
     match v {
         AttrValue::Str(s) => s.clone(),
         other => other.to_string(),

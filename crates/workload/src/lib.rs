@@ -45,3 +45,4 @@ pub use dim::{relevant_dims, Dim, Shape};
 pub use dist::ValueProfile;
 pub use error::WorkloadError;
 pub use layer::{Layer, LayerKind, Workload};
+pub use scenario::{LayerSection, WorkloadSection};

@@ -41,6 +41,51 @@ fn err(line: usize, message: String) -> SpecError {
     SpecError::Parse { line, message }
 }
 
+cimloop_spec::reflect_section! {
+    /// The reflected schema of a `!Workload` section. Unknown keys are
+    /// rejected by the schema walk (a typo'd key used to be silently
+    /// ignored here).
+    pub struct WorkloadSection: "Workload" {
+        model: [opt str], "zoo model key (resnet18, mobilenet, vit, gpt2, alexnet, bert, mvm)";
+        name: [opt str], "custom-network name (layers come from !Layer sections)";
+        rows: [u64] = 256, "mvm rows";
+        cols: [u64] = 256, "mvm columns";
+        batch: [u64] = 256, "mvm batch size";
+        prefix: [opt u64], "truncate the model to its first N layers";
+        unroll: [bool] = false, "expand the model to execution order";
+        input_bits: [opt u32], "whole-network input precision override";
+        weight_bits: [opt u32], "whole-network weight precision override";
+    }
+}
+
+cimloop_spec::reflect_section! {
+    /// The reflected schema of a `!Layer` section.
+    pub struct LayerSection: "Layer" {
+        name: [req str], "layer name";
+        kind: [str] = "conv", "layer kind: conv, dwconv, or linear";
+        n: [u64] = 1, "batch (linear)";
+        k: [u64] = 1, "output channels";
+        c: [u64] = 1, "input channels";
+        p: [u64] = 1, "output height (conv)";
+        q: [u64] = 1, "output width (conv)";
+        r: [u64] = 1, "filter height (conv)";
+        s: [u64] = 1, "filter width (conv)";
+        count: [opt u64], "repeat count";
+        input_bits: [opt u32], "input precision, bits";
+        weight_bits: [opt u32], "weight precision, bits";
+        input_signed: [opt bool], "inputs are signed";
+        weight_signed: [opt bool], "weights are signed";
+        input_profile: [opt str], "input value profile (relu, dense, gaussian, uniform, uniform_signed, constant)";
+        weight_profile: [opt str], "weight value profile";
+        sparsity: [opt f64], "input profile sparsity";
+        sigma: [opt f64], "input profile sigma";
+        value: [opt f64], "input constant-profile value";
+        weight_sparsity: [opt f64], "weight profile sparsity";
+        weight_sigma: [opt f64], "weight profile sigma";
+        weight_value: [opt f64], "weight constant-profile value";
+    }
+}
+
 /// Resolves a zoo model by its scenario key.
 ///
 /// Recognized keys: `resnet18`, `mobilenet_v3_large` (alias `mobilenet`),
@@ -83,14 +128,10 @@ pub fn display_name(key: &str) -> &str {
 /// Returns [`SpecError::Parse`] with a line number on unknown models,
 /// missing dimensions, or malformed layer declarations.
 pub fn from_sections(workload: &Section, layers: &[&Section]) -> Result<Workload, SpecError> {
-    let mut net = match workload.str("model") {
-        Some(model) => {
-            let rows = workload.u64_or("rows", 256)?;
-            let cols = workload.u64_or("cols", 256)?;
-            let batch = workload.u64_or("batch", 256)?;
-            zoo_model(model, rows, cols, batch)
-                .ok_or_else(|| err(workload.line(), format!("unknown workload model `{model}`")))?
-        }
+    let view = WorkloadSection::decode(workload)?;
+    let mut net = match &view.model {
+        Some(model) => zoo_model(model, view.rows, view.cols, view.batch)
+            .ok_or_else(|| err(workload.line(), format!("unknown workload model `{model}`")))?,
         None => {
             if layers.is_empty() {
                 return Err(err(
@@ -98,7 +139,7 @@ pub fn from_sections(workload: &Section, layers: &[&Section]) -> Result<Workload
                     "!Workload needs either `model:` or at least one !Layer section".to_owned(),
                 ));
             }
-            let name = workload.str_or("name", "custom").to_owned();
+            let name = view.name.clone().unwrap_or_else(|| "custom".to_owned());
             let parsed: Vec<Layer> = layers
                 .iter()
                 .map(|s| layer_from_section(s))
@@ -108,17 +149,17 @@ pub fn from_sections(workload: &Section, layers: &[&Section]) -> Result<Workload
         }
     };
 
-    if let Some(prefix) = workload.u64("prefix")? {
+    if let Some(prefix) = view.prefix {
         let n = (prefix as usize).clamp(1, net.layers().len());
         net = Workload::new(format!("{}-prefix", net.name()), net.layers()[..n].to_vec())
             .expect("prefix is at least one layer");
     }
-    if workload.bool_or("unroll", false)? {
+    if view.unroll {
         net = net.unrolled();
     }
     // Whole-network precision overrides (e.g. a 4b/4b quantized run).
-    let input_bits = workload.u32("input_bits")?;
-    let weight_bits = workload.u32("weight_bits")?;
+    let input_bits = view.input_bits;
+    let weight_bits = view.weight_bits;
     if input_bits.is_some() || weight_bits.is_some() {
         let layers = net
             .layers()
@@ -140,8 +181,8 @@ pub fn from_sections(workload: &Section, layers: &[&Section]) -> Result<Workload
 }
 
 fn layer_from_section(section: &Section) -> Result<Layer, SpecError> {
-    let name = section.require_str("name")?.to_owned();
-    let kind = match section.str_or("kind", "conv") {
+    let view = LayerSection::decode(section)?;
+    let kind = match view.kind.as_str() {
         "conv" => LayerKind::Conv,
         "dwconv" | "depthwise" => LayerKind::DepthwiseConv,
         "linear" | "fc" | "matmul" => LayerKind::Linear,
@@ -152,82 +193,81 @@ fn layer_from_section(section: &Section) -> Result<Layer, SpecError> {
             ))
         }
     };
-    let dim = |key: &str, default: u64| section.u64_or(key, default);
     let shape = match kind {
-        LayerKind::Linear => Shape::linear(dim("n", 1)?, dim("k", 1)?, dim("c", 1)?),
-        _ => Shape::conv(
-            dim("k", 1)?,
-            dim("c", 1)?,
-            dim("p", 1)?,
-            dim("q", 1)?,
-            dim("r", 1)?,
-            dim("s", 1)?,
-        ),
+        LayerKind::Linear => Shape::linear(view.n, view.k, view.c),
+        _ => Shape::conv(view.k, view.c, view.p, view.q, view.r, view.s),
     }
     .map_err(|e| err(section.line(), format!("invalid layer shape: {e}")))?;
 
-    let mut layer = Layer::new(name, kind, shape);
-    if let Some(count) = section.u64("count")? {
+    let mut layer = Layer::new(view.name.clone(), kind, shape);
+    if let Some(count) = view.count {
         layer = layer.with_count(count);
     }
-    if let Some(bits) = section.u32("input_bits")? {
+    if let Some(bits) = view.input_bits {
         layer = layer.with_input_bits(bits);
     }
-    if let Some(bits) = section.u32("weight_bits")? {
+    if let Some(bits) = view.weight_bits {
         layer = layer.with_weight_bits(bits);
     }
-    if let Some(signed) = section.bool("input_signed")? {
+    if let Some(signed) = view.input_signed {
         layer = layer.with_input_signed(signed);
     }
-    if let Some(signed) = section.bool("weight_signed")? {
+    if let Some(signed) = view.weight_signed {
         layer = layer.with_weight_signed(signed);
     }
-    if let Some(profile) = profile_from_section(section, "input_profile")? {
+    let input_params = ProfileParams {
+        sparsity: view.sparsity,
+        sigma: view.sigma,
+        value: view.value,
+    };
+    if let Some(profile) = profile_from_view(&view.input_profile, input_params, section.line())? {
         layer = layer.with_input_profile(profile);
     }
-    if let Some(profile) = profile_from_section(section, "weight_profile")? {
+    let weight_params = ProfileParams {
+        sparsity: view.weight_sparsity,
+        sigma: view.weight_sigma,
+        value: view.weight_value,
+    };
+    if let Some(profile) = profile_from_view(&view.weight_profile, weight_params, section.line())? {
         layer = layer.with_weight_profile(profile);
     }
     Ok(layer)
 }
 
-/// Parses a value-profile declaration: the profile kind under `key`, with
-/// its parameters drawn from sibling keys (`sparsity`, `sigma`, `value`
-/// for input profiles; `weight_sigma`, `weight_value` for weights).
-fn profile_from_section(section: &Section, key: &str) -> Result<Option<ValueProfile>, SpecError> {
-    let Some(kind) = section.str(key) else {
+/// Parameters of a value-profile declaration, drawn from the sibling
+/// keys of a `!Layer` section (`sparsity`/`sigma`/`value` for the input
+/// profile; the `weight_`-prefixed trio for the weight profile).
+struct ProfileParams {
+    sparsity: Option<f64>,
+    sigma: Option<f64>,
+    value: Option<f64>,
+}
+
+fn profile_from_view(
+    kind: &Option<String>,
+    params: ProfileParams,
+    line: usize,
+) -> Result<Option<ValueProfile>, SpecError> {
+    let Some(kind) = kind else {
         return Ok(None);
     };
-    let prefixed = |name: &str| -> String {
-        if key == "weight_profile" {
-            format!("weight_{name}")
-        } else {
-            name.to_owned()
-        }
-    };
-    let sigma = section.f64(&prefixed("sigma"))?;
-    let profile = match kind {
+    let profile = match kind.as_str() {
         "relu" => ValueProfile::ReluActivations {
-            sparsity: section.f64(&prefixed("sparsity"))?.unwrap_or(0.5),
-            sigma: sigma.unwrap_or(0.2),
+            sparsity: params.sparsity.unwrap_or(0.5),
+            sigma: params.sigma.unwrap_or(0.2),
         },
         "dense" | "dense_signed" => ValueProfile::DenseSigned {
-            sigma: sigma.unwrap_or(0.15),
+            sigma: params.sigma.unwrap_or(0.15),
         },
         "gaussian" | "gaussian_weights" => ValueProfile::GaussianWeights {
-            sigma: sigma.unwrap_or(0.12),
+            sigma: params.sigma.unwrap_or(0.12),
         },
         "uniform" | "uniform_unsigned" => ValueProfile::UniformUnsigned,
         "uniform_signed" => ValueProfile::UniformSigned,
-        "constant" => ValueProfile::Constant(
-            section
-                .f64(&prefixed("value"))?
-                .map(|v| v as i64)
-                .unwrap_or(1),
-        ),
+        "constant" => ValueProfile::Constant(params.value.map(|v| v as i64).unwrap_or(1)),
         other => {
             return Err(err(
-                section.line(),
+                line,
                 format!(
                     "unknown value profile `{other}` (expected relu, dense, gaussian, \
                      uniform, uniform_signed, or constant)"
