@@ -14,8 +14,11 @@ use std::time::Duration;
 
 use criterion::{black_box, entry_mean_ns, finalize, record_metric, Criterion};
 
-use cimloop_bench::{fig2_design_space, fig2_workload, naive_system_front, FIG2_SCENARIO};
-use cimloop_dse::{DesignReport, EvalScope, Explorer, FrontMember, ParetoFront};
+use cimloop_bench::{
+    fig2_design_space, fig2_workload, naive_system_front, scale_design_space, scale_subsample,
+    scale_workload, FIG2_SCENARIO,
+};
+use cimloop_dse::{DesignReport, EvalScope, Explorer, FrontMember, ParetoFront, SweepPlan};
 
 fn front_key(front: &ParetoFront<DesignReport>) -> Vec<(u64, [f64; 4])> {
     front
@@ -105,6 +108,62 @@ fn main() {
         entry_mean_ns("dse/sweep_explorer_warm"),
     ) {
         record_metric("dse_speedup_naive_over_warm", naive_ns / warm_ns);
+    }
+
+    // The ISSUE 8 staged-evaluation trajectory: a deterministic subsample
+    // of the quick scale grid (noise-twin windows, so the fingerprint
+    // dedup has real work) swept staged vs plain, fronts asserted
+    // bit-identical, speedup recorded alongside the explorer numbers.
+    // Full-grid (≥10^5 candidates) numbers come from the `dse_scale` bin.
+    let subsample = scale_subsample(scale_design_space(true), 120, 8);
+    let scale_net = scale_workload();
+    let staged_plan = SweepPlan {
+        staged: true,
+        ..SweepPlan::new()
+    };
+    let staged_result = RefCell::new(None);
+    let plain_result = RefCell::new(None);
+    let mut group = c.benchmark_group("dse_scale");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("subsample_staged", |b| {
+        b.iter(|| {
+            let exploration = Explorer::with_adc_coverage_accuracy()
+                .sweep(&subsample, &scale_net, &staged_plan)
+                .expect("staged subsample sweep");
+            *staged_result.borrow_mut() = Some(front_key(&exploration.front));
+            black_box(exploration.front.len())
+        })
+    });
+    group.bench_function("subsample_naive", |b| {
+        b.iter(|| {
+            let exploration = Explorer::with_adc_coverage_accuracy()
+                .sweep(&subsample, &scale_net, &SweepPlan::new())
+                .expect("plain subsample sweep");
+            *plain_result.borrow_mut() = Some(front_key(&exploration.front));
+            black_box(exploration.front.len())
+        })
+    });
+    group.finish();
+    let staged = staged_result.borrow();
+    let plain = plain_result.borrow();
+    if let (Some(staged), Some(plain)) = (staged.as_ref(), plain.as_ref()) {
+        assert_eq!(
+            staged, plain,
+            "staged front diverged from the plain unstaged sweep"
+        );
+        println!(
+            "staged and naive fronts bit-identical on the scale subsample ({} members)",
+            staged.len()
+        );
+    }
+    if let (Some(naive_ns), Some(staged_ns)) = (
+        entry_mean_ns("dse_scale/subsample_naive"),
+        entry_mean_ns("dse_scale/subsample_staged"),
+    ) {
+        let speedup = naive_ns / staged_ns;
+        println!("dse staged speedup (naive subsample / staged subsample): {speedup:.1}x");
+        record_metric("dse_scale_speedup_staged_over_naive", speedup);
     }
     finalize();
 }

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use cimloop_core::{CoreError, EnergyTableCache, NoiseSpec};
 use cimloop_dse::{summarize, DesignReport, DesignSpace, Explorer, ParetoFront};
 use cimloop_macros::{base_macro, macro_c, ArrayMacro, OutputCombine};
+use cimloop_spec::reflect::Value;
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::{models, Workload};
 
@@ -302,6 +303,51 @@ pub fn naive_system_front(
     front
 }
 
+/// The production-scale DSE grid (ISSUE 8): 96 distinct macro
+/// configurations (2 output-combining variants × 4 array sizes × 2 DAC ×
+/// 3 ADC × 2 cell widths) crossed with a dense cell-variation noise axis,
+/// for ≥10^5 grid candidates (1200 sigmas → 115 200; the quick grid's
+/// 120 sigmas → 11 520). Under the ADC-coverage accuracy objective the
+/// noise axis provably never changes any objective, so the staged
+/// pre-pass collapses each noise orbit to its smallest-id representative
+/// — the grid sweeps in ~96 full evaluations instead of ~10^5.
+pub fn scale_design_space(quick: bool) -> DesignSpace {
+    let sigmas = if quick { 120 } else { 1200 };
+    DesignSpace::new()
+        .variant("direct", base_macro().uncalibrated())
+        .variant(
+            "accum",
+            base_macro()
+                .uncalibrated()
+                .with_output_combine(OutputCombine::AnalogAccumulator),
+        )
+        .square_arrays([32, 64, 128, 256])
+        .dac_bits([1, 2])
+        .adc_bits([4, 6, 8])
+        .cell_bits([1, 2])
+        .noise_specs(
+            (0..sigmas).map(|i| {
+                NoiseSpec::new().with_cell_variation(f64::from(i) * 0.25 / f64::from(sigmas))
+            }),
+        )
+}
+
+/// The scale grid's workload: one matched matrix-vector product — the
+/// point of `dse_scale` is sweep mechanics (staging, pruning, sharding),
+/// not workload realism, so evaluation stays as cheap as possible.
+pub fn scale_workload() -> Workload {
+    models::mvm(64, 64)
+}
+
+/// Thins `space` to the deterministic subsample the staged-vs-naive
+/// bit-identity check runs on: `span` consecutive grid ids out of every
+/// `stride` (consecutive ids differ only along the innermost noise axis,
+/// so each kept window carries noise-twins for the staged pass to prune).
+/// Ids are assigned before filtering, so the subsample is stable.
+pub fn scale_subsample(space: DesignSpace, stride: u64, span: u64) -> DesignSpace {
+    space.filter(move |p| p.id() % stride < span)
+}
+
 /// Explores `space` on `workload` and returns *every* evaluated design's
 /// report in id order (not just the Pareto front) — the shape the figure
 /// binaries need for their row-per-design tables. Small grids only; big
@@ -351,6 +397,98 @@ pub fn write_bench_json(
     }
     out.push_str("  ],\n  \"metrics\": {");
     for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{name}\": {value:.6}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    out.push_str("}\n}\n");
+    if let Err(e) = fs::write(path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  [written {}]", path.display());
+    }
+}
+
+/// [`write_bench_json`] that *merges* into an existing artifact instead
+/// of replacing it: entries and metrics are keyed by name, this run's
+/// values win on collision, and everything the existing file tracked but
+/// this run didn't re-measure survives untouched. This lets independent
+/// binaries (`dse_sweep`, `dse_scale`) share one `BENCH_dse.json`
+/// trajectory file. `quick` only marks the file quick when every
+/// contributing run was quick — a full baseline is never demoted by a
+/// later smoke run.
+pub fn merge_bench_json(
+    path: &std::path::Path,
+    quick: bool,
+    entries: &[(&str, f64)],
+    metrics: &[(&str, f64)],
+) {
+    let mut merged_entries: Vec<(String, f64)> = Vec::new();
+    let mut merged_metrics: Vec<(String, f64)> = Vec::new();
+    let mut merged_quick = quick;
+    if let Ok(text) = fs::read_to_string(path) {
+        match cimloop_spec::json::parse(&text) {
+            Ok(root) => {
+                merged_quick = quick && root.get("quick").and_then(Value::raw) == Some("true");
+                for item in root
+                    .get("entries")
+                    .and_then(Value::items)
+                    .unwrap_or_default()
+                {
+                    let name = item.get("name").and_then(Value::raw);
+                    let ns = item
+                        .get("mean_ns")
+                        .and_then(Value::raw)
+                        .and_then(|raw| raw.parse::<f64>().ok());
+                    if let (Some(name), Some(ns)) = (name, ns) {
+                        merged_entries.push((name.to_owned(), ns));
+                    }
+                }
+                if let Some(Value::Map(pairs)) = root.get("metrics") {
+                    for (name, value) in pairs {
+                        if let Some(v) = value.raw().and_then(|raw| raw.parse::<f64>().ok()) {
+                            merged_metrics.push((name.clone(), v));
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!(
+                "warning: {} exists but does not parse ({e}); rewriting it from this run alone",
+                path.display()
+            ),
+        }
+    }
+    let upsert = |list: &mut Vec<(String, f64)>, name: &str, value: f64| match list
+        .iter_mut()
+        .find(|(n, _)| n == name)
+    {
+        Some(slot) => slot.1 = value,
+        None => list.push((name.to_owned(), value)),
+    };
+    for (name, seconds) in entries {
+        upsert(&mut merged_entries, name, seconds * 1e9);
+    }
+    for (name, value) in metrics {
+        upsert(&mut merged_metrics, name, *value);
+    }
+
+    let mut out = format!(
+        "{{\n  \"quick\": {},\n  \"entries\": [\n",
+        if merged_quick { "true" } else { "false" }
+    );
+    for (i, (name, ns)) in merged_entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"mean_ns\": {ns:.1}, \"iters\": 1}}{}\n",
+            if i + 1 < merged_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {");
+    for (i, (name, value)) in merged_metrics.iter().enumerate() {
         out.push_str(&format!(
             "{}\"{name}\": {value:.6}",
             if i == 0 { "" } else { ", " }

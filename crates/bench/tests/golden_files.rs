@@ -23,8 +23,11 @@ use std::path::PathBuf;
 /// overwrites it with the vit row — `git checkout -- results/` restores
 /// it, same as the BENCH_*.json quick-mode gotcha. `scenario_custom.tsv`
 /// is produced by the `cimloop` CLI from
-/// `examples/specs/custom_macro.yaml`.
-const GOLDENS: [(&str, u64, usize); 12] = [
+/// `examples/specs/custom_macro.yaml`, `dse_grid.tsv` by
+/// `cimloop dse examples/specs/dse_grid.yaml` (the shard/merge smoke's
+/// single-process reference).
+const GOLDENS: [(&str, u64, usize); 13] = [
+    ("dse_grid.tsv", 0xee3927f97530d0a3, 721),
     ("fig02a.tsv", 0x95c47b92e420049d, 260),
     ("fig02b.tsv", 0x410b189704181cef, 224),
     ("fig06.tsv", 0x5f7a100f1ba1278c, 695),

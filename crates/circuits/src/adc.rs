@@ -1,5 +1,5 @@
 //! The ADC plug-in: regression-based energy/area models over published
-//! ADCs (paper §III-C2, reference [52]).
+//! ADCs (paper §III-C2, reference \[52\]).
 //!
 //! Energy per conversion follows the survey-established form
 //! `E ≈ FoM · 2^B` (Walden figure-of-merit), with the FoM improving at

@@ -38,6 +38,8 @@ pub mod runners;
 pub mod schema;
 pub mod serve;
 
+pub use runners::{dse_with, merge_fronts, DseOptions};
+
 /// Shared state a scenario run amortizes against: the energy-table cache.
 ///
 /// A batch invocation builds a fresh, unbounded context per process; the

@@ -4,7 +4,11 @@
 //! cimloop evaluate <spec>… [--out DIR] [--format yamlite|json]
 //!                                              # run any scenario, write TSV
 //! cimloop sweep    <spec>… [--out DIR]         # sweep-family scenarios only
-//! cimloop dse      <spec>… [--out DIR]         # design-space scenarios only
+//! cimloop dse      <spec>… [--out DIR] [--staged] [--checkpoint FILE]
+//!                  [--resume] [--shard i/n] [--max-evals N]
+//!                                              # design-space scenarios only
+//! cimloop merge-fronts <spec> <checkpoint>… [--out DIR]
+//!                                              # recombine shard checkpoints
 //! cimloop validate <spec>…                     # resolve + report, don't run
 //! cimloop convert  <spec>… [--to yamlite|json] # re-encode via reflection
 //! cimloop diff     <old> <new>                 # structural field-level diff
@@ -26,11 +30,16 @@ use std::process::ExitCode;
 
 use cimloop_cli::serve::client::{Client, Response};
 use cimloop_cli::serve::{ServeConfig, Server, SpecFormat};
-use cimloop_cli::{run_scenario, validate_doc, CliError, DSE_KINDS, SWEEP_KINDS};
+use cimloop_cli::{
+    dse_with, merge_fronts, run_scenario, validate_doc, CliError, DseOptions, RunContext,
+    DSE_KINDS, SWEEP_KINDS,
+};
 use cimloop_spec::ScenarioDoc;
 
 const USAGE: &str =
     "usage: cimloop <evaluate|sweep|dse|validate> <spec>... [--out DIR] [--format yamlite|json]
+       cimloop dse <spec>... [--staged] [--checkpoint FILE] [--resume] [--shard i/n] [--max-evals N]
+       cimloop merge-fronts <spec> <checkpoint>... [--out DIR]
        cimloop convert <spec>... [--to yamlite|json]
        cimloop diff <old.tsv|old-spec> <new.tsv|new-spec>
        cimloop serve <addr> [--once] [--workers N] [--queue-depth N] [--table-cap N] [--stats-cap N]
@@ -80,11 +89,13 @@ fn main() -> ExitCode {
         "request" => return request_main(&rest),
         "convert" => return convert_main(&rest),
         "diff" => return diff_main(&rest),
+        "merge-fronts" => return merge_main(&rest),
         _ => {}
     }
     let mut specs: Vec<PathBuf> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut forced: Option<SpecFormat> = None;
+    let mut dse_opts = DseOptions::default();
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,6 +113,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--staged" => dse_opts.staged = Some(true),
+            "--resume" => dse_opts.resume = true,
+            "--checkpoint" => match args.next() {
+                Some(file) => dse_opts.checkpoint = Some(PathBuf::from(file)),
+                None => return usage_error("--checkpoint needs a file argument"),
+            },
+            "--shard" => match args.next().map(|s| s.parse()) {
+                Some(Ok(shard)) => dse_opts.shard = Some(shard),
+                Some(Err(e)) => return usage_error(&e.to_string()),
+                None => return usage_error("--shard needs an `i/n` argument"),
+            },
+            "--max-evals" => match parse_count("--max-evals", args.next()) {
+                Ok(n) => dse_opts.max_evaluations = Some(n),
+                Err(e) => return usage_error(&e),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -117,6 +143,23 @@ fn main() -> ExitCode {
         eprintln!("no scenario files given\n{USAGE}");
         return ExitCode::from(2);
     }
+    if !dse_opts.is_default() {
+        if command != "dse" {
+            return usage_error(
+                "--staged/--checkpoint/--resume/--shard/--max-evals only apply to `cimloop dse`",
+            );
+        }
+        // Sharded fronts and budget-stopped progress live in checkpoints;
+        // without one the work would be unrecoverable.
+        if dse_opts.checkpoint.is_none()
+            && (dse_opts.resume || dse_opts.shard.is_some() || dse_opts.max_evaluations.is_some())
+        {
+            return usage_error("--resume, --shard, and --max-evals require --checkpoint FILE");
+        }
+        if dse_opts.checkpoint.is_some() && specs.len() > 1 {
+            return usage_error("--checkpoint runs one scenario at a time");
+        }
+    }
 
     for spec in &specs {
         let text = match std::fs::read_to_string(spec) {
@@ -129,9 +172,8 @@ fn main() -> ExitCode {
         let format = detect_format(spec, forced);
         let result: Result<(), CliError> = match command.as_str() {
             "validate" => parse_spec(&text, format).and_then(|doc| validate_doc(&doc).map(|_| ())),
-            "evaluate" | "sweep" | "dse" => {
-                parse_spec(&text, format).and_then(|doc| run_kind(&command, &doc, &out_dir))
-            }
+            "evaluate" | "sweep" | "dse" => parse_spec(&text, format)
+                .and_then(|doc| run_kind(&command, &doc, &out_dir, &dse_opts)),
             other => {
                 eprintln!("unknown subcommand `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -145,7 +187,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_kind(command: &str, doc: &ScenarioDoc, out_dir: &std::path::Path) -> Result<(), CliError> {
+fn run_kind(
+    command: &str,
+    doc: &ScenarioDoc,
+    out_dir: &std::path::Path,
+    dse_opts: &DseOptions,
+) -> Result<(), CliError> {
     let kind = doc.experiment();
     let allowed = match command {
         "sweep" => SWEEP_KINDS.contains(&kind),
@@ -158,9 +205,85 @@ fn run_kind(command: &str, doc: &ScenarioDoc, out_dir: &std::path::Path) -> Resu
              (use `cimloop evaluate`)"
         )));
     }
+    if kind == "dse" {
+        // The dse runner can stop early (shard or budget); then the front
+        // lives in the checkpoint and no TSV is written.
+        match dse_with(doc, &RunContext::new(), dse_opts)? {
+            Some(table) => table.finish_to(out_dir),
+            None => println!("  partial run: no TSV written (merge or resume to finish)"),
+        }
+        return Ok(());
+    }
+    if !dse_opts.is_default() {
+        return Err(CliError::Usage(format!(
+            "--staged/--checkpoint/--resume/--shard/--max-evals require `experiment: dse`, \
+             got `experiment: {kind}`"
+        )));
+    }
     let table = run_scenario(doc)?;
     table.finish_to(out_dir);
     Ok(())
+}
+
+/// `cimloop merge-fronts <spec> <checkpoint>… [--out DIR]`: recombine
+/// shard checkpoints of one dse scenario into the single-process Pareto
+/// front and write its TSV. The merge is byte-identical to running the
+/// sweep unsharded.
+fn merge_main(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut forced: Option<SpecFormat> = None;
+    let mut iter = args.iter().cloned();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage_error("--out needs a directory argument"),
+            },
+            "--format" => match iter.next().as_deref().and_then(format_name) {
+                Some(format) => forced = Some(format),
+                None => return usage_error("--format needs `yamlite` or `json`"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [spec, checkpoints @ ..] = paths.as_slice() else {
+        return usage_error("merge-fronts needs a <spec> and at least one <checkpoint>");
+    };
+    if checkpoints.is_empty() {
+        return usage_error("merge-fronts needs a <spec> and at least one <checkpoint>");
+    }
+    let text = match std::fs::read_to_string(spec) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{}: {e}", spec.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse_spec(&text, detect_format(spec, forced)) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{}: {e}", spec.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match merge_fronts(&doc, checkpoints) {
+        Ok(table) => {
+            table.finish_to(&out_dir);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", spec.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `cimloop convert <spec>… [--to yamlite|json]`: decode each spec by

@@ -15,7 +15,10 @@
 //! panicking unwraps on spec-derived values.
 
 use cimloop_bench::{fmt, ExperimentTable};
-use cimloop_dse::{DesignSpace, EvalScope, Explorer};
+use cimloop_dse::{
+    AccuracyObjective, Checkpoint, CheckpointError, DesignSpace, EvalScope, Exploration, Explorer,
+    ParetoFront, SweepPlan,
+};
 use cimloop_macros::{ArrayMacro, OutputCombine};
 use cimloop_sim::{simulate_layer, ExactConfig};
 use cimloop_spec::{ScenarioDoc, Section, SpecError};
@@ -287,26 +290,29 @@ fn explorer_for(doc: &ScenarioDoc) -> Result<Explorer, CliError> {
         Scope::Macro => EvalScope::MacroOnly,
         Scope::System(storage) => EvalScope::System(storage),
     };
-    let explorer = match doc.scenario().str_or("accuracy", "snr") {
-        "snr" => Explorer::new(),
-        "adc_coverage" => Explorer::with_adc_coverage_accuracy(),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown accuracy objective `{other}` (expected snr or adc_coverage)"
-            )))
-        }
-    };
-    Ok(explorer.with_scope(scope))
+    let name = doc.scenario().str_or("accuracy", "snr");
+    let accuracy = AccuracyObjective::parse(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown accuracy objective `{name}` (expected snr or adc_coverage)"
+        ))
+    })?;
+    Ok(Explorer::new().with_accuracy(accuracy).with_scope(scope))
 }
 
-/// `experiment: dse` — explore the design grid and report the Pareto
-/// front (ascending design id).
-pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
-    let space = space_for(doc)?;
-    let net = resolve::workload(doc)?;
-    let explorer = explorer_for(doc)?.with_cache(ctx.cache().clone());
-    let exploration = explorer.explore(&space, &net)?;
+fn checkpoint_error(e: CheckpointError) -> CliError {
+    match e {
+        CheckpointError::Spec(e) => CliError::Spec(e),
+        other => CliError::usage(other.to_string()),
+    }
+}
 
+/// The Pareto-front TSV every dse-flavoured path (batch, staged,
+/// merge-fronts) renders — one renderer, so shard/merge output is
+/// byte-identical to a single-process run by construction.
+fn front_table(
+    doc: &ScenarioDoc,
+    front: &ParetoFront<cimloop_dse::DesignReport>,
+) -> Result<ExperimentTable, CliError> {
     let mut out = table(
         doc,
         &[
@@ -318,7 +324,7 @@ pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliEr
             "energy (J)",
         ],
     )?;
-    for member in exploration.front.members() {
+    for member in front.members() {
         let r = &member.value;
         out.row(vec![
             r.point.label(),
@@ -331,12 +337,193 @@ pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliEr
             format!("{:.6e}", r.energy_total),
         ]);
     }
+    Ok(out)
+}
+
+/// `experiment: dse` — explore the design grid and report the Pareto
+/// front (ascending design id).
+pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
+    let table = dse_with(doc, ctx, &DseOptions::default())?;
+    Ok(table.expect("an unsharded, unbudgeted dse run always yields a table"))
+}
+
+/// Production-scale controls for a dse run, all defaulting to the plain
+/// full sweep. `staged: None` defers to the scenario's `staged:` key.
+#[derive(Debug, Clone, Default)]
+pub struct DseOptions {
+    /// Forces the staged pre-pass on/off; `None` uses the scenario key.
+    pub staged: Option<bool>,
+    /// Where to save (and with [`Self::resume`], load) sweep progress.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Resume from [`Self::checkpoint`] if it exists (a missing file
+    /// starts fresh, so kill/rerun loops need no special casing).
+    pub resume: bool,
+    /// Evaluate only one shard of the candidate grid.
+    pub shard: Option<cimloop_dse::Shard>,
+    /// Stop after claiming this many candidates, checkpointing progress.
+    pub max_evaluations: Option<usize>,
+}
+
+impl DseOptions {
+    /// Whether any production-scale control is set (such runs are only
+    /// meaningful for `experiment: dse`, not `compare`).
+    pub fn is_default(&self) -> bool {
+        self.staged.is_none()
+            && self.checkpoint.is_none()
+            && !self.resume
+            && self.shard.is_none()
+            && self.max_evaluations.is_none()
+    }
+}
+
+/// [`dse`] with production-scale options: staged evaluation, sharding,
+/// evaluation budgets, and checkpoint/resume. Returns `None` when the
+/// run intentionally produces no result table — a shard run (its front
+/// lives in its checkpoint until `cimloop merge-fronts` recombines the
+/// shards) or a budget-stopped run (resume it to completion first).
+///
+/// # Errors
+///
+/// All of [`dse`]'s, plus checkpoint I/O and mismatch errors; a `!Space`
+/// that yields zero candidates is reported as a line-numbered spec
+/// error on the `!Space` section.
+pub fn dse_with(
+    doc: &ScenarioDoc,
+    ctx: &RunContext,
+    opts: &DseOptions,
+) -> Result<Option<ExperimentTable>, CliError> {
+    let space = space_for(doc)?;
+    let net = resolve::workload(doc)?;
+    let explorer = explorer_for(doc)?.with_cache(ctx.cache().clone());
+    let header = crate::schema::ScenarioSection::decode(doc.scenario())?;
+    let mut plan = SweepPlan {
+        staged: opts.staged.unwrap_or(header.staged),
+        shard: opts.shard,
+        max_evaluations: opts.max_evaluations,
+        resume: None,
+    };
+    if opts.resume {
+        let path = opts
+            .checkpoint
+            .as_ref()
+            .expect("the CLI rejects --resume without --checkpoint");
+        if path.exists() {
+            let checkpoint = Checkpoint::load(path).map_err(checkpoint_error)?;
+            plan.resume = Some(
+                checkpoint
+                    .resume_state(&space, explorer.accuracy())
+                    .map_err(checkpoint_error)?,
+            );
+        }
+    }
+
+    let exploration = match explorer.sweep(&space, &net, &plan) {
+        Ok(exploration) => exploration,
+        Err(cimloop_core::CoreError::EmptySpace { message }) => {
+            // A zero-candidate grid is a spec mistake; cite the section
+            // that declared it rather than failing with a bare engine
+            // error.
+            let line = doc
+                .section("Space")
+                .map_or_else(|| doc.scenario().line(), Section::line);
+            return Err(CliError::Spec(SpecError::Parse {
+                line,
+                message: format!("design space yields zero candidates: {message}"),
+            }));
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    report_sweep(&exploration, &plan);
+    if let Some(path) = &opts.checkpoint {
+        let checkpoint =
+            Checkpoint::capture(doc.name()?, &space, explorer.accuracy(), &exploration);
+        checkpoint.save(path).map_err(checkpoint_error)?;
+        println!(
+            "  checkpoint: {} ({} processed, {} on front)",
+            path.display(),
+            checkpoint.processed().len(),
+            checkpoint.front_len()
+        );
+    }
+    if plan.shard.is_some() || !exploration.completed {
+        return Ok(None);
+    }
+    front_table(doc, &exploration.front).map(Some)
+}
+
+fn report_sweep(exploration: &Exploration, plan: &SweepPlan) {
+    let mut notes = Vec::new();
+    if exploration.pruned > 0 {
+        notes.push(format!("{} pruned by fingerprint", exploration.pruned));
+    }
+    if exploration.screened > 0 {
+        notes.push(format!("{} screened by constraints", exploration.screened));
+    }
+    if let Some(shard) = plan.shard {
+        notes.push(format!("shard {shard}"));
+    }
+    if !exploration.completed {
+        notes.push("budget exhausted — resume to continue".to_owned());
+    }
+    let notes = if notes.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", notes.join(", "))
+    };
     println!(
-        "  {} designs evaluated, {} on the Pareto front",
+        "  {} designs evaluated, {} on the Pareto front{notes}",
         exploration.evaluated,
         exploration.front.len()
     );
-    Ok(out)
+}
+
+/// `cimloop merge-fronts` — recombine per-shard checkpoints of the same
+/// dse scenario into the single-process Pareto front and result table.
+/// Every checkpoint must have been captured on this scenario's design
+/// space under its accuracy objective (fingerprint-verified). The merged
+/// TSV is byte-identical to an unsharded `cimloop dse` run because the
+/// front is insertion-order-independent.
+///
+/// # Errors
+///
+/// Usage errors for non-dse scenarios or an empty checkpoint list, and
+/// checkpoint load/mismatch errors.
+pub fn merge_fronts(
+    doc: &ScenarioDoc,
+    checkpoints: &[std::path::PathBuf],
+) -> Result<ExperimentTable, CliError> {
+    crate::schema::check_document(doc)?;
+    if doc.experiment() != "dse" {
+        return Err(CliError::usage(format!(
+            "merge-fronts needs an `experiment: dse` scenario, got `{}`",
+            doc.experiment()
+        )));
+    }
+    if checkpoints.is_empty() {
+        return Err(CliError::usage(
+            "merge-fronts needs at least one checkpoint file".to_owned(),
+        ));
+    }
+    let space = space_for(doc)?;
+    let explorer = explorer_for(doc)?;
+    let mut front = ParetoFront::new();
+    let mut processed = 0usize;
+    for path in checkpoints {
+        let checkpoint = Checkpoint::load(path).map_err(checkpoint_error)?;
+        let state = checkpoint
+            .resume_state(&space, explorer.accuracy())
+            .map_err(checkpoint_error)?;
+        processed += state.processed.len();
+        front.merge(state.front);
+    }
+    println!(
+        "  merged {} checkpoint(s): {} designs processed, {} on the Pareto front",
+        checkpoints.len(),
+        processed,
+        front.len()
+    );
+    front_table(doc, &front)
 }
 
 /// `experiment: compare` — labeled configurations (`!Row` sections)

@@ -5,8 +5,10 @@
 
 use std::path::PathBuf;
 
-use cimloop_cli::{run_scenario, validate_text, CliError};
-use cimloop_dse::{DesignSpace, Explorer};
+use cimloop_cli::{
+    dse_with, merge_fronts, run_scenario, validate_text, CliError, DseOptions, RunContext,
+};
+use cimloop_dse::{DesignSpace, Explorer, Shard};
 use cimloop_macros::base_macro;
 use cimloop_spec::ScenarioDoc;
 use cimloop_workload::{Layer, LayerKind, Shape, Workload};
@@ -217,6 +219,193 @@ fn validate_warns_on_defaulted_cycle_time() {
     // broken scenarios loudly rather than warn.
     let err = validate_text("!Scenario\nname: broken\n").unwrap_err();
     assert!(matches!(err, CliError::Usage(_) | CliError::Spec(_)));
+}
+
+#[test]
+fn dse_rejects_an_empty_space_axis_with_a_line_numbered_error() {
+    // Regression: an explicitly empty `!Space` axis used to fall back to
+    // the variant's default silently (and a zero-candidate grid swept to
+    // an empty front without complaint). It must now fail with a spec
+    // error citing the axis's own line.
+    let text = format!(
+        "!Scenario\nname: empty_axis\nexperiment: dse\n\
+         !Architecture\nmacro: base\ncalibrated: false\n\
+         !Space\nsquare_arrays: []\n{}",
+        tiny_workload_spec()
+    );
+    let doc = ScenarioDoc::parse(&text).unwrap();
+    match run_scenario(&doc) {
+        Err(CliError::Spec(cimloop_spec::SpecError::Parse { line, message })) => {
+            assert_eq!(line, 8, "error must cite the `square_arrays:` line");
+            assert!(
+                message.contains("square_arrays") && message.contains("zero candidates"),
+                "unhelpful message `{message}`"
+            );
+        }
+        other => panic!("expected a line-numbered spec error, got {other:?}"),
+    }
+}
+
+/// A four-design dse scenario shared by the checkpoint/shard tests.
+fn tiny_dse_doc(name: &str, staged: bool) -> ScenarioDoc {
+    let text = format!(
+        "!Scenario\nname: {name}\nexperiment: dse\naccuracy: snr\nstaged: {staged}\n\
+         !Architecture\nname: base\nmacro: base\ncalibrated: false\n\
+         !Space\nsquare_arrays: [16, 32]\ndac_bits: [1, 2]\n{}",
+        tiny_workload_spec()
+    );
+    ScenarioDoc::parse(&text).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cimloop_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn budgeted_dse_checkpoints_and_resumes_to_the_full_front() {
+    let dir = temp_dir("resume");
+    let ckpt = dir.join("tiny.ckpt");
+    let ctx = RunContext::new();
+    let whole = dse_with(
+        &tiny_dse_doc("tiny_resume", false),
+        &ctx,
+        &DseOptions::default(),
+    )
+    .expect("full run")
+    .expect("full run yields a table");
+
+    // A budget-stopped run writes the checkpoint and returns no table…
+    let doc = tiny_dse_doc("tiny_resume", false);
+    let partial = dse_with(
+        &doc,
+        &ctx,
+        &DseOptions {
+            checkpoint: Some(ckpt.clone()),
+            max_evaluations: Some(2),
+            ..DseOptions::default()
+        },
+    )
+    .expect("budgeted run");
+    assert!(
+        partial.is_none(),
+        "a budget-stopped run must not emit a TSV"
+    );
+    assert!(ckpt.exists(), "the checkpoint must be saved");
+
+    // …and resuming from it completes to the bit-identical full table.
+    let resumed = dse_with(
+        &doc,
+        &ctx,
+        &DseOptions {
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..DseOptions::default()
+        },
+    )
+    .expect("resumed run")
+    .expect("resumed run completes to a table");
+    assert_eq!(resumed.to_tsv(), whole.to_tsv());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_dse_merges_byte_identically_to_a_single_process_run() {
+    let dir = temp_dir("shards");
+    let ctx = RunContext::new();
+    // Staged single-process run: the reference TSV (staged and plain
+    // fronts are bit-identical by construction — cross-check it too).
+    let whole = dse_with(
+        &tiny_dse_doc("tiny_shards", true),
+        &ctx,
+        &DseOptions::default(),
+    )
+    .expect("staged run")
+    .expect("table");
+    let plain = dse_with(
+        &tiny_dse_doc("tiny_shards", false),
+        &ctx,
+        &DseOptions::default(),
+    )
+    .expect("plain run")
+    .expect("table");
+    assert_eq!(
+        whole.to_tsv(),
+        plain.to_tsv(),
+        "staged must not change the front"
+    );
+
+    // Four shard runs, each writing its checkpoint (one shard of a
+    // 4-candidate grid is a single design; order is deliberately shuffled
+    // at merge to prove insertion-order independence).
+    let doc = tiny_dse_doc("tiny_shards", true);
+    let mut checkpoints = Vec::new();
+    for index in 0..4 {
+        let path = dir.join(format!("shard{index}.ckpt"));
+        let out = dse_with(
+            &doc,
+            &ctx,
+            &DseOptions {
+                checkpoint: Some(path.clone()),
+                shard: Some(Shard::new(index, 4).unwrap()),
+                ..DseOptions::default()
+            },
+        )
+        .expect("shard run");
+        assert!(out.is_none(), "a shard run must not emit a TSV");
+        checkpoints.push(path);
+    }
+    checkpoints.reverse();
+    let merged = merge_fronts(&doc, &checkpoints).expect("merge");
+    assert_eq!(
+        merged.to_tsv(),
+        whole.to_tsv(),
+        "a 4-shard merge must be byte-identical to the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_fronts_rejects_foreign_checkpoints_and_non_dse_scenarios() {
+    let dir = temp_dir("mismatch");
+    let ctx = RunContext::new();
+    let doc = tiny_dse_doc("tiny_a", false);
+    let ckpt = dir.join("a.ckpt");
+    dse_with(
+        &doc,
+        &ctx,
+        &DseOptions {
+            checkpoint: Some(ckpt.clone()),
+            ..DseOptions::default()
+        },
+    )
+    .expect("checkpointed run");
+
+    // A checkpoint captured on a different design space must be refused
+    // (space fingerprints disagree), not silently merged.
+    let other = ScenarioDoc::parse(&format!(
+        "!Scenario\nname: other\nexperiment: dse\n\
+         !Architecture\nmacro: base\ncalibrated: false\n\
+         !Space\nsquare_arrays: [64]\n{}",
+        tiny_workload_spec()
+    ))
+    .unwrap();
+    let err = merge_fronts(&other, std::slice::from_ref(&ckpt)).unwrap_err();
+    assert!(
+        err.to_string().contains("mismatch"),
+        "expected a checkpoint mismatch, got {err}"
+    );
+
+    // merge-fronts is dse-only.
+    let sweep =
+        ScenarioDoc::parse("!Scenario\nname: s\nexperiment: sweep\n!Architecture\nmacro: base\n")
+            .unwrap();
+    assert!(matches!(
+        merge_fronts(&sweep, std::slice::from_ref(&ckpt)),
+        Err(CliError::Usage(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -67,7 +67,7 @@ impl ValueSignature {
 /// triple: two layers with equal signatures are guaranteed to produce
 /// bit-identical [`ActionEnergyTable`]s on the same evaluator.
 ///
-/// The signature is the layer/representation [`ValueSignature`] plus a
+/// The signature is the layer/representation value signature plus a
 /// fingerprint of the evaluator's hierarchy (so one cache can safely serve
 /// several evaluators) plus the evaluator's resolved [`NoiseSpec`] — an
 /// evaluator whose noise was overridden after construction computes
@@ -99,7 +99,7 @@ impl TableSignature {
 }
 
 /// The identity of a [`ValueStats`] computation: the layer/representation
-/// [`ValueSignature`] plus the hierarchy's output-reduction width — the
+/// value signature plus the hierarchy's output-reduction width — the
 /// *only* architectural parameter the statistics read.
 ///
 /// Unlike [`TableSignature`], the full hierarchy fingerprint is absent:

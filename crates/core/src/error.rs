@@ -30,6 +30,14 @@ pub enum CoreError {
         /// What is wrong.
         message: String,
     },
+    /// A design-space sweep was asked to explore zero candidate designs
+    /// (no variants, or every candidate filtered away). Surfaced as an
+    /// error instead of an empty Pareto front so a misconfigured sweep
+    /// cannot masquerade as a completed one.
+    EmptySpace {
+        /// Why the space is empty.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::Representation { message } => {
                 write!(f, "representation error: {message}")
             }
+            CoreError::EmptySpace { message } => {
+                write!(f, "empty design space: {message}")
+            }
         }
     }
 }
@@ -58,7 +69,7 @@ impl Error for CoreError {
             CoreError::Circuit { source, .. } => Some(source),
             CoreError::Workload(e) => Some(e),
             CoreError::Stats(e) => Some(e),
-            CoreError::Representation { .. } => None,
+            CoreError::Representation { .. } | CoreError::EmptySpace { .. } => None,
         }
     }
 }

@@ -364,6 +364,25 @@ impl RunReport {
     }
 }
 
+/// The quantities an [`Evaluator`] can report *before* any value
+/// statistics are computed: what a staged design-space sweep screens on.
+///
+/// Everything here comes from `Evaluator::new` alone — circuit-model
+/// construction and hierarchy inspection — which is orders of magnitude
+/// cheaper than the column-sum statistics pipeline behind energy numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheapMetrics {
+    /// Total silicon area, mm² (analytic area models; exact, not an
+    /// estimate — the same number a full evaluation reports).
+    pub area_mm2: f64,
+    /// Output-converter resolution the accuracy analysis quantizes at
+    /// (`None` for digital readout, which resolves every bit).
+    pub output_adc_bits: Option<u32>,
+    /// The hierarchy fingerprint (the energy-table cache's table-level
+    /// key component).
+    pub hierarchy_fingerprint: u64,
+}
+
 /// Per-component area summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AreaReport {
@@ -788,6 +807,19 @@ impl Evaluator {
             })
             .collect();
         AreaReport { components }
+    }
+
+    /// The design's cheap pre-metrics: every quantity available from the
+    /// constructed circuit models alone, without running the expensive
+    /// value-statistics pipeline. Design-space sweeps use these for
+    /// stage-one screening (area caps, converter-coverage floors,
+    /// structural validity) before any `Pipeline` runs.
+    pub fn cheap_metrics(&self) -> CheapMetrics {
+        CheapMetrics {
+            area_mm2: self.area().total_mm2(),
+            output_adc_bits: self.output_adc_bits,
+            hierarchy_fingerprint: self.hierarchy_fingerprint,
+        }
     }
 
     /// Direct access to one component's model (e.g., to inspect per-action

@@ -90,7 +90,7 @@ pub use cache::{CacheStats, EnergyTableCache, StatsSignature, TableSignature};
 pub use encoding::{EncodedOperand, EncodedStream, Encoding};
 pub use error::CoreError;
 pub use evaluator::{
-    ActionEnergyTable, AreaReport, ComponentReport, Evaluator, LayerReport, RunReport,
+    ActionEnergyTable, AreaReport, CheapMetrics, ComponentReport, Evaluator, LayerReport, RunReport,
 };
 pub use pipeline::{reduction_rows_of, Pipeline, ValueStats};
 pub use representation::Representation;

@@ -16,6 +16,25 @@
 //! naive sequential sweep without the cache: cached statistics are
 //! computed by the same code as fresh ones, and the front is
 //! insertion-order-independent.
+//!
+//! Production-scale sweeps go through [`Explorer::sweep`] with a
+//! [`SweepPlan`], which layers three mechanisms on the same streaming
+//! core without changing the resulting front:
+//!
+//! - **Staged evaluation** (`staged`): a cheap stage-one pass prunes
+//!   objective-equivalent duplicate configurations by fingerprint and
+//!   screens candidates against the space's declared area/coverage
+//!   constraints before any value statistics are computed.
+//! - **Budgeted runs + resume** (`max_evaluations`, `resume`): a budget
+//!   deterministically claims a prefix of the remaining candidates; the
+//!   resulting [`Exploration::processed`] ids plus front round-trip
+//!   through [`crate::Checkpoint`] and seed a later resumed run whose
+//!   final front is bit-identical to an uninterrupted sweep.
+//! - **Sharding** (`shard`): candidate `i` of the filtered grid belongs
+//!   to shard `i % count`; per-shard fronts recombine with
+//!   [`ParetoFront::merge`] into the same front a single process
+//!   produces, because the front is insertion-order-independent and
+//!   equal-objective classes collapse to the globally smallest id.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -27,6 +46,7 @@ use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::Workload;
 
 use crate::pareto::{Objectives, ParetoFront};
+use crate::shard::Shard;
 use crate::space::{DesignPoint, DesignSpace};
 
 /// What each candidate design is evaluated as.
@@ -54,6 +74,26 @@ pub enum AccuracyObjective {
     /// bit-width the converter resolves). Kept behind this constructor
     /// for golden continuity with pre-noise sweeps.
     AdcCoverage,
+}
+
+impl AccuracyObjective {
+    /// Parses the spec-level objective name (`snr` or `adc_coverage`);
+    /// `None` for anything else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "snr" => Some(AccuracyObjective::OutputSnr),
+            "adc_coverage" => Some(AccuracyObjective::AdcCoverage),
+            _ => None,
+        }
+    }
+
+    /// The spec-level objective name ([`Self::parse`]'s inverse).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccuracyObjective::OutputSnr => "snr",
+            AccuracyObjective::AdcCoverage => "adc_coverage",
+        }
+    }
 }
 
 /// The retained summary of one evaluated design: its configuration, the
@@ -136,16 +176,103 @@ pub fn accuracy_proxy(m: &ArrayMacro) -> f64 {
     f64::from(m.adc_bits().min(sum_bits)) / f64::from(sum_bits)
 }
 
+/// How a [`Explorer::sweep`] run is shaped: staging, sharding, budgets,
+/// and resume state. [`Default`] is a plain full sweep (what
+/// [`Explorer::explore`] runs).
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    /// Enables the stage-one pre-pass: fingerprint deduplication of
+    /// objective-equivalent configurations, plus the cheap
+    /// area/coverage screens of the space (which apply regardless).
+    pub staged: bool,
+    /// Restricts the run to one shard of the filtered candidate list
+    /// (candidate `i` belongs to shard `i % count`). An empty shard is
+    /// legal and yields an empty front.
+    pub shard: Option<Shard>,
+    /// Stops after claiming this many candidates (the *prefix* of the
+    /// remaining work list, deterministically, regardless of thread
+    /// timing). `None` runs to completion.
+    pub max_evaluations: Option<usize>,
+    /// Prior progress to resume from: its processed ids are skipped and
+    /// its front seeds this run's front.
+    pub resume: Option<SweepState>,
+}
+
+impl SweepPlan {
+    /// A plain full-sweep plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resumable sweep progress: what a [`crate::Checkpoint`] stores and
+/// what [`SweepPlan::resume`] replays.
+#[derive(Debug, Clone)]
+pub struct SweepState {
+    /// The Pareto front accumulated so far.
+    pub front: ParetoFront<DesignReport>,
+    /// Ids of every candidate already processed (evaluated *or*
+    /// screened out by the cheap stage-one constraints).
+    pub processed: Vec<u64>,
+}
+
 /// The result of one exploration.
 #[derive(Debug)]
 pub struct Exploration {
     /// The non-dominated designs, ascending by design id.
     pub front: ParetoFront<DesignReport>,
-    /// How many designs were evaluated (after filtering).
+    /// How many designs were fully evaluated this run (stage two:
+    /// value statistics + energy/latency).
     pub evaluated: usize,
+    /// How many candidates the cheap stage-one constraints screened out
+    /// this run (evaluator built, no value statistics).
+    pub screened: usize,
+    /// How many candidates stage-one fingerprint deduplication pruned
+    /// this run (no evaluator built at all). Always 0 unless
+    /// [`SweepPlan::staged`] is set.
+    pub pruned: usize,
+    /// Ids of every processed candidate — this run's plus any resumed
+    /// prior progress — ascending. This is what a checkpoint persists.
+    pub processed: Vec<u64>,
+    /// `false` iff a [`SweepPlan::max_evaluations`] budget stopped the
+    /// sweep before the work list was exhausted.
+    pub completed: bool,
+}
+
+impl Exploration {
+    /// This exploration's resumable progress (front + processed ids),
+    /// for checkpointing a budget-stopped run.
+    pub fn state(&self) -> SweepState {
+        SweepState {
+            front: self.front.clone(),
+            processed: self.processed.clone(),
+        }
+    }
 }
 
 /// A parallel, cache-amortized design-space explorer.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_dse::{DesignSpace, Explorer};
+/// use cimloop_macros::base_macro;
+/// use cimloop_workload::{Layer, LayerKind, Shape, Workload};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = DesignSpace::new()
+///     .variant("base", base_macro().uncalibrated())
+///     .adc_bits([4, 8]);
+/// let net = Workload::new(
+///     "net",
+///     vec![Layer::new("a", LayerKind::Linear, Shape::linear(2, 24, 24)?)],
+/// )?;
+/// let exploration = Explorer::new().with_threads(1).explore(&space, &net)?;
+/// assert_eq!(exploration.evaluated, 2);
+/// assert!(!exploration.front.is_empty());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Explorer {
     scope: EvalScope,
@@ -247,19 +374,126 @@ impl Explorer {
         workload: &Workload,
         sink: impl Fn(&DesignReport) + Sync,
     ) -> Result<Exploration, CoreError> {
-        let designs = space.designs();
-        let threads = self.resolved_threads(designs.len());
-        let front = Mutex::new(ParetoFront::new());
+        self.sweep_with(space, workload, &SweepPlan::default(), sink)
+    }
+
+    /// Runs a planned sweep: staged, sharded, budgeted, or resumed per
+    /// `plan` (see [`SweepPlan`]). The resulting front is bit-identical
+    /// to [`Self::explore`]'s on the same space (modulo plan-declared
+    /// restrictions: a shard's front covers only its candidates, a
+    /// budget-stopped run only the claimed prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptySpace`] when the unsharded space yields zero
+    /// candidates (no variants, or everything filtered away) — a
+    /// misconfigured sweep must not masquerade as a completed one.
+    /// Evaluation errors abort the sweep as in [`Self::explore`].
+    pub fn sweep(
+        &self,
+        space: &DesignSpace,
+        workload: &Workload,
+        plan: &SweepPlan,
+    ) -> Result<Exploration, CoreError> {
+        self.sweep_with(space, workload, plan, |_| {})
+    }
+
+    /// [`Self::sweep`] with a per-report `sink` (see
+    /// [`Self::explore_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::sweep`].
+    pub fn sweep_with(
+        &self,
+        space: &DesignSpace,
+        workload: &Workload,
+        plan: &SweepPlan,
+        sink: impl Fn(&DesignReport) + Sync,
+    ) -> Result<Exploration, CoreError> {
+        let mut candidates = space.designs();
+        if candidates.is_empty() && plan.shard.is_none() {
+            let message = if space.grid_len() == 0 {
+                "the space declares no design variants".to_owned()
+            } else {
+                format!(
+                    "all {} grid candidate(s) were removed by the space filter",
+                    space.grid_len()
+                )
+            };
+            return Err(CoreError::EmptySpace { message });
+        }
+        if let Some(shard) = plan.shard {
+            candidates = candidates
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % shard.count() == shard.index())
+                .map(|(_, p)| p)
+                .collect();
+        }
+
+        // Stage one, part A: fingerprint deduplication. Designs with equal
+        // configuration fingerprints score identical objectives, so only
+        // the smallest-id representative of each class can survive the
+        // front's equal-twin rule — prune the rest before building
+        // anything. Under the SNR objective the noise spec participates in
+        // the class key; under ADC coverage, noise provably changes no
+        // objective, so noise-twin designs collapse too. Dedup runs on the
+        // full (sharded) list *before* the resume skip so the class
+        // representative never shifts between a run and its resume.
+        let mut pruned = 0usize;
+        if plan.staged {
+            let include_noise = matches!(self.accuracy, AccuracyObjective::OutputSnr);
+            let mut seen = std::collections::HashSet::new();
+            candidates.retain(|p| {
+                if seen.insert(p.cim_macro().config_fingerprint(include_noise)) {
+                    true
+                } else {
+                    pruned += 1;
+                    false
+                }
+            });
+        }
+
+        let mut prior: Vec<u64> = Vec::new();
+        let mut seed = ParetoFront::new();
+        if let Some(state) = &plan.resume {
+            let done: std::collections::HashSet<u64> = state.processed.iter().copied().collect();
+            candidates.retain(|p| !done.contains(&p.id()));
+            prior = state.processed.clone();
+            seed = state.front.clone();
+        }
+
+        // A budget claims a deterministic prefix of the remaining work
+        // list: workers stop pulling at `limit`, so the claimed set is
+        // the first `limit` candidates regardless of thread timing.
+        let limit = plan
+            .max_evaluations
+            .map_or(candidates.len(), |k| k.min(candidates.len()));
+        let completed = limit == candidates.len();
+        let claimed = &candidates[..limit];
+
+        let threads = self.resolved_threads(limit);
+        let front = Mutex::new(seed);
+        let evaluated = AtomicUsize::new(0);
+        let screened = AtomicUsize::new(0);
 
         if threads <= 1 {
-            for point in &designs {
-                let report = self.evaluate_design(point, workload)?;
-                sink(&report);
-                front.lock().expect("front lock poisoned").insert(
-                    point.id(),
-                    report.objectives_for(self.accuracy),
-                    report,
-                );
+            for point in claimed {
+                match self.screened_report(point, space, workload)? {
+                    Some(report) => {
+                        evaluated.fetch_add(1, Ordering::Relaxed);
+                        sink(&report);
+                        front.lock().expect("front lock poisoned").insert(
+                            point.id(),
+                            report.objectives_for(self.accuracy),
+                            report,
+                        );
+                    }
+                    None => {
+                        screened.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -269,23 +503,31 @@ impl Explorer {
                 for _ in 0..threads {
                     let next = &next;
                     let failed = &failed;
-                    let designs = &designs;
                     let front = &front;
+                    let evaluated = &evaluated;
+                    let screened = &screened;
                     let sink = &sink;
                     let this = self;
                     handles.push(scope.spawn(move || {
                         let mut errors = Vec::new();
                         while !failed.load(Ordering::Relaxed) {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(point) = designs.get(i) else { break };
-                            match this.evaluate_design(point, workload) {
-                                Ok(report) => {
+                            if i >= limit {
+                                break;
+                            }
+                            let point = &claimed[i];
+                            match this.screened_report(point, space, workload) {
+                                Ok(Some(report)) => {
+                                    evaluated.fetch_add(1, Ordering::Relaxed);
                                     sink(&report);
                                     front.lock().expect("front lock poisoned").insert(
                                         point.id(),
                                         report.objectives_for(this.accuracy),
                                         report,
                                     );
+                                }
+                                Ok(None) => {
+                                    screened.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(e) => {
                                     failed.store(true, Ordering::Relaxed);
@@ -307,10 +549,45 @@ impl Explorer {
             }
         }
 
+        let mut processed = prior;
+        processed.extend(claimed.iter().map(DesignPoint::id));
+        processed.sort_unstable();
         Ok(Exploration {
             front: front.into_inner().expect("front lock poisoned"),
-            evaluated: designs.len(),
+            evaluated: evaluated.load(Ordering::Relaxed),
+            screened: screened.load(Ordering::Relaxed),
+            pruned,
+            processed,
+            completed,
         })
+    }
+
+    /// One candidate through both stages: build the evaluator, apply the
+    /// cheap stage-one screens (total area against
+    /// [`DesignSpace::area_cap`], coverage proxy against
+    /// [`DesignSpace::coverage_floor`] — no value statistics yet), and
+    /// only then run the full cached evaluation. `None` means screened
+    /// out.
+    fn screened_report(
+        &self,
+        point: &DesignPoint,
+        space: &DesignSpace,
+        workload: &Workload,
+    ) -> Result<Option<DesignReport>, CoreError> {
+        let (evaluator, rep) = self.evaluator_for(point)?;
+        let cheap = evaluator.cheap_metrics();
+        if let Some(cap) = space.area_cap() {
+            if cheap.area_mm2 > cap {
+                return Ok(None);
+            }
+        }
+        if let Some(floor) = space.coverage_floor() {
+            if accuracy_proxy(point.cim_macro()) < floor {
+                return Ok(None);
+            }
+        }
+        let run = evaluator.evaluate_cached(workload, &rep, &self.cache)?;
+        Ok(Some(summarize(point, &evaluator, &run)))
     }
 
     /// Evaluates one design through the shared cache.
@@ -506,6 +783,180 @@ mod tests {
         // Digital readout resolves every bit.
         let digital = cimloop_macros::digital_cim().uncalibrated();
         assert!((accuracy_proxy(&digital) - 1.0).abs() < 1e-12);
+    }
+
+    fn assert_fronts_identical(a: &ParetoFront<DesignReport>, b: &ParetoFront<DesignReport>) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.members().iter().zip(b.members()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.objectives, y.objectives);
+            assert_eq!(
+                x.value.energy_total.to_bits(),
+                y.value.energy_total.to_bits()
+            );
+            assert_eq!(x.value.latency.to_bits(), y.value.latency.to_bits());
+        }
+    }
+
+    #[test]
+    fn staged_sweep_prunes_noise_twins_and_matches_plain_front() {
+        // Under the ADC-coverage objective, noise specs change no
+        // objective: the staged pre-pass prunes noise twins without
+        // evaluating them, and the front stays bit-identical.
+        let space = tiny_space().noise_specs([
+            cimloop_noise::NoiseSpec::ideal(),
+            cimloop_noise::NoiseSpec::new().with_cell_variation(0.1),
+        ]);
+        let net = tiny_workload();
+        let explorer = Explorer::with_adc_coverage_accuracy().with_threads(2);
+        let plain = explorer.explore(&space, &net).unwrap();
+        assert_eq!(plain.evaluated, 16);
+        let staged = explorer
+            .sweep(
+                &space,
+                &net,
+                &SweepPlan {
+                    staged: true,
+                    ..SweepPlan::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(staged.evaluated, 8, "one representative per energy class");
+        assert_eq!(staged.pruned, 8);
+        assert!(staged.completed);
+        assert_fronts_identical(&staged.front, &plain.front);
+
+        // Under the SNR objective noise twins differ, so nothing prunes.
+        let snr = Explorer::new().with_threads(2);
+        let staged_snr = snr
+            .sweep(
+                &space,
+                &net,
+                &SweepPlan {
+                    staged: true,
+                    ..SweepPlan::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(staged_snr.pruned, 0);
+        assert_fronts_identical(&staged_snr.front, &snr.explore(&space, &net).unwrap().front);
+    }
+
+    #[test]
+    fn sharded_fronts_merge_into_the_single_process_front() {
+        let space = tiny_space();
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(2);
+        let whole = explorer.explore(&space, &net).unwrap();
+        let mut merged = ParetoFront::new();
+        let mut total = 0;
+        for index in 0..3 {
+            let plan = SweepPlan {
+                shard: Some(Shard::new(index, 3).unwrap()),
+                ..SweepPlan::default()
+            };
+            let part = explorer.sweep(&space, &net, &plan).unwrap();
+            total += part.evaluated;
+            merged.merge(part.front);
+        }
+        assert_eq!(total, whole.evaluated);
+        assert_fronts_identical(&merged, &whole.front);
+    }
+
+    #[test]
+    fn budgeted_run_resumes_to_the_full_front() {
+        let space = tiny_space();
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(2);
+        let whole = explorer.explore(&space, &net).unwrap();
+
+        let first = explorer
+            .sweep(
+                &space,
+                &net,
+                &SweepPlan {
+                    max_evaluations: Some(3),
+                    ..SweepPlan::default()
+                },
+            )
+            .unwrap();
+        assert!(!first.completed);
+        assert_eq!(
+            first.processed,
+            vec![0, 1, 2],
+            "budget claims the id prefix"
+        );
+
+        let resumed = explorer
+            .sweep(
+                &space,
+                &net,
+                &SweepPlan {
+                    resume: Some(first.state()),
+                    ..SweepPlan::default()
+                },
+            )
+            .unwrap();
+        assert!(resumed.completed);
+        assert_eq!(resumed.processed, (0..8).collect::<Vec<u64>>());
+        assert_fronts_identical(&resumed.front, &whole.front);
+    }
+
+    #[test]
+    fn area_cap_screens_without_changing_survivor_reports() {
+        let net = tiny_workload();
+        let explorer = Explorer::new().with_threads(1);
+        let open = tiny_space();
+        let full = explorer.explore(&open, &net).unwrap();
+        // Pick a cap that splits the space by the evaluated areas.
+        let areas: Vec<f64> = {
+            let mut v: Vec<f64> = open
+                .designs()
+                .iter()
+                .map(|p| explorer.evaluate_design(p, &net).unwrap().area_mm2)
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v
+        };
+        let cap = (areas[3] + areas[4]) / 2.0;
+        let capped_space = tiny_space().max_area_mm2(cap);
+        let capped = explorer.explore(&capped_space, &net).unwrap();
+        assert_eq!(capped.evaluated + capped.screened, 8);
+        assert!(capped.screened > 0, "the cap must bite");
+        for member in capped.front.members() {
+            assert!(member.value.area_mm2 <= cap);
+            let twin = full.front.members().iter().find(|m| m.id == member.id);
+            if let Some(twin) = twin {
+                assert_eq!(
+                    member.value.energy_total.to_bits(),
+                    twin.value.energy_total.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_space_is_an_error_but_empty_shard_is_not() {
+        let net = tiny_workload();
+        let explorer = Explorer::new();
+        let err = explorer.explore(&DesignSpace::new(), &net).unwrap_err();
+        assert!(matches!(err, CoreError::EmptySpace { .. }), "{err}");
+        let filtered_out = tiny_space().filter(|_| false);
+        let err = explorer.explore(&filtered_out, &net).unwrap_err();
+        assert!(
+            err.to_string().contains("removed by the space filter"),
+            "{err}"
+        );
+
+        // A shard of a 1-candidate space may legitimately be empty.
+        let one = DesignSpace::new().variant("base", base_macro().uncalibrated());
+        let plan = SweepPlan {
+            shard: Some(Shard::new(1, 2).unwrap()),
+            ..SweepPlan::default()
+        };
+        let part = explorer.sweep(&one, &net, &plan).unwrap();
+        assert!(part.front.is_empty());
+        assert!(part.completed);
     }
 
     #[test]

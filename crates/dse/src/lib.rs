@@ -25,6 +25,13 @@
 //! cache (property-tested): caching changes where numbers are computed,
 //! never what they are.
 //!
+//! Production-scale sweeps (10⁵+ designs) add, on the same streaming
+//! core and with the same bit-identity guarantee: staged evaluation
+//! with fingerprint-based dominance pruning, deterministic evaluation
+//! budgets with [`Checkpoint`] save/resume, and [`Shard`]ed fan-out
+//! whose per-shard fronts merge back byte-identically (see
+//! [`Explorer::sweep`] and [`SweepPlan`]).
+//!
 //! # Example
 //!
 //! ```
@@ -47,14 +54,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod explorer;
 mod pareto;
+mod shard;
 mod space;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use explorer::{
     accuracy_proxy, summarize, AccuracyObjective, DesignReport, EvalScope, Exploration, Explorer,
+    SweepPlan, SweepState,
 };
 pub use pareto::{FrontMember, Objectives, ParetoFront};
+pub use shard::{Shard, ShardError};
 pub use space::{DesignPoint, DesignSpace, SpaceSection};
 
 // Noise-spec axes parameterize variation-tolerance sweeps; re-exported so

@@ -1,0 +1,116 @@
+//! Shard descriptors for fanned-out sweeps.
+//!
+//! A sweep over a filtered candidate list `c_0..c_m` splits into `n`
+//! shards by position: candidate `c_i` belongs to shard `i % n`. The
+//! striped (round-robin) partition keeps per-shard work balanced even
+//! when evaluation cost trends along the grid (larger arrays later in
+//! an axis), and because the [`crate::ParetoFront`] is
+//! insertion-order-independent, merging the per-shard fronts
+//! reproduces the single-process front byte-for-byte.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// One shard of an `n`-way sweep: shard `index` of `count`.
+///
+/// Parses from the CLI form `i/n` (zero-based):
+///
+/// ```
+/// use cimloop_dse::Shard;
+///
+/// let shard: Shard = "2/4".parse().unwrap();
+/// assert_eq!(shard.index(), 2);
+/// assert_eq!(shard.count(), 4);
+/// assert_eq!(shard.to_string(), "2/4");
+/// assert!("4/4".parse::<Shard>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count`, zero-based.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `count == 0` and `index >= count`.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardError> {
+        if count == 0 {
+            return Err(ShardError {
+                message: "shard count must be at least 1".to_owned(),
+            });
+        }
+        if index >= count {
+            return Err(ShardError {
+                message: format!("shard index {index} out of range for {count} shard(s)"),
+            });
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// This shard's zero-based index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = ShardError;
+
+    fn from_str(s: &str) -> Result<Self, ShardError> {
+        let malformed = || ShardError {
+            message: format!("malformed shard `{s}` (expected `i/n`, e.g. `0/4`)"),
+        };
+        let (index, count) = s.split_once('/').ok_or_else(malformed)?;
+        let index: usize = index.trim().parse().map_err(|_| malformed())?;
+        let count: usize = count.trim().parse().map_err(|_| malformed())?;
+        Shard::new(index, count)
+    }
+}
+
+/// A shard descriptor that is malformed or out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    message: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let shard: Shard = "0/1".parse().unwrap();
+        assert_eq!(shard, Shard::new(0, 1).unwrap());
+        assert_eq!("3/8".parse::<Shard>().unwrap().to_string(), "3/8");
+    }
+
+    #[test]
+    fn rejects_malformed_and_out_of_range() {
+        for bad in ["", "3", "a/b", "1/", "/4", "-1/4", "4/4", "0/0"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad} should not parse");
+        }
+    }
+}

@@ -15,13 +15,16 @@ use cimloop_noise::NoiseSpec;
 cimloop_spec::reflect_section! {
     /// The reflected schema of a `!Space` scenario section: the
     /// design-space axes (variants come from `!Architecture` sections,
-    /// which the caller resolves).
+    /// which the caller resolves) and the stage-one screening
+    /// constraints.
     pub struct SpaceSection: "Space" {
         square_arrays: [list u64], "array-size axis: each n builds an nxn array";
         dac_bits: [list u32], "DAC-resolution axis, bits";
         adc_bits: [list u32], "ADC-resolution axis, bits";
         cell_bits: [list u32], "cell bit-width axis";
         variations: [list f64], "cell-variation sigma axis, realized as a NoiseSpec axis";
+        max_area_mm2: [opt f64], "stage-one screen: drop candidates whose total area exceeds this, mm2";
+        min_coverage: [opt f64], "stage-one screen: drop candidates whose ADC coverage proxy falls below this, in [0, 1]";
     }
 }
 
@@ -109,6 +112,24 @@ type Filter = Arc<dyn Fn(&DesignPoint) -> bool + Send + Sync>;
 /// Axes left empty keep the variant's own value. Iteration order (and the
 /// `id` numbering) is variants-outermost:
 /// `variant × array size × DAC bits × ADC bits × cell bits × noise spec`.
+///
+/// # Example
+///
+/// ```
+/// use cimloop_dse::DesignSpace;
+/// use cimloop_macros::base_macro;
+///
+/// let space = DesignSpace::new()
+///     .variant("base", base_macro().uncalibrated())
+///     .square_arrays([64, 128])
+///     .dac_bits([1, 2]);
+/// assert_eq!(space.grid_len(), 4);
+/// // Ids are stable cartesian indices; `point_at` is random access.
+/// let last = space.point_at(3).unwrap();
+/// assert_eq!(last.rows(), 128);
+/// assert_eq!(last.dac_bits(), 2);
+/// assert_eq!(space.designs().len(), 4);
+/// ```
 #[derive(Clone, Default)]
 pub struct DesignSpace {
     variants: Vec<(String, ArrayMacro)>,
@@ -118,6 +139,8 @@ pub struct DesignSpace {
     cell_bits: Vec<u32>,
     noise_specs: Vec<NoiseSpec>,
     filter: Option<Filter>,
+    max_area_mm2: Option<f64>,
+    min_coverage: Option<f64>,
 }
 
 impl std::fmt::Debug for DesignSpace {
@@ -133,6 +156,8 @@ impl std::fmt::Debug for DesignSpace {
             .field("cell_bits", &self.cell_bits)
             .field("noise_specs", &self.noise_specs)
             .field("filtered", &self.filter.is_some())
+            .field("max_area_mm2", &self.max_area_mm2)
+            .field("min_coverage", &self.min_coverage)
             .finish()
     }
 }
@@ -198,20 +223,44 @@ impl DesignSpace {
     /// presets).
     ///
     /// Recognized keys: `square_arrays` (list of `n` for n×n arrays),
-    /// `dac_bits`, `adc_bits`, `cell_bits` (bit-width lists), and
+    /// `dac_bits`, `adc_bits`, `cell_bits` (bit-width lists),
     /// `variations` (cell-variation sigmas, realized as a
-    /// [`NoiseSpec`] axis).
+    /// [`NoiseSpec`] axis), and the stage-one screening constraints
+    /// `max_area_mm2` / `min_coverage`.
     ///
     /// # Errors
     ///
-    /// Returns [`cimloop_spec::SpecError::Parse`] on unknown keys or
-    /// malformed lists.
+    /// Returns [`cimloop_spec::SpecError::Parse`] on unknown keys,
+    /// malformed lists, or an axis that is declared but empty (an empty
+    /// axis would multiply the grid down to zero candidates — the
+    /// explorer refuses to "sweep" nothing, so the mistake is reported
+    /// here with the axis's own line number).
     pub fn with_section(
         self,
         section: &cimloop_spec::Section,
     ) -> Result<Self, cimloop_spec::SpecError> {
         let axes = SpaceSection::decode(section)?;
-        Ok(self
+        for key in [
+            "square_arrays",
+            "dac_bits",
+            "adc_bits",
+            "cell_bits",
+            "variations",
+        ] {
+            if let Some(entry) = section.get(key) {
+                if matches!(&entry.value, cimloop_spec::SpecValue::List(v) if v.is_empty()) {
+                    return Err(cimloop_spec::SpecError::Parse {
+                        line: entry.line,
+                        message: format!(
+                            "!Space axis `{key}` is declared but empty — the design grid \
+                             would yield zero candidates (drop the key to use the \
+                             variant's own configuration)"
+                        ),
+                    });
+                }
+            }
+        }
+        let mut space = self
             .square_arrays(axes.square_arrays)
             .dac_bits(axes.dac_bits)
             .adc_bits(axes.adc_bits)
@@ -220,7 +269,43 @@ impl DesignSpace {
                 axes.variations
                     .into_iter()
                     .map(|sigma| NoiseSpec::new().with_cell_variation(sigma)),
-            ))
+            );
+        if let Some(cap) = axes.max_area_mm2 {
+            space = space.max_area_mm2(cap);
+        }
+        if let Some(floor) = axes.min_coverage {
+            space = space.min_coverage(floor);
+        }
+        Ok(space)
+    }
+
+    /// Screens out candidates whose total silicon area exceeds `cap` mm².
+    /// Area is a *cheap* metric (circuit models only, no value
+    /// statistics), so the explorer applies this cap before any expensive
+    /// evaluation — and identically on the naive path, so constrained
+    /// sweeps stay bit-identical between the two.
+    pub fn max_area_mm2(mut self, cap: f64) -> Self {
+        self.max_area_mm2 = Some(cap);
+        self
+    }
+
+    /// Screens out candidates whose ADC-coverage accuracy proxy
+    /// ([`crate::accuracy_proxy`]) falls below `floor` (in `[0, 1]`).
+    /// Coverage is pure arithmetic over the macro configuration, so the
+    /// screen costs nothing per candidate.
+    pub fn min_coverage(mut self, floor: f64) -> Self {
+        self.min_coverage = Some(floor);
+        self
+    }
+
+    /// The declared stage-one area cap, mm², if any.
+    pub fn area_cap(&self) -> Option<f64> {
+        self.max_area_mm2
+    }
+
+    /// The declared stage-one ADC-coverage floor, if any.
+    pub fn coverage_floor(&self) -> Option<f64> {
+        self.min_coverage
     }
 
     /// Thins the grid: only designs for which `keep` returns `true` are
@@ -242,19 +327,18 @@ impl DesignSpace {
             * axis(self.noise_specs.len())
     }
 
-    /// Materializes the (filtered) candidate designs in id order.
+    /// Builds the design at cartesian index `id` without materializing the
+    /// rest of the grid — random access for sharded and resumed sweeps.
     ///
-    /// Design *points* are small configuration records — it is the
-    /// evaluation *reports* that a streaming exploration avoids holding.
-    pub fn designs(&self) -> Vec<DesignPoint> {
-        // Empty axes keep the variant's own value, expressed as a single
-        // `None` entry so the cartesian product stays uniform.
-        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
-            if values.is_empty() {
-                vec![None]
-            } else {
-                values.iter().copied().map(Some).collect()
-            }
+    /// The index decomposes with the noise axis innermost and the variant
+    /// axis outermost, matching [`DesignSpace::designs`] iteration order
+    /// exactly. Returns `None` when the space has no variants or `id` is
+    /// past the end of the grid. The user [`DesignSpace::filter`] is *not*
+    /// consulted here — callers that honor filtering go through
+    /// [`DesignSpace::admits`].
+    pub fn point_at(&self, id: u64) -> Option<DesignPoint> {
+        if self.variants.is_empty() || id as usize >= self.grid_len() {
+            return None;
         }
         let sizes = axis(&self.array_sizes);
         let dacs = axis(&self.dac_bits);
@@ -262,51 +346,99 @@ impl DesignSpace {
         let cells = axis(&self.cell_bits);
         let noises = axis(&self.noise_specs);
 
-        let mut out = Vec::new();
-        let mut id = 0u64;
-        for (name, base) in &self.variants {
-            for &size in &sizes {
-                for &dac in &dacs {
-                    for &adc in &adcs {
-                        for &cell in &cells {
-                            for &noise in &noises {
-                                let mut m = base.clone();
-                                if let Some((rows, cols)) = size {
-                                    m = m.with_array(rows, cols);
-                                }
-                                if let Some(bits) = cell {
-                                    let dac_now = m.dac_bits();
-                                    m = m.with_slicing(dac_now, bits);
-                                }
-                                if let Some(bits) = dac {
-                                    m = m.with_dac_resolution(bits);
-                                }
-                                if let Some(bits) = adc {
-                                    m = m.with_adc_bits(bits);
-                                }
-                                if let Some(spec) = noise {
-                                    m = m.with_noise(spec);
-                                }
-                                let point = DesignPoint {
-                                    id,
-                                    variant: name.clone(),
-                                    cim_macro: m,
-                                };
-                                id += 1;
-                                let keep = match &self.filter {
-                                    Some(keep) => keep(&point),
-                                    None => true,
-                                };
-                                if keep {
-                                    out.push(point);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        let mut rem = id as usize;
+        let noise = noises[rem % noises.len()];
+        rem /= noises.len();
+        let cell = cells[rem % cells.len()];
+        rem /= cells.len();
+        let adc = adcs[rem % adcs.len()];
+        rem /= adcs.len();
+        let dac = dacs[rem % dacs.len()];
+        rem /= dacs.len();
+        let size = sizes[rem % sizes.len()];
+        rem /= sizes.len();
+        let (name, base) = &self.variants[rem];
+
+        let mut m = base.clone();
+        if let Some((rows, cols)) = size {
+            m = m.with_array(rows, cols);
         }
-        out
+        if let Some(bits) = cell {
+            let dac_now = m.dac_bits();
+            m = m.with_slicing(dac_now, bits);
+        }
+        if let Some(bits) = dac {
+            m = m.with_dac_resolution(bits);
+        }
+        if let Some(bits) = adc {
+            m = m.with_adc_bits(bits);
+        }
+        if let Some(spec) = noise {
+            m = m.with_noise(spec);
+        }
+        Some(DesignPoint {
+            id,
+            variant: name.clone(),
+            cim_macro: m,
+        })
+    }
+
+    /// Whether the user [`DesignSpace::filter`] keeps this design (`true`
+    /// when no filter is set). Stage-one screening constraints are *not*
+    /// applied here: they need an evaluator for the area metric, so the
+    /// explorer owns them.
+    pub fn admits(&self, point: &DesignPoint) -> bool {
+        match &self.filter {
+            Some(keep) => keep(point),
+            None => true,
+        }
+    }
+
+    /// Materializes the (filtered) candidate designs in id order.
+    ///
+    /// Design *points* are small configuration records — it is the
+    /// evaluation *reports* that a streaming exploration avoids holding.
+    pub fn designs(&self) -> Vec<DesignPoint> {
+        (0..self.grid_len() as u64)
+            .filter_map(|id| self.point_at(id))
+            .filter(|point| self.admits(point))
+            .collect()
+    }
+
+    /// A stable structural fingerprint of the space: variant names and
+    /// configurations (noise included), every axis value list, and the
+    /// stage-one constraints. Checkpoints embed this so a resume against a
+    /// *different* space is rejected instead of silently misnumbering ids.
+    ///
+    /// The user [`DesignSpace::filter`] closure cannot be fingerprinted;
+    /// two spaces differing only in their filter hash identically.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for (name, base) in &self.variants {
+            name.hash(&mut hasher);
+            base.config_fingerprint(true).hash(&mut hasher);
+        }
+        self.array_sizes.hash(&mut hasher);
+        self.dac_bits.hash(&mut hasher);
+        self.adc_bits.hash(&mut hasher);
+        self.cell_bits.hash(&mut hasher);
+        for spec in &self.noise_specs {
+            format!("{spec:?}").hash(&mut hasher);
+        }
+        self.max_area_mm2.map(f64::to_bits).hash(&mut hasher);
+        self.min_coverage.map(f64::to_bits).hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// Empty axes keep the variant's own value, expressed as a single `None`
+/// entry so the cartesian product stays uniform.
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
     }
 }
 

@@ -1,0 +1,194 @@
+//! Property-based tests of the production-scale sweep machinery
+//! (ISSUE 8): a sweep killed after *any* deterministic prefix and
+//! resumed through a checkpoint codec round-trip reproduces the
+//! uninterrupted front bit-exactly; shard fronts merge to the
+//! single-process front in any order; and the checkpoint survives both
+//! codecs (yamlite and JSON) without losing a bit.
+
+use cimloop_dse::{
+    AccuracyObjective, Checkpoint, DesignSpace, Exploration, Explorer, ParetoFront, Shard,
+    SweepPlan,
+};
+use cimloop_macros::base_macro;
+use cimloop_spec::ScenarioDoc;
+use cimloop_workload::{Layer, LayerKind, Shape, Workload};
+use proptest::prelude::*;
+
+/// An eight-design space with a noise axis, so staged runs exercise the
+/// fingerprint-dedup path under `AdcCoverage` and the codec carries both
+/// ideal and noisy members.
+fn space() -> DesignSpace {
+    DesignSpace::new()
+        .variant("base", base_macro().uncalibrated())
+        .square_arrays([16, 32])
+        .dac_bits([1, 2])
+        .noise_specs([
+            cimloop_noise::NoiseSpec::ideal(),
+            cimloop_noise::NoiseSpec::new().with_cell_variation(0.05),
+        ])
+}
+
+fn workload() -> Workload {
+    Workload::new(
+        "tiny",
+        vec![
+            Layer::new("a", LayerKind::Linear, Shape::linear(2, 24, 24).unwrap()),
+            Layer::new("b", LayerKind::Linear, Shape::linear(2, 48, 24).unwrap())
+                .with_input_bits(4),
+        ],
+    )
+    .unwrap()
+}
+
+fn explorer(accuracy: AccuracyObjective) -> Explorer {
+    Explorer::new().with_accuracy(accuracy).with_threads(2)
+}
+
+/// Asserts two fronts agree member-by-member down to the last bit.
+fn assert_bit_identical(a: &Exploration, b: &Exploration) {
+    assert_eq!(a.front.len(), b.front.len());
+    for (x, y) in a.front.members().iter().zip(b.front.members()) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(&x.objectives, &y.objectives);
+        assert_eq!(
+            x.value.energy_total.to_bits(),
+            y.value.energy_total.to_bits()
+        );
+        assert_eq!(x.value.latency.to_bits(), y.value.latency.to_bits());
+        assert_eq!(x.value.point.label(), y.value.point.label());
+    }
+}
+
+fn arb_accuracy() -> impl Strategy<Value = AccuracyObjective> {
+    prop_oneof![
+        Just(AccuracyObjective::OutputSnr),
+        Just(AccuracyObjective::AdcCoverage),
+    ]
+}
+
+proptest! {
+    // Every case runs several full sweeps of real evaluations; keep the
+    // case count modest so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill-after-any-prefix: stop the sweep after `budget` claimed
+    /// candidates, round-trip the checkpoint through its own codec, and
+    /// resume — the final front is bit-identical to the uninterrupted
+    /// run, whatever the kill point, staging mode, or objective.
+    #[test]
+    fn resume_after_any_prefix_is_bit_identical(
+        budget in 0usize..=8,
+        staged in any::<bool>(),
+        json in any::<bool>(),
+        accuracy in arb_accuracy(),
+    ) {
+        let (space, net) = (space(), workload());
+        let explorer = explorer(accuracy);
+        let plan = SweepPlan { staged, ..SweepPlan::new() };
+        let whole = explorer.sweep(&space, &net, &plan).unwrap();
+
+        let partial = explorer
+            .sweep(&space, &net, &SweepPlan { max_evaluations: Some(budget), ..plan.clone() })
+            .unwrap();
+        prop_assert_eq!(partial.completed, budget >= whole.processed.len());
+
+        // The kill/restart boundary: progress only survives as a
+        // serialized checkpoint, so resume from the decoded copy.
+        let checkpoint = Checkpoint::capture("prop", &space, accuracy, &partial);
+        let restored = if json {
+            Checkpoint::from_doc(&ScenarioDoc::from_json(&checkpoint.to_doc().to_json()).unwrap())
+        } else {
+            Checkpoint::from_doc(&ScenarioDoc::parse(&checkpoint.to_doc().write()).unwrap())
+        }
+        .unwrap();
+        let resume = restored.resume_state(&space, accuracy).unwrap();
+        prop_assert_eq!(&resume.processed, &partial.processed);
+
+        let resumed = explorer
+            .sweep(&space, &net, &SweepPlan { resume: Some(resume), ..plan })
+            .unwrap();
+        prop_assert!(resumed.completed);
+        prop_assert_eq!(&resumed.processed, &whole.processed);
+        assert_bit_identical(&resumed, &whole);
+    }
+
+    /// Shard fronts merge into the single-process front regardless of
+    /// merge order — the front is insertion-order-independent, so any
+    /// permutation of shard arrivals recombines bit-identically.
+    #[test]
+    fn shard_merge_is_insertion_order_invariant(
+        count in 1usize..=5,
+        rotation in 0usize..5,
+        staged in any::<bool>(),
+        accuracy in arb_accuracy(),
+    ) {
+        let (space, net) = (space(), workload());
+        let explorer = explorer(accuracy);
+        let plan = SweepPlan { staged, ..SweepPlan::new() };
+        let whole = explorer.sweep(&space, &net, &plan).unwrap();
+
+        let mut parts: Vec<ParetoFront<_>> = (0..count)
+            .map(|index| {
+                let shard = Shard::new(index, count).unwrap();
+                let plan = SweepPlan { shard: Some(shard), ..plan.clone() };
+                explorer.sweep(&space, &net, &plan).unwrap().front
+            })
+            .collect();
+        parts.rotate_left(rotation % count);
+
+        let mut merged = ParetoFront::new();
+        for part in parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.len(), whole.front.len());
+        for (x, y) in merged.members().iter().zip(whole.front.members()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(&x.objectives, &y.objectives);
+            prop_assert_eq!(x.value.energy_total.to_bits(), y.value.energy_total.to_bits());
+        }
+    }
+}
+
+/// The codec invariant on its own: capture → encode → decode preserves
+/// every stored bit in both encodings, including the non-finite-free
+/// but precision-hostile f64 fields (stored as raw bit patterns).
+#[test]
+fn checkpoint_codecs_round_trip_bit_exactly() {
+    let (space, net) = (space(), workload());
+    for accuracy in [AccuracyObjective::OutputSnr, AccuracyObjective::AdcCoverage] {
+        let exploration = explorer(accuracy)
+            .sweep(&space, &net, &SweepPlan::new())
+            .unwrap();
+        let checkpoint = Checkpoint::capture("codec", &space, accuracy, &exploration);
+        for restored in [
+            Checkpoint::from_doc(&ScenarioDoc::parse(&checkpoint.to_doc().write()).unwrap())
+                .unwrap(),
+            Checkpoint::from_doc(&ScenarioDoc::from_json(&checkpoint.to_doc().to_json()).unwrap())
+                .unwrap(),
+        ] {
+            assert_eq!(restored.name(), checkpoint.name());
+            assert_eq!(restored.space_fingerprint(), checkpoint.space_fingerprint());
+            assert_eq!(restored.accuracy(), checkpoint.accuracy());
+            assert_eq!(restored.processed(), checkpoint.processed());
+            let a = restored.resume_state(&space, accuracy).unwrap();
+            let b = checkpoint.resume_state(&space, accuracy).unwrap();
+            assert_eq!(a.front.len(), b.front.len());
+            for (x, y) in a.front.members().iter().zip(b.front.members()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(
+                    x.value.energy_total.to_bits(),
+                    y.value.energy_total.to_bits()
+                );
+                assert_eq!(x.value.latency.to_bits(), y.value.latency.to_bits());
+                assert_eq!(
+                    x.value.tops_per_watt.to_bits(),
+                    y.value.tops_per_watt.to_bits()
+                );
+                assert_eq!(
+                    x.value.output_snr_db.map(f64::to_bits),
+                    y.value.output_snr_db.map(f64::to_bits)
+                );
+            }
+        }
+    }
+}

@@ -286,6 +286,33 @@ impl ArrayMacro {
         self
     }
 
+    /// A digest of the macro's complete configuration — every field the
+    /// hierarchy, representation, and evaluation pipeline are derived
+    /// from. Two macros with equal fingerprints produce bit-identical
+    /// hierarchies and therefore bit-identical evaluation results.
+    ///
+    /// With `include_noise: false` the statistical non-ideality spec is
+    /// excluded, yielding the macro's *energy class*: noise attributes
+    /// change only the reported output SNR, never energy, latency, or
+    /// area (property-tested in `cimloop-core`), so designs sharing a
+    /// noise-stripped fingerprint are interchangeable on every
+    /// noise-blind objective. The DSE explorer's staged path uses this to
+    /// evaluate one representative per class.
+    pub fn config_fingerprint(&self, include_noise: bool) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        // The derived Debug form covers every configuration field and
+        // renders floats with round-trip precision, so it is a faithful
+        // (if verbose) serialization of the config.
+        if include_noise {
+            format!("{self:?}").hash(&mut hasher);
+        } else {
+            let stripped = self.clone().with_noise(NoiseSpec::ideal());
+            format!("{stripped:?}").hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
     /// The macro's name.
     pub fn name(&self) -> &str {
         &self.name

@@ -54,7 +54,7 @@ pub use array_macro::{ArrayMacro, OutputCombine};
 
 use cimloop_core::Encoding;
 
-/// The paper's base macro [15]: bit-serial ReRAM array, wire-summed rows,
+/// The paper's base macro \[15\]: bit-serial ReRAM array, wire-summed rows,
 /// shift-add accumulation (the NeuroSim validation macro; used as the
 /// ground-truth target in Fig 6 and Table II).
 pub fn base_macro() -> ArrayMacro {

@@ -6,7 +6,7 @@
 //! model can match circuit-level fidelity at interactive speed. The
 //! energy side of that claim lives in `cimloop-core`'s pipeline; this
 //! crate adds the *accuracy* side. Every non-ideality is expressed as a
-//! distribution transform over the [`Pmf`] machinery and composed into
+//! distribution transform over the [`cimloop_stats::Pmf`] machinery and composed into
 //! the value pipeline **after** the column-sum convolution:
 //!
 //! 1. The ideal analog column sum `S` (the `rows`-fold convolution of the

@@ -11,7 +11,7 @@
 //!   what makes yamlite → JSON → yamlite round-trips byte-identical.
 //! - [`Schema`] / [`FieldDescriptor`] — a field-descriptor model (name,
 //!   kind, required, doc) declared once per section type via the
-//!   [`reflect_section!`] macro. [`Schema::check`] is the single
+//!   [`crate::reflect_section!`] macro. [`Schema::check`] is the single
 //!   schema-driven walk that replaces the per-crate parse bodies:
 //!   unknown keys fail with a line-numbered error naming the nearest
 //!   valid field, and type errors keep their source lines.
@@ -240,7 +240,7 @@ impl Schema {
 }
 
 /// A type with a reflected section schema (implemented by
-/// [`reflect_section!`]).
+/// [`crate::reflect_section!`]).
 pub trait Reflect {
     /// The type's field-descriptor schema.
     fn schema() -> &'static Schema;
@@ -507,7 +507,7 @@ macro_rules! reflect_section {
     };
 }
 
-/// Internal: storage type for a [`reflect_section!`] field kind.
+/// Internal: storage type for a [`crate::reflect_section!`] field kind.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! reflect_field_ty {
@@ -528,7 +528,7 @@ macro_rules! reflect_field_ty {
     (list str) => { Vec<String> };
 }
 
-/// Internal: [`FieldKind`] for a [`reflect_section!`] field kind.
+/// Internal: [`FieldKind`] for a [`crate::reflect_section!`] field kind.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! reflect_field_kind {
@@ -579,7 +579,7 @@ macro_rules! reflect_field_kind {
     };
 }
 
-/// Internal: required flag for a [`reflect_section!`] field kind.
+/// Internal: required flag for a [`crate::reflect_section!`] field kind.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! reflect_field_required {
@@ -591,7 +591,7 @@ macro_rules! reflect_field_required {
     };
 }
 
-/// Internal: spec key for a [`reflect_section!`] field (the `as`
+/// Internal: spec key for a [`crate::reflect_section!`] field (the `as`
 /// rename when given, the field name otherwise).
 #[doc(hidden)]
 #[macro_export]
@@ -604,7 +604,7 @@ macro_rules! reflect_field_key {
     };
 }
 
-/// Internal: typed decode expression for a [`reflect_section!`] field.
+/// Internal: typed decode expression for a [`crate::reflect_section!`] field.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! reflect_field_decode {

@@ -191,12 +191,17 @@ impl Section {
     pub fn u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
         match self.scalar(key) {
             None => Ok(None),
-            Some((s, line)) => match s.as_i64() {
-                Some(v) if v >= 0 => Ok(Some(v as u64)),
-                _ => Err(self.parse_err(
-                    line,
-                    format!("`{key}` must be a non-negative integer, found `{}`", s.raw),
-                )),
+            // Full `u64` range: checkpoint files store space fingerprints
+            // and IEEE-754 bit patterns, which routinely exceed
+            // `i64::MAX` (the sign bit of any negative float does).
+            Some((s, line)) => match s.as_i64().filter(|v| *v >= 0) {
+                Some(v) => Ok(Some(v as u64)),
+                None => s.raw.trim().parse::<u64>().map(Some).map_err(|_| {
+                    self.parse_err(
+                        line,
+                        format!("`{key}` must be a non-negative integer, found `{}`", s.raw),
+                    )
+                }),
             },
         }
     }
@@ -278,15 +283,18 @@ impl Section {
         let line = self.get(key).map(|e| e.line).unwrap_or(self.line);
         items
             .iter()
-            .map(|s| match s.as_i64() {
-                Some(v) if v >= 0 => Ok(v as u64),
-                _ => Err(self.parse_err(
-                    line,
-                    format!(
-                        "`{key}` entries must be non-negative integers, found `{}`",
-                        s.raw
-                    ),
-                )),
+            .map(|s| match s.as_i64().filter(|v| *v >= 0) {
+                Some(v) => Ok(v as u64),
+                // Same full-`u64`-range rule as [`Self::u64`].
+                None => s.raw.trim().parse::<u64>().map_err(|_| {
+                    self.parse_err(
+                        line,
+                        format!(
+                            "`{key}` entries must be non-negative integers, found `{}`",
+                            s.raw
+                        ),
+                    )
+                }),
             })
             .collect::<Result<Vec<u64>, _>>()
             .map(Some)
@@ -1140,6 +1148,29 @@ model: mvm
         assert_eq!(h.len(), 3);
         assert!(h.component("cell").is_some());
         assert_eq!(doc.section("Workload").unwrap().str("model"), Some("mvm"));
+    }
+
+    #[test]
+    fn u64_accepts_the_full_unsigned_range() {
+        // Checkpoint files store space fingerprints and IEEE-754 bit
+        // patterns, which exceed i64::MAX whenever the hash's (or a
+        // negative float's) top bit is set.
+        let doc = ScenarioDoc::parse(&format!(
+            "!Scenario\nname: bits\n!Checkpoint\nspace: {}\nzero: 0\nsmall: 42\n\
+             processed: [1, {}]\nbad: -3\n",
+            u64::MAX,
+            (-1.5f64).to_bits(),
+        ))
+        .unwrap();
+        let section = doc.section("Checkpoint").unwrap();
+        assert_eq!(section.u64("space").unwrap(), Some(u64::MAX));
+        assert_eq!(section.u64("zero").unwrap(), Some(0));
+        assert_eq!(section.u64("small").unwrap(), Some(42));
+        assert_eq!(
+            section.u64_list("processed").unwrap().unwrap(),
+            vec![1, (-1.5f64).to_bits()]
+        );
+        assert!(section.u64("bad").is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored crate
 //! implements the subset of proptest that CiMLoop's property suites use:
-//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
 //! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
 //! `prop_oneof!`, `any::<T>()`, and the `proptest!` / `prop_assert!` /
 //! `prop_assert_eq!` macros. Each property runs for
@@ -289,7 +289,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,
