@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use cimloop_core::{CoreError, EnergyTableCache, NoiseSpec};
 use cimloop_dse::{summarize, DesignReport, DesignSpace, Explorer, ParetoFront};
 use cimloop_macros::{base_macro, macro_c, ArrayMacro, OutputCombine};
+use cimloop_sim::{mc_layer, McConfig};
 use cimloop_spec::reflect::Value;
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::{models, Workload};
@@ -239,6 +240,75 @@ pub fn noise_accuracy_rows() -> Vec<NoiseAccuracyRow> {
                 adc_bits,
                 snr_db: noise.snr_db,
                 enob: noise.enob,
+            });
+        }
+    }
+    rows
+}
+
+/// The ADC resolutions of the `fig_mc_accuracy` validation grid (a
+/// subset of [`NOISE_ADC_BITS`]: the MC engine resamples every cell, so
+/// the grid trades breadth for trials).
+pub const MC_ACCURACY_ADC_BITS: [u32; 2] = [8, 6];
+
+/// Monte-Carlo trials per `fig_mc_accuracy` grid cell — enough for
+/// ~0.1 dB standard error on the empirical SNR, and fixed so the golden
+/// is byte-stable.
+pub const MC_ACCURACY_TRIALS: u64 = 16_384;
+
+/// One cell of the `fig_mc_accuracy` validation grid: the analytic SNR
+/// prediction next to the Monte-Carlo empirical measurement of the same
+/// macro configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McAccuracyRow {
+    /// Relative cell programming-variation sigma.
+    pub variation: f64,
+    /// Output ADC resolution, bits.
+    pub adc_bits: u32,
+    /// The analytic (`NoiseAnalysis`) SNR prediction, dB.
+    pub analytic_snr_db: f64,
+    /// The sampled (noise-injection) empirical SNR, dB.
+    pub mc_snr_db: f64,
+    /// `|analytic − empirical|`, dB.
+    pub deviation_db: f64,
+    /// Fraction of sampled readouts that survive the ADC bit-exactly.
+    pub task_accuracy: f64,
+}
+
+/// The `fig_mc_accuracy` validation grid: the analytic accuracy chain
+/// cross-checked by repeated noise-injected inference on the 64×64 ReRAM
+/// base macro driving a matched matrix-vector layer. The Monte-Carlo
+/// side runs [`MC_ACCURACY_TRIALS`] trials at the pinned default seed,
+/// so the grid — like the analytic side — is deterministic and
+/// `results/fig_mc_accuracy.tsv` is a golden. The agreement contract
+/// (tolerance, seeding) is documented in `docs/accuracy.md`.
+pub fn mc_accuracy_rows() -> Vec<McAccuracyRow> {
+    let cache = EnergyTableCache::new();
+    let cfg = McConfig::new(MC_ACCURACY_TRIALS);
+    let mut rows = Vec::new();
+    for &variation in &NOISE_VARIATIONS {
+        for &adc_bits in &MC_ACCURACY_ADC_BITS {
+            let m = base_macro()
+                .uncalibrated()
+                .with_array(64, 64)
+                .with_adc_bits(adc_bits)
+                .with_noise(NoiseSpec::new().with_cell_variation(variation));
+            let evaluator = m.evaluator().expect("evaluator");
+            let layer = models::mvm(m.rows(), m.cols()).layers()[0].clone();
+            let report = evaluator
+                .evaluate_layer_cached(&layer, &m.representation(), &cache)
+                .expect("evaluation");
+            let analytic = report
+                .noise()
+                .expect("analog readout always carries a noise report");
+            let empirical = mc_layer(&m, &layer, &cfg).expect("monte-carlo run");
+            rows.push(McAccuracyRow {
+                variation,
+                adc_bits,
+                analytic_snr_db: analytic.snr_db,
+                mc_snr_db: empirical.snr_db,
+                deviation_db: (analytic.snr_db - empirical.snr_db).abs(),
+                task_accuracy: empirical.task_accuracy,
             });
         }
     }

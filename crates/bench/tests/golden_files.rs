@@ -26,7 +26,8 @@ use std::path::PathBuf;
 /// `examples/specs/custom_macro.yaml`, `dse_grid.tsv` by
 /// `cimloop dse examples/specs/dse_grid.yaml` (the shard/merge smoke's
 /// single-process reference).
-const GOLDENS: [(&str, u64, usize); 13] = [
+const GOLDENS: [(&str, u64, usize); 15] = [
+    ("dse_accuracy.tsv", 0xfe46868d9c67f4fc, 227),
     ("dse_grid.tsv", 0xee3927f97530d0a3, 721),
     ("fig02a.tsv", 0x95c47b92e420049d, 260),
     ("fig02b.tsv", 0x410b189704181cef, 224),
@@ -37,6 +38,7 @@ const GOLDENS: [(&str, u64, usize); 13] = [
     ("fig10.tsv", 0x31e0921dfe803ecd, 491),
     ("fig11.tsv", 0xeec6f95b838a15bb, 382),
     ("fig12.tsv", 0x0ab784e487bbb91c, 841),
+    ("fig_mc_accuracy.tsv", 0x228b919f8c7108ef, 350),
     ("network_sweep.tsv", 0x11e5fa94ca0ef252, 88),
     ("scenario_custom.tsv", 0x5a7cbbe24c63efdd, 195),
     ("table02.tsv", 0x43f49c10dce83097, 343),

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use cimloop_bench::ExperimentTable;
 use cimloop_core::{CoreError, EnergyTableCache};
+use cimloop_sim::{mc_layer, mc_workload, McConfig};
 use cimloop_spec::{ScenarioDoc, SpecError};
 
 pub mod resolve;
@@ -170,6 +171,34 @@ pub fn run_text(text: &str, out_dir: &Path) -> Result<ExperimentTable, CliError>
     Ok(table)
 }
 
+/// The documented analytic-vs-Monte-Carlo SNR agreement bound, dB (see
+/// `docs/accuracy.md`). `cimloop validate --monte-carlo` warns when a
+/// layer's empirical SNR strays further than this from the analytic
+/// prediction.
+pub const MC_VALIDATE_TOLERANCE_DB: f64 = 0.5;
+
+/// Options of [`validate_doc_with`]: the optional Monte-Carlo
+/// cross-check (`cimloop validate --monte-carlo N [--seed S]`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidateOptions {
+    /// Monte-Carlo trials per layer; `None` skips the sampled check.
+    pub monte_carlo: Option<u64>,
+    /// PRNG seed override; `None` uses the pinned [`McConfig`] default,
+    /// so repeated runs are byte-identical.
+    pub seed: Option<u64>,
+}
+
+impl ValidateOptions {
+    fn mc_config(&self) -> Option<McConfig> {
+        let trials = self.monte_carlo?;
+        let cfg = McConfig::new(trials);
+        Some(match self.seed {
+            Some(seed) => cfg.with_seed(seed),
+            None => cfg,
+        })
+    }
+}
+
 /// Validates a scenario without running its experiment: parses the
 /// document, resolves architectures/workload/noise, builds the scoped
 /// evaluator, and reports configuration smells. Returns warning lines
@@ -193,6 +222,22 @@ pub fn validate_text(text: &str) -> Result<Vec<String>, CliError> {
 ///
 /// Returns the first schema/resolution error.
 pub fn validate_doc(doc: &ScenarioDoc) -> Result<Vec<String>, CliError> {
+    validate_doc_with(doc, &ValidateOptions::default())
+}
+
+/// [`validate_doc`] with options: `opts.monte_carlo` additionally runs
+/// the sampled noise-injection engine over every architecture × layer
+/// pair and reports the empirical SNR next to the analytic prediction
+/// (plus the end-to-end `task_accuracy`), warning when any layer
+/// deviates by more than [`MC_VALIDATE_TOLERANCE_DB`].
+///
+/// # Errors
+///
+/// See [`validate_doc`].
+pub fn validate_doc_with(
+    doc: &ScenarioDoc,
+    opts: &ValidateOptions,
+) -> Result<Vec<String>, CliError> {
     schema::check_document(doc)?;
     let name = doc.name()?;
     let kind = doc.experiment().to_owned();
@@ -267,6 +312,56 @@ pub fn validate_doc(doc: &ScenarioDoc) -> Result<Vec<String>, CliError> {
                 m.name(),
                 cimloop_core::Evaluator::DEFAULT_CYCLE_TIME,
             ));
+        }
+        // The optional Monte-Carlo cross-check: sample the declared noise
+        // over every layer and report the empirical SNR next to the
+        // analytic prediction. Fixed trial count + pinned seed ⇒ the
+        // printout is byte-identical across runs and thread counts.
+        if let (Some(cfg), Some(net)) = (opts.mc_config(), &net) {
+            println!(
+                "  monte-carlo cross-check ({} trials, seed {}):",
+                cfg.trials, cfg.seed
+            );
+            for layer in net.layers() {
+                let analytic = evaluator.evaluate_layer(layer, &rep)?.output_snr_db();
+                let empirical = mc_layer(&m, layer, &cfg)?;
+                match analytic {
+                    Some(analytic) => {
+                        let deviation = (analytic - empirical.snr_db).abs();
+                        println!(
+                            "    layer `{}`: analytic {analytic:.3} dB vs empirical {:.3} dB \
+                             (deviation {deviation:.3} dB), task accuracy {:.4}",
+                            layer.name(),
+                            empirical.snr_db,
+                            empirical.task_accuracy
+                        );
+                        if deviation > MC_VALIDATE_TOLERANCE_DB {
+                            warnings.push(format!(
+                                "architecture `{}`, layer `{}`: empirical SNR {:.3} dB deviates \
+                                 {deviation:.3} dB from the analytic {analytic:.3} dB (tolerance \
+                                 {MC_VALIDATE_TOLERANCE_DB} dB) — the analytic model and the \
+                                 sampled engine disagree",
+                                m.name(),
+                                layer.name(),
+                                empirical.snr_db,
+                            ));
+                        }
+                    }
+                    // Noise-free digital readout has no analytic noise
+                    // report; the sampled engine must then be exact.
+                    None => println!(
+                        "    layer `{}`: exact digital readout, task accuracy {:.4}",
+                        layer.name(),
+                        empirical.task_accuracy
+                    ),
+                }
+            }
+            let run = mc_workload(&m, net, &cfg)?;
+            println!(
+                "    end-to-end task accuracy: {:.4} ({} layers, MAC-weighted)",
+                run.task_accuracy,
+                run.layers.len()
+            );
         }
     }
     // Reflection fixpoint check: the document must survive its own

@@ -9,7 +9,10 @@
 //!                                              # design-space scenarios only
 //! cimloop merge-fronts <spec> <checkpoint>… [--out DIR]
 //!                                              # recombine shard checkpoints
-//! cimloop validate <spec>…                     # resolve + report, don't run
+//! cimloop validate <spec>… [--monte-carlo N] [--seed S]
+//!                                              # resolve + report, don't run;
+//!                                              # optionally cross-check the
+//!                                              # analytic SNR by sampling
 //! cimloop convert  <spec>… [--to yamlite|json] # re-encode via reflection
 //! cimloop diff     <old> <new>                 # structural field-level diff
 //! cimloop serve    <addr> [--once] [--workers N] [--queue-depth N]
@@ -31,13 +34,14 @@ use std::process::ExitCode;
 use cimloop_cli::serve::client::{Client, Response};
 use cimloop_cli::serve::{ServeConfig, Server, SpecFormat};
 use cimloop_cli::{
-    dse_with, merge_fronts, run_scenario, validate_doc, CliError, DseOptions, RunContext,
-    DSE_KINDS, SWEEP_KINDS,
+    dse_with, merge_fronts, run_scenario, validate_doc_with, CliError, DseOptions, RunContext,
+    ValidateOptions, DSE_KINDS, SWEEP_KINDS,
 };
 use cimloop_spec::ScenarioDoc;
 
 const USAGE: &str =
     "usage: cimloop <evaluate|sweep|dse|validate> <spec>... [--out DIR] [--format yamlite|json]
+       cimloop validate <spec>... [--monte-carlo N] [--seed S]
        cimloop dse <spec>... [--staged] [--checkpoint FILE] [--resume] [--shard i/n] [--max-evals N]
        cimloop merge-fronts <spec> <checkpoint>... [--out DIR]
        cimloop convert <spec>... [--to yamlite|json]
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut forced: Option<SpecFormat> = None;
     let mut dse_opts = DseOptions::default();
+    let mut validate_opts = ValidateOptions::default();
     let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -128,6 +133,14 @@ fn main() -> ExitCode {
                 Ok(n) => dse_opts.max_evaluations = Some(n),
                 Err(e) => return usage_error(&e),
             },
+            "--monte-carlo" => match parse_count("--monte-carlo", args.next()) {
+                Ok(n) => validate_opts.monte_carlo = Some(n as u64),
+                Err(e) => return usage_error(&e),
+            },
+            "--seed" => match parse_count("--seed", args.next()) {
+                Ok(n) => validate_opts.seed = Some(n as u64),
+                Err(e) => return usage_error(&e),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -142,6 +155,14 @@ fn main() -> ExitCode {
     if specs.is_empty() {
         eprintln!("no scenario files given\n{USAGE}");
         return ExitCode::from(2);
+    }
+    if (validate_opts.monte_carlo.is_some() || validate_opts.seed.is_some())
+        && command != "validate"
+    {
+        return usage_error("--monte-carlo/--seed only apply to `cimloop validate`");
+    }
+    if validate_opts.seed.is_some() && validate_opts.monte_carlo.is_none() {
+        return usage_error("--seed requires --monte-carlo N");
     }
     if !dse_opts.is_default() {
         if command != "dse" {
@@ -171,7 +192,8 @@ fn main() -> ExitCode {
         };
         let format = detect_format(spec, forced);
         let result: Result<(), CliError> = match command.as_str() {
-            "validate" => parse_spec(&text, format).and_then(|doc| validate_doc(&doc).map(|_| ())),
+            "validate" => parse_spec(&text, format)
+                .and_then(|doc| validate_doc_with(&doc, &validate_opts).map(|_| ())),
             "evaluate" | "sweep" | "dse" => parse_spec(&text, format)
                 .and_then(|doc| run_kind(&command, &doc, &out_dir, &dse_opts)),
             other => {

@@ -293,7 +293,7 @@ fn explorer_for(doc: &ScenarioDoc) -> Result<Explorer, CliError> {
     let name = doc.scenario().str_or("accuracy", "snr");
     let accuracy = AccuracyObjective::parse(name).ok_or_else(|| {
         CliError::usage(format!(
-            "unknown accuracy objective `{name}` (expected snr or adc_coverage)"
+            "unknown accuracy objective `{name}` (expected snr, adc_coverage, or task_accuracy)"
         ))
     })?;
     Ok(Explorer::new().with_accuracy(accuracy).with_scope(scope))
@@ -313,20 +313,25 @@ fn front_table(
     doc: &ScenarioDoc,
     front: &ParetoFront<cimloop_dse::DesignReport>,
 ) -> Result<ExperimentTable, CliError> {
-    let mut out = table(
-        doc,
-        &[
-            "design",
-            "J/MAC",
-            "TOPS/W",
-            "area (mm2)",
-            "SNR (dB)",
-            "energy (J)",
-        ],
-    )?;
+    // Under the task_accuracy objective the front carries the sampled
+    // task accuracy; surface it as an extra column. Other objectives
+    // keep the historic column set so their goldens stay byte-identical.
+    let task_accuracy = doc.scenario().str_or("accuracy", "snr") == "task_accuracy";
+    let mut headers = vec![
+        "design",
+        "J/MAC",
+        "TOPS/W",
+        "area (mm2)",
+        "SNR (dB)",
+        "energy (J)",
+    ];
+    if task_accuracy {
+        headers.push("task accuracy");
+    }
+    let mut out = table(doc, &headers)?;
     for member in front.members() {
         let r = &member.value;
-        out.row(vec![
+        let mut row = vec![
             r.point.label(),
             format!("{:.6e}", r.energy_per_mac),
             fmt(r.tops_per_watt),
@@ -335,7 +340,15 @@ fn front_table(
                 .map(|v| format!("{v:.3}"))
                 .unwrap_or_else(|| "-".to_owned()),
             format!("{:.6e}", r.energy_total),
-        ]);
+        ];
+        if task_accuracy {
+            row.push(
+                r.task_accuracy
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+            );
+        }
+        out.row(row);
     }
     Ok(out)
 }

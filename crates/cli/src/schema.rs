@@ -28,7 +28,7 @@ cimloop_spec::reflect_section! {
         experiment: [str] = "evaluate", "experiment kind: evaluate, sweep, dse, compare, output_reuse, or speed_record";
         scope: [str] = "macro", "evaluation scope: macro or system";
         storage: [str] = "weight_stationary", "system storage scenario: all_dram, weight_stationary, or io_on_chip";
-        accuracy: [str] = "snr", "design-exploration accuracy objective: snr or adc_coverage";
+        accuracy: [str] = "snr", "design-exploration accuracy objective: snr, adc_coverage, or task_accuracy";
         staged: [bool] = false, "dse: enable the staged pre-pass (fingerprint dedup + cheap screens) — the front is bit-identical either way";
         exact_layers: [u64] = 3, "speed_record: value-exact simulated layer count (from the network's end)";
         search_layers: [u64] = 4, "speed_record: layers covered by the mapping search";

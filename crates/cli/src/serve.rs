@@ -692,7 +692,12 @@ pub mod client {
 
         fn read_response(&mut self) -> io::Result<Response> {
             let mut header = String::new();
-            self.reader.read_line(&mut header)?;
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response header arrived",
+                ));
+            }
             let header = header.trim_end_matches('\n');
             let (status, rest) = header.split_once(' ').ok_or_else(|| {
                 io::Error::new(
@@ -710,8 +715,28 @@ pub mod client {
                     format!("malformed response length in `{header}`"),
                 )
             })?;
+            // A daemon dying mid-response leaves a short body behind the
+            // header; a bare `read_exact` would surface only "failed to
+            // fill whole buffer". Count what actually arrived so a torn
+            // frame names both byte counts.
             let mut body = vec![0u8; len];
-            self.reader.read_exact(&mut body)?;
+            let mut received = 0;
+            while received < len {
+                match self.reader.read(&mut body[received..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "torn response frame: header `{header}` promised {len} bytes \
+                                 but the connection closed after {received}"
+                            ),
+                        ))
+                    }
+                    Ok(n) => received += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
             match status {
                 "OK" => Ok(Response::Ok { name, body }),
                 "ERR" => Ok(Response::Err(String::from_utf8_lossy(&body).into_owned())),
@@ -842,5 +867,54 @@ mod tests {
         let (name_j, tsv_j) = run_request(&json, SpecFormat::Json, &ctx).unwrap();
         assert_eq!(name_y, name_j);
         assert_eq!(tsv_y, tsv_j, "RUNJSON must serve the batch TSV bytes");
+    }
+
+    /// A fake daemon that accepts one connection, reads the request
+    /// header, sends the given response bytes, and drops the connection.
+    fn truncating_server(response: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("request header");
+            stream.write_all(response).expect("partial response");
+            // Dropping the stream closes the connection mid-frame.
+        });
+        addr
+    }
+
+    #[test]
+    fn client_names_both_byte_counts_on_a_torn_response_frame() {
+        // Regression: a daemon dying mid-response used to surface the
+        // raw io error ("failed to fill whole buffer"); the client must
+        // say what the header promised and what actually arrived.
+        let addr = truncating_server(b"OK 100 tiny\npartial body");
+        let mut client = client::Client::connect(addr).expect("connect");
+        let err = client.run(TINY_SPEC).expect_err("torn frame must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let message = err.to_string();
+        assert!(
+            message.contains("promised 100 bytes") && message.contains("after 12"),
+            "torn-frame error must name expected/received counts, got `{message}`"
+        );
+    }
+
+    #[test]
+    fn client_reports_a_connection_closed_before_any_header() {
+        // The degenerate torn frame: the daemon dies before writing a
+        // header at all.
+        let addr = truncating_server(b"");
+        let mut client = client::Client::connect(addr).expect("connect");
+        let err = client
+            .run(TINY_SPEC)
+            .expect_err("missing header must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(
+            err.to_string().contains("before a response header"),
+            "got `{}`",
+            err
+        );
     }
 }

@@ -6,7 +6,8 @@
 use std::path::PathBuf;
 
 use cimloop_cli::{
-    dse_with, merge_fronts, run_scenario, validate_text, CliError, DseOptions, RunContext,
+    dse_with, merge_fronts, run_scenario, validate_doc_with, validate_text, CliError, DseOptions,
+    RunContext, ValidateOptions,
 };
 use cimloop_dse::{DesignSpace, Explorer, Shard};
 use cimloop_macros::base_macro;
@@ -116,6 +117,50 @@ fn spec_driven_evaluate_matches_the_programmatic_evaluator() {
         .expect("total row");
     let energy = total_row.split('\t').nth(2).unwrap();
     assert_eq!(energy, format!("{:.6e}", report.energy_total()));
+}
+
+#[test]
+fn task_accuracy_dse_gains_its_column_and_monte_carlo_validate_agrees() {
+    let text = format!(
+        "!Scenario\nname: tiny_acc\nexperiment: dse\naccuracy: task_accuracy\n\
+         !Architecture\nname: base\nmacro: base\ncalibrated: false\n\
+         !Noise\ncell_variation: 0.15\n\
+         !Space\nsquare_arrays: [16, 32]\n{}",
+        tiny_workload_spec()
+    );
+    let doc = ScenarioDoc::parse(&text).unwrap();
+    let table = run_scenario(&doc).expect("task-accuracy dse runs");
+    let tsv = table.to_tsv();
+    assert!(
+        tsv.lines().next().unwrap().ends_with("task accuracy"),
+        "the task_accuracy objective must surface its column: {tsv}"
+    );
+    for row in tsv.lines().skip(1) {
+        let acc: f64 = row
+            .rsplit('\t')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("task-accuracy cell parses");
+        assert!((0.0..=1.0).contains(&acc), "accuracy {acc} out of range");
+    }
+    // The sampled objective is seeded: reruns are byte-identical.
+    assert_eq!(tsv, run_scenario(&doc).unwrap().to_tsv());
+
+    // `cimloop validate --monte-carlo`: the analytic chain and the
+    // sampled engine agree within tolerance, so validation stays clean.
+    let warnings = validate_doc_with(
+        &doc,
+        &ValidateOptions {
+            monte_carlo: Some(4096),
+            seed: Some(7),
+        },
+    )
+    .expect("monte-carlo validation runs");
+    assert!(
+        warnings.iter().all(|w| !w.contains("deviates")),
+        "unexpected analytic-vs-MC tolerance warnings: {warnings:?}"
+    );
 }
 
 #[test]

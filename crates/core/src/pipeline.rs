@@ -153,6 +153,16 @@ impl ValueStats {
     pub fn product_second_moment(&self) -> f64 {
         self.product_sq_mean
     }
+
+    /// Average input slice stream (what a DAC drives onto one row).
+    pub fn input_slice(&self) -> &EncodedStream {
+        &self.input_slice
+    }
+
+    /// Average weight slice stream (what one cell stores).
+    pub fn weight_slice(&self) -> &EncodedStream {
+        &self.weight_slice
+    }
 }
 
 /// Per-layer value distributions for every component of a hierarchy.

@@ -53,6 +53,7 @@ struct StoredReport {
     area_mm2: f64,
     accuracy_proxy: f64,
     output_snr_db: Option<f64>,
+    task_accuracy: Option<f64>,
     macs: u64,
 }
 
@@ -80,6 +81,7 @@ impl Checkpoint {
                 area_mm2: m.value.area_mm2,
                 accuracy_proxy: m.value.accuracy_proxy,
                 output_snr_db: m.value.output_snr_db,
+                task_accuracy: m.value.task_accuracy,
                 macs: m.value.macs,
             })
             .collect();
@@ -171,6 +173,7 @@ impl Checkpoint {
                 area_mm2: stored.area_mm2,
                 accuracy_proxy: stored.accuracy_proxy,
                 output_snr_db: stored.output_snr_db,
+                task_accuracy: stored.task_accuracy,
                 macs: stored.macs,
             };
             front.insert(stored.id, report.objectives_for(accuracy), report);
@@ -221,6 +224,9 @@ impl Checkpoint {
             }
             if let Some(snr) = stored.output_snr_db {
                 member.insert("output_snr_db", Value::scalar(&snr.to_bits().to_string()));
+            }
+            if let Some(acc) = stored.task_accuracy {
+                member.insert("task_accuracy", Value::scalar(&acc.to_bits().to_string()));
             }
             member.insert("macs", Value::scalar(&stored.macs.to_string()));
             sections.push(section_value("Member", member));
@@ -277,6 +283,7 @@ impl Checkpoint {
         let mut members = Vec::new();
         for section in doc.sections("Member") {
             let output_snr_db = section.u64("output_snr_db")?.map(f64::from_bits);
+            let task_accuracy = section.u64("task_accuracy")?.map(f64::from_bits);
             members.push(StoredReport {
                 id: req_u64(section, "id")?,
                 label: section.str_or("label", "").to_owned(),
@@ -287,6 +294,7 @@ impl Checkpoint {
                 area_mm2: req_bits(section, "area_mm2")?,
                 accuracy_proxy: req_bits(section, "accuracy_proxy")?,
                 output_snr_db,
+                task_accuracy,
                 macs: req_u64(section, "macs")?,
             });
         }

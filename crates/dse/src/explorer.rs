@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use cimloop_core::{CoreError, EnergyTableCache, Evaluator, Representation, RunReport};
 use cimloop_macros::ArrayMacro;
 use cimloop_noise::SNR_CAP_DB;
+use cimloop_sim::{mc_workload, McConfig};
 use cimloop_system::{CimSystem, StorageScenario};
 use cimloop_workload::Workload;
 
@@ -74,15 +75,22 @@ pub enum AccuracyObjective {
     /// bit-width the converter resolves). Kept behind this constructor
     /// for golden continuity with pre-noise sweeps.
     AdcCoverage,
+    /// Empirical end-to-end task accuracy from seeded Monte-Carlo noise
+    /// injection (`cimloop_sim::mc_workload`): the MAC-weighted fraction
+    /// of column readouts landing on the ideal ADC code. Trades energy
+    /// against real accuracy cliffs instead of the SNR proxy; costs one
+    /// fixed-seed sampling run per surviving design.
+    TaskAccuracy,
 }
 
 impl AccuracyObjective {
-    /// Parses the spec-level objective name (`snr` or `adc_coverage`);
-    /// `None` for anything else.
+    /// Parses the spec-level objective name (`snr`, `adc_coverage`, or
+    /// `task_accuracy`); `None` for anything else.
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "snr" => Some(AccuracyObjective::OutputSnr),
             "adc_coverage" => Some(AccuracyObjective::AdcCoverage),
+            "task_accuracy" => Some(AccuracyObjective::TaskAccuracy),
             _ => None,
         }
     }
@@ -92,6 +100,7 @@ impl AccuracyObjective {
         match self {
             AccuracyObjective::OutputSnr => "snr",
             AccuracyObjective::AdcCoverage => "adc_coverage",
+            AccuracyObjective::TaskAccuracy => "task_accuracy",
         }
     }
 }
@@ -120,6 +129,11 @@ pub struct DesignReport {
     /// noise subsystem (`None` when no analog readout is modeled, i.e.
     /// digital designs that resolve every bit).
     pub output_snr_db: Option<f64>,
+    /// Empirical MAC-weighted end-to-end task accuracy from the seeded
+    /// Monte-Carlo engine, in `[0, 1]`. Populated only when the
+    /// [`AccuracyObjective::TaskAccuracy`] objective asked for it
+    /// (sampling is not free); `None` otherwise.
+    pub task_accuracy: Option<f64>,
     /// Total useful MACs of the workload.
     pub macs: u64,
 }
@@ -138,11 +152,14 @@ impl DesignReport {
 
     /// The design's objective vector with the accuracy axis scored per
     /// `accuracy`. Digital (no-ADC) designs resolve every bit, so under
-    /// [`AccuracyObjective::OutputSnr`] they score the SNR cap.
+    /// [`AccuracyObjective::OutputSnr`] they score the SNR cap and under
+    /// [`AccuracyObjective::TaskAccuracy`] a perfect `1.0` (a readout
+    /// that resolves every bit always lands on the ideal code).
     pub fn objectives_for(&self, accuracy: AccuracyObjective) -> Objectives {
         let accuracy_proxy = match accuracy {
             AccuracyObjective::AdcCoverage => self.accuracy_proxy,
             AccuracyObjective::OutputSnr => self.output_snr_db.unwrap_or(SNR_CAP_DB),
+            AccuracyObjective::TaskAccuracy => self.task_accuracy.unwrap_or(1.0),
         };
         Objectives {
             energy_per_mac: self.energy_per_mac,
@@ -443,7 +460,10 @@ impl Explorer {
         // representative never shifts between a run and its resume.
         let mut pruned = 0usize;
         if plan.staged {
-            let include_noise = matches!(self.accuracy, AccuracyObjective::OutputSnr);
+            let include_noise = matches!(
+                self.accuracy,
+                AccuracyObjective::OutputSnr | AccuracyObjective::TaskAccuracy
+            );
             let mut seen = std::collections::HashSet::new();
             candidates.retain(|p| {
                 if seen.insert(p.cim_macro().config_fingerprint(include_noise)) {
@@ -587,7 +607,11 @@ impl Explorer {
             }
         }
         let run = evaluator.evaluate_cached(workload, &rep, &self.cache)?;
-        Ok(Some(summarize(point, &evaluator, &run)))
+        let mut report = summarize(point, &evaluator, &run);
+        if self.accuracy == AccuracyObjective::TaskAccuracy {
+            report.task_accuracy = Some(task_accuracy_of(point.cim_macro(), workload)?);
+        }
+        Ok(Some(report))
     }
 
     /// Evaluates one design through the shared cache.
@@ -602,7 +626,11 @@ impl Explorer {
     ) -> Result<DesignReport, CoreError> {
         let (evaluator, rep) = self.evaluator_for(point)?;
         let run = evaluator.evaluate_cached(workload, &rep, &self.cache)?;
-        Ok(summarize(point, &evaluator, &run))
+        let mut report = summarize(point, &evaluator, &run);
+        if self.accuracy == AccuracyObjective::TaskAccuracy {
+            report.task_accuracy = Some(task_accuracy_of(point.cim_macro(), workload)?);
+        }
+        Ok(report)
     }
 
     /// Builds the scoped evaluator and representation for one design.
@@ -632,8 +660,38 @@ impl Explorer {
     }
 }
 
+/// Trials of the fixed Monte-Carlo configuration the
+/// [`AccuracyObjective::TaskAccuracy`] objective scores designs with.
+/// Pinned (with the engine's default seed) so sweep fronts are
+/// deterministic goldens.
+pub const TASK_ACCURACY_TRIALS: u64 = 2048;
+
+/// The end-to-end Monte-Carlo task accuracy the
+/// [`AccuracyObjective::TaskAccuracy`] objective scores `m` with: the
+/// fixed-seed, [`TASK_ACCURACY_TRIALS`]-trial `cimloop_sim::mc_workload`
+/// reduction. An ideal noise spec short-circuits to exactly `1.0` — the
+/// engine's zero-sigma identity guarantees the sampled path would return
+/// the same bits, so the fast path is not an approximation.
+///
+/// Shared by the explorer and by naive sweeps so the explorer == naive
+/// bit-identity property extends to this objective.
+///
+/// # Errors
+///
+/// Propagates evaluator construction and distribution errors.
+pub fn task_accuracy_of(m: &ArrayMacro, workload: &Workload) -> Result<f64, CoreError> {
+    if m.noise().is_ideal() {
+        return Ok(1.0);
+    }
+    let cfg = McConfig::new(TASK_ACCURACY_TRIALS);
+    Ok(mc_workload(m, workload, &cfg)?.task_accuracy)
+}
+
 /// Folds a finished run into the retained per-design summary. Shared by
-/// the explorer and by naive sweeps that want comparable reports.
+/// the explorer and by naive sweeps that want comparable reports. The
+/// `task_accuracy` field stays `None` — only the
+/// [`AccuracyObjective::TaskAccuracy`] objective pays for sampling (see
+/// [`task_accuracy_of`]).
 pub fn summarize(point: &DesignPoint, evaluator: &Evaluator, run: &RunReport) -> DesignReport {
     DesignReport {
         point: point.clone(),
@@ -644,6 +702,7 @@ pub fn summarize(point: &DesignPoint, evaluator: &Evaluator, run: &RunReport) ->
         area_mm2: evaluator.area().total_mm2(),
         accuracy_proxy: accuracy_proxy(point.cim_macro()),
         output_snr_db: run.output_snr_db(),
+        task_accuracy: None,
         macs: run.macs_total(),
     }
 }
@@ -677,22 +736,33 @@ mod tests {
 
     #[test]
     fn explorer_matches_naive_sequential_sweep() {
-        let space = tiny_space();
+        let space = tiny_space().noise_specs([
+            cimloop_noise::NoiseSpec::ideal(),
+            cimloop_noise::NoiseSpec::new().with_cell_variation(0.15),
+        ]);
         let net = tiny_workload();
-        // Both objectives must match a naive uncached sweep bit-for-bit.
-        for accuracy in [AccuracyObjective::AdcCoverage, AccuracyObjective::OutputSnr] {
+        // Every objective must match a naive uncached sweep bit-for-bit.
+        for accuracy in [
+            AccuracyObjective::AdcCoverage,
+            AccuracyObjective::OutputSnr,
+            AccuracyObjective::TaskAccuracy,
+        ] {
             let explorer = Explorer::new().with_accuracy(accuracy).with_threads(2);
             let exploration = explorer.explore(&space, &net).unwrap();
-            assert_eq!(exploration.evaluated, 8);
+            assert_eq!(exploration.evaluated, 16);
 
-            // Naive: fresh evaluator per design, no cache.
+            // Naive: fresh evaluator per design, no cache, the shared
+            // summarize + task-accuracy helpers.
             let mut naive = ParetoFront::new();
             for point in space.designs() {
                 let evaluator = point.cim_macro().evaluator().unwrap();
                 let run = evaluator
                     .evaluate(&net, &point.cim_macro().representation())
                     .unwrap();
-                let report = summarize(&point, &evaluator, &run);
+                let mut report = summarize(&point, &evaluator, &run);
+                if accuracy == AccuracyObjective::TaskAccuracy {
+                    report.task_accuracy = Some(task_accuracy_of(point.cim_macro(), &net).unwrap());
+                }
                 naive.insert(point.id(), report.objectives_for(accuracy), report);
             }
 
@@ -701,8 +771,35 @@ mod tests {
                 assert_eq!(a.id, b.id);
                 assert_eq!(a.objectives, b.objectives);
                 assert_eq!(a.value.energy_total, b.value.energy_total);
+                assert_eq!(a.value.task_accuracy, b.value.task_accuracy);
             }
         }
+    }
+
+    #[test]
+    fn task_accuracy_objective_separates_noisy_twins_and_is_exact_when_ideal() {
+        let quiet = base_macro().uncalibrated();
+        let noisy = base_macro()
+            .uncalibrated()
+            .with_noise(cimloop_noise::NoiseSpec::new().with_cell_variation(0.2));
+        let net = tiny_workload();
+        // Ideal spec short-circuits to exactly 1.0; a sampled run agrees
+        // bit-for-bit (the engine's zero-sigma identity).
+        assert_eq!(task_accuracy_of(&quiet, &net).unwrap(), 1.0);
+        let sampled = cimloop_sim::mc_workload(&quiet, &net, &McConfig::new(TASK_ACCURACY_TRIALS))
+            .unwrap()
+            .task_accuracy;
+        assert_eq!(sampled, 1.0);
+        // Variation must cost real accuracy under the sampled objective.
+        let lossy = task_accuracy_of(&noisy, &net).unwrap();
+        assert!(lossy < 1.0, "variation left task accuracy at {lossy}");
+        // And the explorer populates the report field under the objective.
+        let space = DesignSpace::new().variant("noisy", noisy);
+        let explorer = Explorer::new()
+            .with_accuracy(AccuracyObjective::TaskAccuracy)
+            .with_threads(1);
+        let front = explorer.explore(&space, &net).unwrap().front;
+        assert_eq!(front.members()[0].value.task_accuracy, Some(lossy));
     }
 
     #[test]

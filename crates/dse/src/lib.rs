@@ -62,8 +62,8 @@ mod space;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use explorer::{
-    accuracy_proxy, summarize, AccuracyObjective, DesignReport, EvalScope, Exploration, Explorer,
-    SweepPlan, SweepState,
+    accuracy_proxy, summarize, task_accuracy_of, AccuracyObjective, DesignReport, EvalScope,
+    Exploration, Explorer, SweepPlan, SweepState, TASK_ACCURACY_TRIALS,
 };
 pub use pareto::{FrontMember, Objectives, ParetoFront};
 pub use shard::{Shard, ShardError};

@@ -16,6 +16,13 @@
 //! layers (the paper's "fixed-energy model" with the optimistic
 //! workload-averaged assumption).
 //!
+//! [`mc_column_readout`] and friends are the *accuracy* counterpart of
+//! the same idea: a seeded Monte-Carlo noise-injection engine that
+//! samples the calibrated [`cimloop_core::NoiseSpec`] distributions over
+//! concrete operand draws and reduces trials to an empirical SNR/ENOB
+//! and end-to-end `task_accuracy`, validating the analytic
+//! `NoiseAnalysis` chain (see `docs/accuracy.md`).
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +49,11 @@
 
 mod exact;
 mod fixed;
+mod monte_carlo;
 
 pub use exact::{simulate_layer, ExactConfig, ExactReport};
 pub use fixed::fixed_energy_table;
+pub use monte_carlo::{
+    mc_column_readout, mc_ideal_column_readout, mc_layer, mc_workload, McConfig, McLayer,
+    McReadout, McRun,
+};

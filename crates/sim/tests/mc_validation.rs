@@ -1,0 +1,195 @@
+//! The Monte-Carlo validation tier: the sampled noise-injection engine
+//! independently checks the analytic `NoiseAnalysis` accuracy chain.
+//!
+//! Contract (documented in `docs/accuracy.md`):
+//!
+//! - Across the sigma grid, empirical SNR agrees with the analytic SNR
+//!   within [`TOLERANCE_DB`]. The residual gap is bounded model
+//!   mismatch — the analytic side composes quantization and noise as
+//!   independent error sources and discretizes the Gaussian on 33
+//!   points — plus the Monte-Carlo standard error at the pinned trial
+//!   count.
+//! - At zero sigma the noisy engine is *bit-identical* to the ideal
+//!   engine (IEEE `p·(1+±0) = p` identities), and `task_accuracy` is
+//!   exactly 1.0.
+//! - Equal seeds give byte-identical reductions at any thread count and
+//!   across run repetitions; different seeds converge to the same SNR
+//!   within the statistical tolerance (property-tested over sigma
+//!   grids).
+
+use cimloop_noise::{NoiseAnalysis, NoiseSpec};
+use cimloop_sim::{mc_column_readout, mc_ideal_column_readout, McConfig, McReadout};
+use cimloop_stats::Pmf;
+use proptest::prelude::*;
+
+/// The documented analytic-vs-Monte-Carlo SNR agreement bound, dB.
+const TOLERANCE_DB: f64 = 0.5;
+
+/// Trials per grid point: enough for ~0.1 dB standard error on the SNR
+/// estimate while keeping the tier fast in debug builds.
+const TRIALS: u64 = 8192;
+
+/// 1-bit inputs (25% active) × uniform 2-bit weights — the same operand
+/// shape the analytic unit tests exercise.
+fn slices() -> (Pmf, Pmf) {
+    (
+        Pmf::from_weights(vec![(0.0, 0.75), (1.0, 0.25)]).unwrap(),
+        Pmf::uniform_ints(0, 3).unwrap(),
+    )
+}
+
+fn analytic(rows: u64, adc_bits: Option<u32>, spec: &NoiseSpec) -> NoiseAnalysis {
+    let (x, w) = slices();
+    let product = x.product(&w);
+    let sum = product.convolve_n(rows, 512);
+    let full_scale = 3.0 * rows as f64;
+    NoiseAnalysis::analyze(
+        &sum,
+        full_scale,
+        rows,
+        product.second_moment(),
+        adc_bits,
+        spec,
+    )
+}
+
+fn empirical(rows: u64, adc_bits: Option<u32>, spec: &NoiseSpec, cfg: &McConfig) -> McReadout {
+    let (x, w) = slices();
+    mc_column_readout(&x, &w, rows, 3.0 * rows as f64, adc_bits, spec, cfg)
+}
+
+/// The reduced fields as raw bit patterns, for byte-identity assertions
+/// (`==` on f64 would equate `-0.0` and `0.0`).
+fn bits(r: &McReadout) -> [u64; 7] {
+    [
+        r.trials,
+        r.signal_power.to_bits(),
+        r.noise_power.to_bits(),
+        r.snr_db.to_bits(),
+        r.enob.to_bits(),
+        r.error_rms.to_bits(),
+        r.task_accuracy.to_bits(),
+    ]
+}
+
+#[test]
+fn analytic_and_monte_carlo_agree_across_the_sigma_grid() {
+    let cfg = McConfig::new(TRIALS);
+    let mut worst: (f64, String) = (0.0, String::new());
+    for rows in [32u64, 64] {
+        for adc_bits in [6u32, 8] {
+            for spec in [
+                NoiseSpec::ideal(),
+                NoiseSpec::new().with_cell_variation(0.02),
+                NoiseSpec::new().with_cell_variation(0.05),
+                NoiseSpec::new().with_cell_variation(0.10),
+                NoiseSpec::new().with_cell_variation(0.20),
+                NoiseSpec::new().with_read_noise(0.005),
+                NoiseSpec::new().with_adc_offset(0.5),
+                NoiseSpec::new()
+                    .with_cell_variation(0.10)
+                    .with_read_noise(0.005)
+                    .with_adc_offset(0.5),
+            ] {
+                let a = analytic(rows, Some(adc_bits), &spec);
+                let e = empirical(rows, Some(adc_bits), &spec, &cfg);
+                let dev = (a.snr_db() - e.snr_db).abs();
+                let label = format!(
+                    "rows {rows}, {adc_bits}b ADC, spec {spec:?}: \
+                     analytic {:.3} dB vs MC {:.3} dB",
+                    a.snr_db(),
+                    e.snr_db
+                );
+                assert!(
+                    dev <= TOLERANCE_DB,
+                    "deviation {dev:.3} dB out of tolerance: {label}"
+                );
+                if dev > worst.0 {
+                    worst = (dev, label);
+                }
+            }
+        }
+    }
+    println!(
+        "worst analytic-vs-MC deviation: {:.3} dB ({})",
+        worst.0, worst.1
+    );
+}
+
+#[test]
+fn zero_sigma_is_bit_identical_to_the_ideal_path_and_perfectly_accurate() {
+    let cfg = McConfig::new(4096).with_seed(3);
+    let (x, w) = slices();
+    for adc_bits in [Some(4u32), Some(8), None] {
+        let noisy = mc_column_readout(&x, &w, 48, 144.0, adc_bits, &NoiseSpec::ideal(), &cfg);
+        let ideal = mc_ideal_column_readout(&x, &w, 48, 144.0, adc_bits, &cfg);
+        assert_eq!(
+            bits(&noisy),
+            bits(&ideal),
+            "zero-sigma engine diverged at {adc_bits:?}"
+        );
+        assert_eq!(noisy.task_accuracy, 1.0);
+    }
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_thread_counts_and_repetitions() {
+    let spec = NoiseSpec::new()
+        .with_cell_variation(0.08)
+        .with_read_noise(0.002)
+        .with_adc_offset(0.25);
+    let base = McConfig::new(TRIALS).with_seed(42);
+    let reference = empirical(64, Some(6), &spec, &base);
+    for threads in [1usize, 2, 3, 5, 16] {
+        for _ in 0..2 {
+            let again = empirical(64, Some(6), &spec, &base.with_threads(threads));
+            assert_eq!(
+                bits(&reference),
+                bits(&again),
+                "thread count {threads} perturbed the reduction"
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_final_chunk_is_deterministic_too() {
+    // A trial count that is not a multiple of the internal chunk size
+    // exercises the short final chunk at every thread count.
+    let spec = NoiseSpec::new().with_cell_variation(0.1);
+    let base = McConfig::new(3000).with_seed(9);
+    let reference = empirical(32, Some(8), &spec, &base);
+    assert_eq!(reference.trials, 3000);
+    for threads in [2usize, 4] {
+        let again = empirical(32, Some(8), &spec, &base.with_threads(threads));
+        assert_eq!(bits(&reference), bits(&again));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn different_seeds_converge_within_tolerance(
+        variation in 0.0f64..0.2,
+        offset in 0.0f64..0.5,
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+    ) {
+        let spec = NoiseSpec::new()
+            .with_cell_variation(variation)
+            .with_adc_offset(offset);
+        let a = empirical(32, Some(6), &spec, &McConfig::new(TRIALS).with_seed(seed_a));
+        let b = empirical(32, Some(6), &spec, &McConfig::new(TRIALS).with_seed(seed_b));
+        prop_assert!(
+            (a.snr_db - b.snr_db).abs() < 1.0,
+            "seeds {seed_a}/{seed_b} disagree: {} vs {} dB at {spec:?}",
+            a.snr_db,
+            b.snr_db
+        );
+        // Both seeds must also agree with the analytic prediction.
+        let reference = analytic(32, Some(6), &spec).snr_db();
+        prop_assert!((a.snr_db - reference).abs() <= TOLERANCE_DB);
+        prop_assert!((b.snr_db - reference).abs() <= TOLERANCE_DB);
+    }
+}

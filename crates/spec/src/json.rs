@@ -436,9 +436,52 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_keys_rejected() {
-        let err = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
-        assert!(matches!(err, SpecError::Parse { .. }), "{err:?}");
+    fn trailing_garbage_is_a_positioned_error() {
+        // A complete value followed by anything — a second document, a
+        // stray token — is rejected, citing the line the garbage starts
+        // on (not just a generic failure at line 1).
+        for (text, line) in [
+            ("{\"a\": 1} {\"b\": 2}", 1),
+            ("{\n  \"a\": 1\n}\ngarbage", 4),
+            ("[1, 2]\n\n  tail", 3),
+        ] {
+            match parse(text) {
+                Err(SpecError::Parse { line: at, message }) => {
+                    assert_eq!(at, line, "wrong line for {text:?}");
+                    assert!(
+                        message.contains("trailing"),
+                        "unhelpful message `{message}`"
+                    );
+                }
+                other => panic!("{text:?}: expected a trailing-content error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_positioned_errors_at_any_depth() {
+        // Last-wins would silently drop the first binding; duplicates in
+        // nested maps (including maps inside lists) must be rejected
+        // too, citing the duplicate's own line.
+        for (text, line) in [
+            ("{\"a\": 1, \"a\": 2}", 1),
+            ("{\n  \"outer\": {\n    \"k\": 1,\n    \"k\": 2\n  }\n}", 4),
+            (
+                "{\n  \"list\": [\n    {\"x\": 1},\n    {\"y\": 1,\n     \"y\": 2}\n  ]\n}",
+                5,
+            ),
+        ] {
+            match parse(text) {
+                Err(SpecError::Parse { line: at, message }) => {
+                    assert_eq!(at, line, "wrong line for {text:?}");
+                    assert!(
+                        message.contains("duplicate key"),
+                        "unhelpful message `{message}`"
+                    );
+                }
+                other => panic!("{text:?}: expected a duplicate-key error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -468,18 +468,18 @@ impl ScenarioDoc {
     pub fn parse(text: &str) -> Result<Self, SpecError> {
         let mut sections: Vec<Section> = Vec::new();
         let mut architectures: Vec<ArchitectureSpec> = Vec::new();
-        // An inline component tree in progress: raw yamlite lines plus the
+        // An inline component tree in progress: raw yamlite lines, the
         // 1-based line offset of the first buffered line (for error
-        // mapping back to document coordinates).
-        let mut tree: Option<(Vec<String>, usize)> = None;
-        // Index into `architectures` the in-progress tree belongs to.
-        let mut tree_owner: Option<usize> = None;
+        // mapping back to document coordinates), and the index into
+        // `architectures` the tree belongs to. Carrying the owner inside
+        // the buffer makes an ownerless tree unrepresentable — a tree
+        // only ever starts after its owning !Architecture is checked in.
+        let mut tree: Option<(Vec<String>, usize, usize)> = None;
 
-        let flush_tree = |tree: &mut Option<(Vec<String>, usize)>,
-                          tree_owner: &mut Option<usize>,
+        let flush_tree = |tree: &mut Option<(Vec<String>, usize, usize)>,
                           architectures: &mut Vec<ArchitectureSpec>|
          -> Result<(), SpecError> {
-            if let Some((lines, offset)) = tree.take() {
+            if let Some((lines, offset, owner)) = tree.take() {
                 let text = lines.join("\n");
                 let hierarchy = yamlite::parse(&text).map_err(|e| match e {
                     SpecError::Parse { line, message } => SpecError::Parse {
@@ -488,7 +488,6 @@ impl ScenarioDoc {
                     },
                     other => other,
                 })?;
-                let owner = tree_owner.take().expect("tree always has an owner");
                 architectures[owner].hierarchy = Some(hierarchy);
             }
             Ok(())
@@ -501,7 +500,7 @@ impl ScenarioDoc {
                 // Keep blank/comment-only lines as placeholders in an
                 // in-progress component tree, so yamlite errors map back
                 // to the right document line.
-                if let Some((lines, _)) = &mut tree {
+                if let Some((lines, ..)) = &mut tree {
                     lines.push(String::new());
                 }
                 continue;
@@ -526,15 +525,14 @@ impl ScenarioDoc {
                                 message: "architecture already has a component tree".to_owned(),
                             });
                         }
-                        tree = Some((Vec::new(), line_no));
-                        tree_owner = Some(owner);
+                        tree = Some((Vec::new(), line_no, owner));
                     }
-                    if let Some((lines, _)) = &mut tree {
+                    if let Some((lines, ..)) = &mut tree {
                         lines.push(line.to_owned());
                     }
                     continue;
                 }
-                flush_tree(&mut tree, &mut tree_owner, &mut architectures)?;
+                flush_tree(&mut tree, &mut architectures)?;
                 let section = Section {
                     tag: tag.to_owned(),
                     line: line_no,
@@ -550,28 +548,31 @@ impl ScenarioDoc {
                 }
                 continue;
             }
-            if let Some((lines, _)) = &mut tree {
+            if let Some((lines, ..)) = &mut tree {
                 lines.push(line.to_owned());
                 continue;
             }
             let (key, value) = yamlite::split_key_value(line, line_no)?;
             // Entries attach to whichever section (architecture or plain)
-            // opened most recently in the document.
-            let target: &mut Section = {
-                let arch_line = architectures.last().map(|a| a.settings.line);
-                let plain_line = sections.last().map(|s| s.line);
-                match (arch_line, plain_line) {
-                    (Some(a), Some(p)) if a > p => {
-                        &mut architectures.last_mut().expect("non-empty").settings
+            // opened most recently in the document. Matching on the
+            // `last_mut()` borrows directly (instead of re-indexing after
+            // a line comparison) keeps this total: a headerless attribute
+            // line is a line-numbered parse error, never a panic.
+            let target: &mut Section = match (architectures.last_mut(), sections.last_mut()) {
+                (Some(arch), Some(plain)) => {
+                    if arch.settings.line > plain.line {
+                        &mut arch.settings
+                    } else {
+                        plain
                     }
-                    (Some(_), None) => &mut architectures.last_mut().expect("non-empty").settings,
-                    (_, Some(_)) => sections.last_mut().expect("non-empty"),
-                    (None, None) => {
-                        return Err(SpecError::Parse {
-                            line: line_no,
-                            message: format!("`{key}` appears before any !Section tag"),
-                        })
-                    }
+                }
+                (Some(arch), None) => &mut arch.settings,
+                (None, Some(plain)) => plain,
+                (None, None) => {
+                    return Err(SpecError::Parse {
+                        line: line_no,
+                        message: format!("`{key}` appears before any !Section tag"),
+                    })
                 }
             };
             if target.contains(key) {
@@ -587,7 +588,7 @@ impl ScenarioDoc {
                 line: line_no,
             });
         }
-        flush_tree(&mut tree, &mut tree_owner, &mut architectures)?;
+        flush_tree(&mut tree, &mut architectures)?;
 
         let scenario_idx = sections
             .iter()
@@ -1148,6 +1149,52 @@ model: mvm
         assert_eq!(h.len(), 3);
         assert!(h.component("cell").is_some());
         assert_eq!(doc.section("Workload").unwrap().str("model"), Some("mvm"));
+    }
+
+    #[test]
+    fn headerless_attribute_lines_are_line_numbered_errors_not_panics() {
+        // Regression: key-value lines before any `!Section` tag must
+        // fail with a parse error citing the offending line — the
+        // section-target selection used to lean on `.expect("non-empty")`
+        // indexing here.
+        for (text, line) in [
+            ("name: orphan\n!Scenario\nname: x\n", 1),
+            ("# leading comment\n\nrows: 3\n!Scenario\nname: x\n", 3),
+        ] {
+            match ScenarioDoc::parse(text) {
+                Err(SpecError::Parse { line: at, message }) => {
+                    assert_eq!(at, line, "wrong line for {text:?}");
+                    assert!(
+                        message.contains("before any !Section"),
+                        "unhelpful message `{message}`"
+                    );
+                }
+                other => panic!("expected a line-numbered parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn headerless_component_tree_lines_are_line_numbered_errors_not_panics() {
+        // Regression twin: an inline `!Component`/`!Container` tree with
+        // no preceding !Architecture must report the tree's own line —
+        // the tree buffer used to track its owner in a separate
+        // `Option` resolved with `.expect("tree always has an owner")`.
+        for (text, line) in [
+            ("!Component\nname: cell\n!Scenario\nname: x\n", 1),
+            ("!Scenario\nname: x\n!Container\nname: macro\n", 3),
+        ] {
+            match ScenarioDoc::parse(text) {
+                Err(SpecError::Parse { line: at, message }) => {
+                    assert_eq!(at, line, "wrong line for {text:?}");
+                    assert!(
+                        message.contains("must follow an !Architecture"),
+                        "unhelpful message `{message}`"
+                    );
+                }
+                other => panic!("expected a line-numbered parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]
