@@ -1,0 +1,333 @@
+//! A minimal Rust source scanner: strings, chars, and comments blanked
+//! out of the code channel, comment text preserved in a side channel.
+//!
+//! The rules in [`crate::rules`] are lexical, so everything hinges on
+//! *not* matching inside literals (`"HashMap"` in a test string must not
+//! fire D001) and on seeing comments separately (allow pragmas and
+//! chunk-order-merge markers live there). The scanner is hand-rolled in
+//! the same house style as the yamlite parser: a character walk with a
+//! small state machine, no external dependencies.
+//!
+//! Handled syntax: `//` line comments (incl. `///` and `//!` docs),
+//! nested `/* */` block comments, string literals with escapes, raw
+//! strings `r"…"` / `r#"…"#` (any hash count, `b`/`br` prefixes), char
+//! and byte-char literals, and lifetimes (`'a` is code, `'a'` is a
+//! literal). Contents of literals and comments are replaced by spaces in
+//! the code channel so byte columns stay stable for reporting.
+
+/// One source line split into its lexical channels.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLine {
+    /// The line with comments and literal *contents* blanked to spaces.
+    /// Delimiters (`"`, `'`) are blanked too; brace/paren structure is
+    /// preserved exactly.
+    pub code: String,
+    /// Concatenated text of every comment on the line (without the
+    /// `//`/`/*` markers), separated by a single space.
+    pub comment: String,
+    /// True when the next comment char starts a new comment on this
+    /// line, so a separating space is inserted before it.
+    comment_gap: bool,
+}
+
+impl SourceLine {
+    fn push_code(&mut self, c: char) {
+        self.code.push(c);
+        self.comment_gap = false;
+    }
+
+    fn push_blank(&mut self) {
+        self.code.push(' ');
+    }
+
+    fn push_comment(&mut self, c: char) {
+        if self.comment_gap && !self.comment.is_empty() {
+            self.comment.push(' ');
+        }
+        self.comment_gap = false;
+        self.comment.push(c);
+        self.code.push(' ');
+    }
+}
+
+impl SourceLine {
+    fn start_comment_gap(&mut self) {
+        self.comment_gap = true;
+    }
+}
+
+/// Lexer state across characters.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments (Rust nests them); the depth counts opens.
+    BlockComment(u32),
+    /// A normal (escaped) string or byte-string literal.
+    Str,
+    /// A raw string literal terminated by `"` followed by `hashes` `#`s.
+    RawStr(u32),
+    /// A char or byte-char literal.
+    CharLit,
+}
+
+/// Splits `text` into per-line lexical channels. Lines are 0-indexed in
+/// the returned vector; reporting adds 1.
+pub fn scan(text: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<SourceLine> = vec![SourceLine::default()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+    let at = |i: usize| chars.get(i).copied();
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(SourceLine::default());
+            i += 1;
+            continue;
+        }
+        let line = lines.last_mut().expect("scan starts with one line");
+        match state {
+            State::Code => {
+                match c {
+                    '/' if at(i + 1) == Some('/') => {
+                        state = State::LineComment;
+                        line.start_comment_gap();
+                        line.push_blank();
+                        line.push_blank();
+                        i += 2;
+                        continue;
+                    }
+                    '/' if at(i + 1) == Some('*') => {
+                        state = State::BlockComment(1);
+                        line.start_comment_gap();
+                        line.push_blank();
+                        line.push_blank();
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Look back over `#`s and an `r`/`br`/`rb` prefix
+                        // to detect a raw string and its hash count.
+                        let mut j = i;
+                        let mut hashes = 0u32;
+                        while j > 0 && chars[j - 1] == '#' {
+                            j -= 1;
+                            hashes += 1;
+                        }
+                        let raw = j > 0
+                            && (chars[j - 1] == 'r'
+                                && (j < 2 || !is_ident_char(chars[j - 2]) || chars[j - 2] == 'b'));
+                        if raw {
+                            state = State::RawStr(hashes);
+                        } else {
+                            state = State::Str;
+                        }
+                        line.push_blank();
+                    }
+                    '\'' => {
+                        // `'a'` (and `'\n'`, `b'x'`) are literals; `'a`
+                        // in `<'a>` or `&'static` is a lifetime and stays
+                        // in the code channel.
+                        let next = at(i + 1);
+                        let after = at(i + 2);
+                        let is_char_literal = match next {
+                            Some('\\') => true,
+                            Some(n) if is_ident_char(n) => after == Some('\''),
+                            Some(_) => after == Some('\''),
+                            None => false,
+                        };
+                        if is_char_literal {
+                            state = State::CharLit;
+                            line.push_blank();
+                        } else {
+                            // A lifetime: the tick is code.
+                            line.push_code('\'');
+                        }
+                    }
+                    _ => line.push_code(c),
+                }
+                i += 1;
+            }
+            State::LineComment => {
+                line.push_comment(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && at(i + 1) == Some('/') {
+                    line.push_blank();
+                    line.push_blank();
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    line.push_comment(c);
+                    line.push_comment('*');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    line.push_comment(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                match c {
+                    '\\' => {
+                        line.push_blank();
+                        // Skip the escaped char — but never a newline
+                        // (string line-continuations), so line counting
+                        // stays exact.
+                        if at(i + 1).is_some_and(|n| n != '\n') {
+                            line.push_blank();
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        line.push_blank();
+                        state = State::Code;
+                    }
+                    _ => line.push_blank(),
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if at(i + 1 + k) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            line.push_blank();
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                line.push_blank();
+                i += 1;
+            }
+            State::CharLit => {
+                match c {
+                    '\\' => {
+                        line.push_blank();
+                        if at(i + 1).is_some_and(|n| n != '\n') {
+                            line.push_blank();
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        line.push_blank();
+                        state = State::Code;
+                    }
+                    _ => line.push_blank(),
+                }
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+/// Whether `c` may appear inside a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `needle` occurs in `haystack` as a whole identifier (not as a
+/// substring of a longer identifier).
+pub fn has_ident(haystack: &str, needle: &str) -> bool {
+    find_ident(haystack, needle).is_some()
+}
+
+/// Byte offset of the first whole-identifier occurrence of `needle`.
+pub fn find_ident(haystack: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok =
+            start == 0 || !is_ident_char(haystack[..start].chars().next_back().unwrap_or(' '));
+        let after_ok = !haystack[end..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        scan(text).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_but_structure_survives() {
+        let code = code_of("let s = format!(\"{{\\\"cache\\\": {}}}\", x);");
+        assert_eq!(code.len(), 1);
+        assert!(!code[0].contains("cache"));
+        // The parens and braces of *code* survive; the literal's braces
+        // are blanked so depth tracking cannot be fooled.
+        assert_eq!(code[0].matches('(').count(), 1);
+        assert_eq!(code[0].matches('{').count(), 0);
+    }
+
+    #[test]
+    fn line_comment_goes_to_the_comment_channel() {
+        let lines = scan("let x = 1; // cimloop-analyze: allow(D001, reason = \"x\")");
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("allow"));
+        assert!(lines[0].comment.contains("cimloop-analyze: allow(D001"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let code =
+            code_of("let r = r#\"HashMap \"quoted\" inside\"#; let c = 'x'; let l: &'a str = s;");
+        assert!(!code[0].contains("HashMap"));
+        assert!(!code[0].contains('x'));
+        // The lifetime survives as code.
+        assert!(code[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal_does_not_derail() {
+        let code = code_of("let q = '\\''; let m = std::collections::HashMap::new();");
+        assert!(code[0].contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let code = code_of("/* outer /* inner */ still comment */ let y = 2;");
+        assert!(code[0].contains("let y = 2;"));
+        assert!(!code[0].contains("outer"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"first \\\n    second\";\nlet t = 3;\n";
+        let code = code_of(src);
+        assert_eq!(code.len(), 4);
+        assert!(code[2].contains("let t = 3;"));
+    }
+
+    #[test]
+    fn ident_boundaries_are_respected() {
+        assert!(has_ident("let m: HashMap<u8, u8>;", "HashMap"));
+        assert!(!has_ident("let m = my_hash_map();", "HashMap"));
+        assert!(!has_ident("struct HashMapLike;", "HashMap"));
+    }
+}

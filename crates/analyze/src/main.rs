@@ -1,0 +1,11 @@
+//! Standalone entry point for `cimloop-analyze`. The same driver is
+//! reachable as `cimloop analyze`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(cimloop_analyze::run_cli(&args))
+}

@@ -1,0 +1,11 @@
+//! analyze-as: crates/core/src/fixture.rs
+//! A001: malformed pragmas are findings and never suppress. A missing
+//! reason and an unknown rule ID both leave the underlying finding live.
+
+fn clocks() {
+    // cimloop-analyze: allow(D002) //~ A001
+    let t = std::time::Instant::now(); //~ D002
+    // cimloop-analyze: allow(Z999, reason = "typo'd rule id") //~ A001
+    let s = std::time::SystemTime::now(); //~ D002
+    drop((t, s));
+}

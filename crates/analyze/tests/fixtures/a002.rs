@@ -1,0 +1,15 @@
+//! analyze-as: crates/core/src/fixture.rs
+//! A002: a valid pragma that suppresses nothing is itself a finding —
+//! including each unused rule of a multi-rule pragma.
+
+fn clean() {
+    // cimloop-analyze: allow(D002, reason = "nothing on the next line reads a clock") //~ A002
+    let x = 1;
+    drop(x);
+}
+
+fn partially_used() {
+    // cimloop-analyze: allow(D001, D002, reason = "only the map is real") //~ A002
+    let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new(); //~ allowed D001
+    drop(m);
+}

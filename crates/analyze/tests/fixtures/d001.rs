@@ -1,0 +1,23 @@
+//! analyze-as: crates/dse/src/fixture.rs
+//! D001: unordered hash collections in a report-producing crate. The
+//! `use` line is exempt (importing is not iterating); a valid pragma
+//! moves the match to the allowed list; test code is skipped.
+
+use std::collections::HashMap; // exempt: use line
+
+fn build() {
+    let m: HashMap<u8, u8> = HashMap::new(); //~ D001
+    let s = std::collections::HashSet::<u8>::new(); //~ D001
+    // cimloop-analyze: allow(D001, reason = "fixture: keyed lookups only, never iterated")
+    let ok: HashMap<u8, u8> = HashMap::new(); //~ allowed D001
+    drop((m, s, ok));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_maps_in_tests_are_fine() {
+        let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        drop(m);
+    }
+}

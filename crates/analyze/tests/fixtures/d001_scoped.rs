@@ -1,0 +1,8 @@
+//! analyze-as: crates/spec/src/fixture.rs
+//! D001 is scoped to report-producing crates; `spec` is not one, so the
+//! same code that fires in `d001.rs` is clean here.
+
+fn build() {
+    let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+    drop(m);
+}

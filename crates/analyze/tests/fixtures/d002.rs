@@ -1,0 +1,10 @@
+//! analyze-as: crates/core/src/fixture.rs
+//! D002: wall-clock reads outside crates/bench.
+
+fn clocks() {
+    let t = std::time::Instant::now(); //~ D002
+    let s = std::time::SystemTime::now(); //~ D002
+    // cimloop-analyze: allow(D002, reason = "fixture: feeds a log label, never a result")
+    let ok = std::time::Instant::now(); //~ allowed D002
+    drop((t, s, ok));
+}

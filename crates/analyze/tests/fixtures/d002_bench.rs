@@ -1,0 +1,8 @@
+//! analyze-as: crates/bench/src/bin/fixture.rs
+//! crates/bench is the sanctioned home for timing: D002 never fires
+//! there.
+
+fn timing() {
+    let t = std::time::Instant::now();
+    drop(t);
+}

@@ -1,0 +1,9 @@
+//! analyze-as: crates/cli/src/serve.rs
+//! The builtin serve allowlist is line-precise: only `deadline` lines
+//! in serve.rs are sanctioned; any other clock read there still fires.
+
+fn body_read() {
+    let deadline = std::time::Instant::now(); //~ allowed D002
+    let other = std::time::Instant::now(); //~ D002
+    drop((deadline, other));
+}

@@ -1,0 +1,37 @@
+//! analyze-as: crates/core/src/fixture.rs
+//! L001: a mutex guard bound in the same statement as an eval*/compute*
+//! call holds the lock across the computation. Splitting the statement
+//! (compute first, then lock) is the fix; the rule follows a statement
+//! across wrapped lines and anchors at its first line.
+
+fn held_across_compute(m: &std::sync::Mutex<Vec<u8>>) {
+    let _ = m.lock().map(|g| compute_row(&g)); //~ L001
+}
+
+fn held_multiline(m: &std::sync::Mutex<Vec<u8>>) {
+    let _ = m //~ L001
+        .lock()
+        .map(|g| evaluate_all(&g));
+}
+
+fn split_is_clean(m: &std::sync::Mutex<Vec<u8>>) {
+    let row = compute_row(&[]);
+    let mut g = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    g.push(row);
+}
+
+fn vouched(m: &std::sync::Mutex<Vec<u8>>) {
+    // cimloop-analyze: allow(L001, reason = "fixture: guard scope ends on this statement")
+    let _ = m.lock().map(|g| compute_row(&g)); //~ allowed L001
+}
+
+fn compute_row(_: &[u8]) -> u8 {
+    0
+}
+
+fn evaluate_all(_: &[u8]) -> u8 {
+    0
+}

@@ -1,0 +1,20 @@
+//! analyze-as: crates/cli/src/runners.rs
+//! P001: unwrap()/expect() in panic-policy files. `unwrap_or*` is fine;
+//! test code is skipped; a pragma suppresses with a reason.
+
+fn run(v: Option<u8>) -> u8 {
+    let a = v.unwrap(); //~ P001
+    let b = v.expect("present"); //~ P001
+    let c = v.unwrap_or(0);
+    // cimloop-analyze: allow(P001, reason = "fixture: infallible by construction")
+    let d = v.unwrap(); //~ allowed P001
+    a + b + c + d
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! analyze-as: crates/cli/src/resolve.rs
+//! P001 is scoped to the panic-policy files; resolve.rs is not one, so
+//! unwrap() here is left to clippy, not this rule.
+
+fn run(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

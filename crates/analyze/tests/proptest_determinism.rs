@@ -1,0 +1,38 @@
+//! Property test: the analyzer's JSON report is byte-identical no
+//! matter what order the input files arrive in. The report feeds a
+//! committed baseline that CI byte-diffs, so this is the same contract
+//! the rest of the workspace holds for result TSVs.
+
+use std::path::PathBuf;
+
+use cimloop_analyze::{analyze_files, collect_files};
+use proptest::prelude::*;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fisher-Yates shuffle the collected file list with a seeded LCG
+    /// and re-analyze: the JSON must not move by a byte.
+    #[test]
+    fn shuffled_file_order_is_byte_identical(seed in any::<u64>()) {
+        let files = collect_files(&workspace_root()).expect("workspace scan");
+        prop_assert!(!files.is_empty());
+        let reference = analyze_files(&files).to_json();
+
+        let mut shuffled = files;
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((state >> 33) as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let rerun = analyze_files(&shuffled).to_json();
+        prop_assert_eq!(reference, rerun);
+    }
+}

@@ -1,0 +1,56 @@
+//! The proof-of-value tests: the existing tree has zero unallowed
+//! findings, and the committed baseline in `results/` matches what the
+//! analyzer produces today. Together these make the static-analysis
+//! contract part of tier-1: a PR that introduces a hazard (or silently
+//! outgrows the baseline) fails `cargo test` before CI even gets to the
+//! dedicated analyze job.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cimloop_analyze::{analyze_root, baseline_diff};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unallowed_findings() {
+    let report = analyze_root(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "unallowed findings in the tree:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn committed_baseline_is_fresh() {
+    let root = workspace_root();
+    let report = analyze_root(&root).expect("workspace scan");
+    let baseline_path = root.join("results/analyze_baseline.json");
+    let baseline = fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("missing baseline {}: {e}", baseline_path.display()));
+    let diff = baseline_diff(&report.to_json(), &baseline);
+    assert!(
+        diff.is_clean(),
+        "results/analyze_baseline.json is stale — regenerate with \
+         `cimloop analyze --write-baseline results/analyze_baseline.json`\n\
+         new: {:#?}\nstale: {:#?}",
+        diff.new,
+        diff.stale
+    );
+}
+
+#[test]
+fn baseline_json_is_byte_identical_to_report() {
+    let root = workspace_root();
+    let report = analyze_root(&root).expect("workspace scan");
+    let baseline_path = root.join("results/analyze_baseline.json");
+    let baseline = fs::read_to_string(&baseline_path).expect("baseline readable");
+    assert_eq!(
+        report.to_json(),
+        baseline,
+        "baseline bytes drifted from the current report rendering"
+    );
+}

@@ -19,6 +19,8 @@
 //!
 //! Usage: `dse_scale [full|quick]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cimloop_bench::{

@@ -19,6 +19,8 @@
 //! - `--no-naive`: skip the naive baseline (and the speedup/identity
 //!   checks); explorer only.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -18,6 +18,8 @@
 //!   variation levels).
 //! - `quick`: the golden grid only (what CI's accuracy job runs).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cimloop_bench::{

@@ -11,6 +11,8 @@
 //! Usage: `network_sweep [tiny|vit|gpt2|bert|resnet|mobilenet]`
 //! (default `vit`). `tiny` is a seconds-scale smoke model for CI.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cimloop_bench::{fmt, ExperimentTable};

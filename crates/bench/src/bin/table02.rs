@@ -11,6 +11,8 @@
 //! energies, cache/table counts), which the `golden-results` CI job
 //! enforces bit-identically.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cimloop_bench::{fmt, ExperimentTable};

@@ -2,6 +2,7 @@
 //! (one per table/figure of the paper) and the criterion benches.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
 #![warn(missing_docs)]
 
 use std::fs;
@@ -147,7 +148,7 @@ pub fn tsv_value(text: &str) -> cimloop_spec::Value {
         .map(|line| line.split('\t').map(str::to_owned).collect())
         .unwrap_or_default();
     let mut keys: Vec<String> = Vec::with_capacity(headers.len());
-    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for header in &headers {
         let n = counts.entry(header.as_str()).or_insert(0);
         *n += 1;

@@ -23,6 +23,7 @@
 //! and the programmatic path are the same engine, and CI diffs them.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
 #![warn(missing_docs)]
 
 use std::fmt;

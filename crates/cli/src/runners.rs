@@ -14,6 +14,10 @@
 //! propagate every malformed-spec condition as a [`CliError`] — no
 //! panicking unwraps on spec-derived values.
 
+// The panic policy, enforced both by cimloop-analyze (P001) and clippy:
+// malformed specs surface as CliError, never as a panic.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use cimloop_bench::{fmt, ExperimentTable};
 use cimloop_dse::{
     AccuracyObjective, Checkpoint, CheckpointError, DesignSpace, EvalScope, Exploration, Explorer,
@@ -357,7 +361,9 @@ fn front_table(
 /// front (ascending design id).
 pub fn dse(doc: &ScenarioDoc, ctx: &RunContext) -> Result<ExperimentTable, CliError> {
     let table = dse_with(doc, ctx, &DseOptions::default())?;
-    Ok(table.expect("an unsharded, unbudgeted dse run always yields a table"))
+    table.ok_or_else(|| {
+        CliError::usage("internal: an unsharded, unbudgeted dse run yielded no table".to_owned())
+    })
 }
 
 /// Production-scale controls for a dse run, all defaulting to the plain
@@ -416,10 +422,11 @@ pub fn dse_with(
         resume: None,
     };
     if opts.resume {
-        let path = opts
-            .checkpoint
-            .as_ref()
-            .expect("the CLI rejects --resume without --checkpoint");
+        let Some(path) = opts.checkpoint.as_ref() else {
+            return Err(CliError::usage(
+                "--resume requires --checkpoint FILE".to_owned(),
+            ));
+        };
         if path.exists() {
             let checkpoint = Checkpoint::load(path).map_err(checkpoint_error)?;
             plan.resume = Some(

@@ -51,6 +51,10 @@
 //! or failing scenario fails the *request* (`ERR` response), never the
 //! process; worker panics are caught and reported the same way.
 
+// The panic policy, enforced both by cimloop-analyze (P001) and clippy:
+// a failing request must never take the daemon down.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -160,8 +164,18 @@ impl JobQueue {
         }
     }
 
+    /// Locks the queue, recovering from poison: a worker that panicked
+    /// mid-push/pop cannot leave the deque in a torn state (every
+    /// critical section completes its mutation before unlocking), and a
+    /// failing request must never take the whole daemon down.
+    fn locked(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.locked();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -176,7 +190,7 @@ impl JobQueue {
     /// Blocks until a job is available or the queue is closed *and*
     /// drained.
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.locked();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -184,12 +198,15 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock poisoned");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.locked().closed = true;
         self.ready.notify_all();
     }
 }
@@ -750,6 +767,7 @@ pub mod client {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

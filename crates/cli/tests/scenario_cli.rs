@@ -487,3 +487,58 @@ fn output_reuse_rejects_zero_and_oversized_groupings() {
         }
     }
 }
+
+#[test]
+fn resume_without_checkpoint_is_a_usage_error_not_a_panic() {
+    // Regression: `--resume` with no `--checkpoint FILE` used to hit an
+    // `expect` deep in the runner. The panic policy (P001) demands a
+    // propagated CliError instead, so the serve daemon can fail the
+    // request and keep running.
+    let doc = tiny_dse_doc("tiny_resume_no_ckpt", false);
+    let err = dse_with(
+        &doc,
+        &RunContext::new(),
+        &DseOptions {
+            resume: true,
+            ..DseOptions::default()
+        },
+    )
+    .expect_err("resume without a checkpoint path must be rejected");
+    match err {
+        CliError::Usage(message) => assert!(
+            message.contains("--checkpoint"),
+            "the error must name the missing flag, got `{message}`"
+        ),
+        other => panic!("expected a usage error, got {other}"),
+    }
+}
+
+#[test]
+fn malformed_spec_is_a_spec_error_not_a_panic() {
+    // Regression companion to the unwrap sweep in schema.rs: a document
+    // that lies about its own structure must surface as a line-numbered
+    // spec error through every entry point, never a panic.
+    for bad in [
+        // A dse scenario with no `!Space` section at all.
+        "!Scenario\nname: bad\nexperiment: dse\n!Architecture\nmacro: base\n",
+        // A `!Space` whose axis value is not a list.
+        "!Scenario\nname: bad\nexperiment: dse\n!Architecture\nmacro: base\n\
+         !Space\nsquare_arrays: nope\n",
+    ] {
+        match ScenarioDoc::parse(bad) {
+            Ok(doc) => {
+                let err = dse_with(&doc, &RunContext::new(), &DseOptions::default())
+                    .expect_err("a malformed dse spec must be rejected");
+                assert!(
+                    matches!(err, CliError::Spec(_) | CliError::Usage(_)),
+                    "expected a spec/usage error, got {err}"
+                );
+            }
+            Err(e) => {
+                // Failing at parse time is equally acceptable — the point
+                // is an error value, which reaching this arm proves.
+                let _ = e.to_string();
+            }
+        }
+    }
+}

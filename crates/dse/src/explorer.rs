@@ -464,7 +464,7 @@ impl Explorer {
                 self.accuracy,
                 AccuracyObjective::OutputSnr | AccuracyObjective::TaskAccuracy
             );
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             candidates.retain(|p| {
                 if seen.insert(p.cim_macro().config_fingerprint(include_noise)) {
                     true
@@ -478,7 +478,7 @@ impl Explorer {
         let mut prior: Vec<u64> = Vec::new();
         let mut seed = ParetoFront::new();
         if let Some(state) = &plan.resume {
-            let done: std::collections::HashSet<u64> = state.processed.iter().copied().collect();
+            let done: std::collections::BTreeSet<u64> = state.processed.iter().copied().collect();
             candidates.retain(|p| !done.contains(&p.id()));
             prior = state.processed.clone();
             seed = state.front.clone();

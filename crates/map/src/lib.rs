@@ -74,6 +74,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
+#![warn(clippy::print_stderr)]
 #![warn(missing_docs)]
 
 mod dataflow;

@@ -55,6 +55,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
+#![warn(clippy::print_stderr)]
 #![warn(missing_docs)]
 
 mod analysis;

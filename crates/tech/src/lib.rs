@@ -28,6 +28,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
+#![warn(clippy::print_stderr)]
 #![warn(missing_docs)]
 
 pub mod device;

@@ -32,6 +32,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
+#![warn(clippy::print_stderr)]
 #![warn(missing_docs)]
 
 mod dim;

@@ -4,6 +4,8 @@
 //! individual crates for details; the prelude pulls in the most common types.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::dbg_macro)]
+#![warn(clippy::print_stderr)]
 
 pub use cimloop_circuits as circuits;
 pub use cimloop_core as core;
