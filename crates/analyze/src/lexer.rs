@@ -109,17 +109,27 @@ pub fn scan(text: &str) -> Vec<SourceLine> {
                         continue;
                     }
                     '"' => {
-                        // Look back over `#`s and an `r`/`br`/`rb` prefix
-                        // to detect a raw string and its hash count.
+                        // Look back over `#`s and an `r`/`br` prefix to
+                        // detect a raw string and its hash count. The
+                        // prefix chars are checked directly, so a raw
+                        // string whose `r` sits at byte offset 0 of the
+                        // file is detected too.
                         let mut j = i;
                         let mut hashes = 0u32;
                         while j > 0 && chars[j - 1] == '#' {
                             j -= 1;
                             hashes += 1;
                         }
-                        let raw = j > 0
-                            && (chars[j - 1] == 'r'
-                                && (j < 2 || !is_ident_char(chars[j - 2]) || chars[j - 2] == 'b'));
+                        let r_at = j.checked_sub(1).map(|k| chars[k] == 'r');
+                        let before_r = j.checked_sub(2).map(|k| chars[k]);
+                        let raw = r_at == Some(true)
+                            && match before_r {
+                                // `r"` opens the file, or follows a
+                                // non-identifier char, or is `br"`.
+                                None => true,
+                                Some('b') => true,
+                                Some(c) => !is_ident_char(c),
+                            };
                         if raw {
                             state = State::RawStr(hashes);
                         } else {
@@ -301,6 +311,19 @@ mod tests {
         assert!(!code[0].contains('x'));
         // The lifetime survives as code.
         assert!(code[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn raw_string_at_file_offset_zero_is_raw() {
+        // The `r` prefix is the file's first byte; a backslash before
+        // the closing quote must not swallow the terminator.
+        let code = code_of("r\"\\\" let m: HashMap<u8, u8>;\nlet y = 2;\n");
+        assert!(has_ident(&code[0], "HashMap"));
+        assert!(code[1].contains("let y = 2;"));
+        // Same with a hash-delimited raw string opening the file.
+        let code = code_of("r#\"a \"quoted\" b\"# ; let m: HashMap<u8, u8>;");
+        assert!(has_ident(&code[0], "HashMap"));
+        assert!(!code[0].contains("quoted"));
     }
 
     #[test]

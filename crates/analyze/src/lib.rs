@@ -48,9 +48,8 @@ pub struct Finding {
     pub hint: String,
 }
 
-/// One suppressed match: a pragma-allowed finding or a builtin
-/// allowlist hit. Recorded in reports (and the committed baseline) as an
-/// audit trail.
+/// One suppressed match: a finding a reasoned allow pragma covers.
+/// Recorded in reports (and the committed baseline) as an audit trail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allowed {
     /// Rule ID that would have fired.
@@ -59,7 +58,7 @@ pub struct Allowed {
     pub file: String,
     /// 1-based line number of the suppressed match.
     pub line: usize,
-    /// The pragma's reason, or the builtin allowlist justification.
+    /// The pragma's reason.
     pub reason: String,
 }
 

@@ -1,9 +1,13 @@
 //! analyze-as: crates/cli/src/serve.rs
-//! The builtin serve allowlist is line-precise: only `deadline` lines
-//! in serve.rs are sanctioned; any other clock read there still fires.
+//! Serve's sanctioned clock reads are suppressed by explicit reasoned
+//! pragmas, not a builtin allowlist: only the pragma'd read is allowed,
+//! and any other clock read in serve.rs still fires — even when its
+//! line mentions a variable named `deadline`.
 
 fn body_read() {
+    // cimloop-analyze: allow(D002, reason = "body-read deadline; guards liveness only")
     let deadline = std::time::Instant::now(); //~ allowed D002
     let other = std::time::Instant::now(); //~ D002
-    drop((deadline, other));
+    let stale_deadline = std::time::Instant::now(); //~ D002
+    drop((deadline, other, stale_deadline));
 }

@@ -85,7 +85,7 @@ fn d002_fires_and_pragma_suppresses() {
 }
 
 #[test]
-fn d002_serve_allowlist_is_line_precise() {
+fn d002_serve_requires_explicit_pragmas() {
     check_fixture("d002_serve.rs");
 }
 
